@@ -1,0 +1,47 @@
+//! The Ansible domain model used throughout the Ansible Wisdom reproduction.
+//!
+//! This crate is the "Ansible knowledge" substrate of the paper: everything
+//! the metrics, the linter and the corpus generator need to know about what
+//! Ansible tasks and playbooks look like:
+//!
+//! * [`Task`], [`Play`], [`Playbook`], [`Block`] — the object model;
+//! * [`ModuleRegistry`] — FQCN resolution, parameter schemas, and the
+//!   equivalence classes behind the Ansible Aware metric's partial credit;
+//! * [`lint_str`] / [`is_schema_correct`] — the strict schema behind the
+//!   **Schema Correct** metric;
+//! * [`normalize_document`] / [`standardize`] — the formatting
+//!   standardization applied to the fine-tuning dataset;
+//! * [`parse_kv_args`] — the legacy `k=v` argument form conversion.
+//!
+//! # Examples
+//!
+//! ```
+//! use wisdom_ansible::{is_schema_correct, LintTarget, Playbook};
+//!
+//! let src = "- hosts: web\n  tasks:\n    - name: Install nginx\n      ansible.builtin.apt:\n        name: nginx\n        state: present\n";
+//! let playbook = Playbook::parse(src)?;
+//! assert_eq!(playbook.plays[0].flat_tasks()[0].fqcn(), "ansible.builtin.apt");
+//! assert!(is_schema_correct(src, LintTarget::Auto));
+//! # Ok::<(), wisdom_ansible::ParsePlaybookError>(())
+//! ```
+
+mod keywords;
+mod kv;
+mod lint;
+mod module_registry;
+mod normalize;
+mod playbook;
+mod task;
+
+pub use keywords::{
+    is_block_key, is_task_keyword, play_keyword, task_keyword, KeywordSpec, KindSet,
+    PLAY_KEYWORDS, TASK_KEYWORDS,
+};
+pub use kv::parse_kv_args;
+pub use lint::{detect_target, is_schema_correct, lint_str, lint_value, LintTarget, Violation};
+pub use module_registry::{
+    Equivalence, ModuleRegistry, ModuleSpec, ParamKind, ParamSpec, MODULES,
+};
+pub use normalize::{normalize_document, normalize_play, normalize_task, standardize};
+pub use playbook::{parse_task_file, Block, ParsePlaybookError, Play, Playbook, TaskItem};
+pub use task::{ParseTaskError, Task};

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the substrate components: YAML parse/emit, BPE
+//! encode/decode, schema lint, Ansible Aware, and the autograd kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wisdom_corpus::{FileCtx, GenericKind};
+use wisdom_metrics::{ansible_aware, sentence_bleu};
+use wisdom_prng::Prng;
+use wisdom_tensor::kernels::matmul;
+use wisdom_tokenizer::BpeTokenizer;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(5);
+    let ctx = FileCtx::galaxy(&mut rng);
+    let file = wisdom_corpus::emit_task_file(&wisdom_corpus::generate_role_file(&ctx, &mut rng));
+    let k8s = wisdom_corpus::generate_generic_of(GenericKind::K8sManifest, &mut rng);
+
+    c.bench_function("yaml/parse_role_file", |b| {
+        b.iter(|| black_box(wisdom_yaml::parse(&file)))
+    });
+    let value = wisdom_yaml::parse(&file).expect("valid");
+    c.bench_function("yaml/emit_role_file", |b| {
+        b.iter(|| black_box(wisdom_yaml::emit(&value)))
+    });
+    c.bench_function("yaml/parse_k8s_manifest", |b| {
+        b.iter(|| black_box(wisdom_yaml::parse(&k8s)))
+    });
+
+    c.bench_function("ansible/lint_role_file", |b| {
+        b.iter(|| black_box(wisdom_ansible::lint_str(&file, wisdom_ansible::LintTarget::Auto)))
+    });
+    c.bench_function("ansible/standardize_role_file", |b| {
+        b.iter(|| black_box(wisdom_ansible::standardize(&file)))
+    });
+
+    let tok = BpeTokenizer::train([file.as_str(), k8s.as_str()], 500);
+    c.bench_function("tokenizer/encode_role_file", |b| {
+        b.iter(|| black_box(tok.encode(&file)))
+    });
+    let ids = tok.encode(&file);
+    c.bench_function("tokenizer/decode_role_file", |b| {
+        b.iter(|| black_box(tok.decode(&ids)))
+    });
+
+    let doc = "- name: x\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n  notify: restart nginx\n";
+    let pred = "- name: x\n  yum:\n    name: nginx\n    state: latest\n";
+    c.bench_function("metrics/ansible_aware", |b| {
+        b.iter(|| black_box(ansible_aware(doc, pred)))
+    });
+    c.bench_function("metrics/sentence_bleu", |b| {
+        b.iter(|| black_box(sentence_bleu(doc, pred)))
+    });
+
+    let m = 128;
+    let a = vec![0.5f32; m * m];
+    let bm = vec![0.25f32; m * m];
+    let mut out = vec![0.0f32; m * m];
+    c.bench_function("tensor/matmul_128", |b| {
+        b.iter(|| {
+            matmul(&a, &bm, m, m, m, &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! The §4.3 throughput figure: the paper chose the 350M model because it
+//! decodes ~1.9× faster than the 2.7B model on a single GPU. This bench
+//! measures greedy KV-cache decoding for all three scaled size classes and
+//! prints the speedup series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wisdom_bench::bench_profile;
+use wisdom_eval::run_throughput;
+use wisdom_model::{GenerationOptions, ModelConfig, Strategy, TransformerLm};
+use wisdom_prng::Prng;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure once.
+    let profile = bench_profile();
+    let result = run_throughput(&profile, 64);
+    println!("\n{}", wisdom_eval::tables::throughput_text(&result));
+
+    let vocab = 600;
+    let ctx = 96;
+    let mut rng = Prng::seed_from_u64(9);
+    let configs = [
+        ("350M", ModelConfig::size_350m(vocab, ctx)),
+        ("2.7B", ModelConfig::size_2_7b(vocab, ctx)),
+        ("6B", ModelConfig::size_6b(vocab, ctx)),
+    ];
+    let tokens = 48usize;
+    let mut group = c.benchmark_group("throughput/generate_48_tokens");
+    group.throughput(Throughput::Elements(tokens as u64));
+    for (label, cfg) in configs {
+        let model = TransformerLm::new(cfg, &mut rng);
+        let opts = GenerationOptions {
+            max_new_tokens: tokens,
+            strategy: Strategy::TopK {
+                k: 40,
+                temperature: 1.0,
+            },
+            seed: 11,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, m| {
+            b.iter(|| black_box(m.generate(&[3, 4, 5, 6], &[], &opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench regenerates its paper table once (printed to stdout so the
+//! rows are inspectable) and then measures the representative hot
+//! operations with Criterion. See `benches/` for the per-table targets.
+
+use wisdom_eval::Profile;
+
+/// The profile used by benches: small enough to iterate, large enough to be
+/// representative.
+pub fn bench_profile() -> Profile {
+    Profile::test()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_profile_is_small() {
+        let p = bench_profile();
+        assert!(p.eval_max_samples <= 32);
+    }
+}

@@ -1,0 +1,386 @@
+//! The build pipeline: everything between "no model" and "a serving Wisdom
+//! assistant", mirroring §4 of the paper at configurable scale.
+
+use std::sync::Arc;
+
+use wisdom_corpus::{Corpus, CorpusSpec, PromptStyle, SplitSamples};
+use wisdom_model::{
+    finetune, pack_documents, pretrain, FinetuneConfig, GenerationOptions, LmTextGenerator,
+    ModelConfig, PretrainConfig, SftSample, TextGenerator, TransformerLm,
+};
+use wisdom_prng::Prng;
+use wisdom_tokenizer::BpeTokenizer;
+
+use crate::service::CompletionRequest;
+use crate::suggestion::Suggestion;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WisdomConfig {
+    /// Master seed (whole pipeline is deterministic in it).
+    pub seed: u64,
+    /// Divisor on the paper's corpus sizes.
+    pub corpus_scale: usize,
+    /// BPE vocabulary size.
+    pub vocab_size: usize,
+    /// Context window in tokens.
+    pub context_window: usize,
+    /// Pre-training epochs over the YAML corpus.
+    pub pretrain_epochs: usize,
+    /// Fine-tuning epochs over Galaxy samples.
+    pub finetune_epochs: usize,
+    /// Batch size for both phases.
+    pub batch_size: usize,
+    /// Pre-training peak learning rate.
+    pub pretrain_lr: f32,
+    /// Fine-tuning peak learning rate.
+    pub finetune_lr: f32,
+    /// Generation budget per completion.
+    pub max_new_tokens: usize,
+}
+
+impl WisdomConfig {
+    /// Seconds-scale configuration for tests and doc examples.
+    pub fn tiny() -> WisdomConfig {
+        WisdomConfig {
+            seed: 0xBEE,
+            corpus_scale: 16_000,
+            vocab_size: 420,
+            context_window: 48,
+            pretrain_epochs: 1,
+            finetune_epochs: 2,
+            batch_size: 4,
+            pretrain_lr: 3e-3,
+            finetune_lr: 2e-3,
+            max_new_tokens: 56,
+        }
+    }
+
+    /// Minutes-scale configuration producing a genuinely usable assistant
+    /// (release builds).
+    pub fn standard() -> WisdomConfig {
+        WisdomConfig {
+            seed: 0xBEE,
+            corpus_scale: 2_000,
+            vocab_size: 1_000,
+            context_window: 128,
+            pretrain_epochs: 3,
+            finetune_epochs: 5,
+            batch_size: 8,
+            pretrain_lr: 3e-3,
+            finetune_lr: 1e-3,
+            max_new_tokens: 140,
+        }
+    }
+}
+
+impl Default for WisdomConfig {
+    fn default() -> Self {
+        WisdomConfig::standard()
+    }
+}
+
+/// Training phase reported to progress callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainPhase {
+    /// Building the corpus and splits.
+    Corpus,
+    /// Training the tokenizer.
+    Tokenizer,
+    /// YAML pre-training.
+    Pretrain,
+    /// Galaxy fine-tuning.
+    Finetune,
+}
+
+/// The trained Ansible Wisdom assistant.
+pub struct Wisdom {
+    config: WisdomConfig,
+    tokenizer: Arc<BpeTokenizer>,
+    model: TransformerLm,
+}
+
+impl Wisdom {
+    /// Runs the full pipeline: build corpus, train tokenizer, pre-train on
+    /// Ansible + generic YAML (the Wisdom-Yaml recipe), fine-tune on Galaxy
+    /// samples with the name-completion prompt.
+    pub fn train(
+        config: &WisdomConfig,
+        mut progress: Option<&mut dyn FnMut(TrainPhase, usize, usize)>,
+    ) -> Wisdom {
+        let mut notify = |phase: TrainPhase, step: usize, total: usize| {
+            if let Some(cb) = progress.as_deref_mut() {
+                cb(phase, step, total);
+            }
+        };
+        notify(TrainPhase::Corpus, 0, 1);
+        let corpus = Corpus::build(&CorpusSpec::scaled(config.seed, config.corpus_scale));
+        let split = SplitSamples::build(&corpus.galaxy, config.seed);
+
+        notify(TrainPhase::Tokenizer, 0, 1);
+        let mut tok_texts: Vec<&str> = Vec::new();
+        tok_texts.extend(corpus.galaxy.iter().take(250).map(String::as_str));
+        tok_texts.extend(corpus.github_ansible.iter().take(250).map(String::as_str));
+        tok_texts.extend(corpus.generic.iter().take(200).map(String::as_str));
+        let tokenizer = Arc::new(BpeTokenizer::train(
+            tok_texts.iter().copied(),
+            config.vocab_size,
+        ));
+
+        notify(TrainPhase::Pretrain, 0, 1);
+        let mut rng = Prng::seed_from_u64(config.seed ^ 0x00d5);
+        let model_cfg = ModelConfig::size_350m(tokenizer.vocab_size(), config.context_window);
+        let mut model = TransformerLm::new(model_cfg, &mut rng);
+        let mut docs: Vec<Vec<u32>> = corpus
+            .ansible_pretrain()
+            .iter()
+            .map(|d| tokenizer.encode(d))
+            .collect();
+        docs.extend(corpus.generic.iter().map(|d| tokenizer.encode(d)));
+        let mut order = Prng::seed_from_u64(config.seed ^ 0x77);
+        order.shuffle(&mut docs);
+        let stream = pack_documents(&docs, tokenizer.sep());
+        {
+            let mut fwd = |s: usize, t: usize, _l: f32| notify(TrainPhase::Pretrain, s, t);
+            pretrain(
+                &mut model,
+                &stream,
+                &PretrainConfig {
+                    epochs: config.pretrain_epochs,
+                    batch_size: config.batch_size,
+                    lr: config.pretrain_lr,
+                    max_grad_norm: 1.0,
+                    seed: config.seed,
+                },
+                Some(&mut fwd),
+            );
+        }
+
+        notify(TrainPhase::Finetune, 0, 1);
+        let sft: Vec<SftSample> = split
+            .train
+            .iter()
+            .map(|s| SftSample {
+                prompt: tokenizer.encode(&s.prompt_text(PromptStyle::NameCompletion)),
+                completion: tokenizer.encode(&s.expected),
+            })
+            .collect();
+        {
+            let mut fwd = |s: usize, t: usize, _l: f32| notify(TrainPhase::Finetune, s, t);
+            finetune(
+                &mut model,
+                &sft,
+                tokenizer.eot(),
+                tokenizer.pad(),
+                &FinetuneConfig {
+                    epochs: config.finetune_epochs,
+                    batch_size: config.batch_size,
+                    lr: config.finetune_lr,
+                    max_grad_norm: 1.0,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+                Some(&mut fwd),
+            );
+        }
+        Wisdom {
+            config: *config,
+            tokenizer,
+            model,
+        }
+    }
+
+    /// Wraps pre-built parts (used by tests and by checkpoint loading).
+    pub fn from_parts(
+        config: WisdomConfig,
+        tokenizer: Arc<BpeTokenizer>,
+        model: TransformerLm,
+    ) -> Wisdom {
+        Wisdom {
+            config,
+            tokenizer,
+            model,
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &WisdomConfig {
+        &self.config
+    }
+
+    /// The shared tokenizer.
+    pub fn tokenizer(&self) -> &Arc<BpeTokenizer> {
+        &self.tokenizer
+    }
+
+    /// The underlying language model.
+    pub fn model(&self) -> &TransformerLm {
+        &self.model
+    }
+
+    /// Completes a request: builds the name-completion prompt from the
+    /// editor context and intent, generates greedily, truncates to the
+    /// first task, and lints the result.
+    pub fn complete(&self, request: &CompletionRequest) -> Suggestion {
+        let prompt = request.prompt_text();
+        let generator = LmTextGenerator::new(
+            "wisdom",
+            self.model.clone(),
+            Arc::clone(&self.tokenizer),
+        );
+        let raw = generator.complete(
+            &prompt,
+            &GenerationOptions {
+                max_new_tokens: self.config.max_new_tokens,
+                ..Default::default()
+            },
+        );
+        Suggestion::from_raw(request, &raw)
+    }
+
+    /// Convenience wrapper: complete a task intent against an editor
+    /// buffer.
+    pub fn complete_task(&self, context: &str, intent: &str) -> Suggestion {
+        self.complete(&CompletionRequest::new(context, intent))
+    }
+
+    /// Serializes the whole assistant (config + tokenizer + model weights)
+    /// to a single text artifact. The round trip is bit-exact.
+    pub fn save(&self) -> String {
+        let c = &self.config;
+        format!(
+            "wisdom-assistant v1 seed={} corpus_scale={} vocab={} ctx={} pt_epochs={} ft_epochs={} batch={} max_new={}\n=== tokenizer ===\n{}=== model ===\n{}",
+            c.seed,
+            c.corpus_scale,
+            c.vocab_size,
+            c.context_window,
+            c.pretrain_epochs,
+            c.finetune_epochs,
+            c.batch_size,
+            c.max_new_tokens,
+            self.tokenizer.to_text(),
+            wisdom_model::save_checkpoint(&self.model),
+        )
+    }
+
+    /// Restores an assistant from [`Wisdom::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first problem found.
+    pub fn load(text: &str) -> Result<Wisdom, String> {
+        let (header, rest) = text
+            .split_once("\n=== tokenizer ===\n")
+            .ok_or("missing tokenizer section")?;
+        let (tok_text, model_text) = rest
+            .split_once("=== model ===\n")
+            .ok_or("missing model section")?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("wisdom-assistant") || fields.next() != Some("v1") {
+            return Err(format!("bad header: {header}"));
+        }
+        let mut get = |key: &str| -> Result<usize, String> {
+            fields
+                .next()
+                .and_then(|f| f.strip_prefix(key))
+                .and_then(|v| v.strip_prefix('='))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("missing header field {key}"))
+        };
+        let config = WisdomConfig {
+            seed: get("seed")? as u64,
+            corpus_scale: get("corpus_scale")?,
+            vocab_size: get("vocab")?,
+            context_window: get("ctx")?,
+            pretrain_epochs: get("pt_epochs")?,
+            finetune_epochs: get("ft_epochs")?,
+            batch_size: get("batch")?,
+            pretrain_lr: 0.0, // learning rates are irrelevant post-training
+            finetune_lr: 0.0,
+            max_new_tokens: get("max_new")?,
+        };
+        let tokenizer =
+            Arc::new(BpeTokenizer::from_text(tok_text).map_err(|e| e.to_string())?);
+        let model = wisdom_model::load_checkpoint(model_text).map_err(|e| e.to_string())?;
+        if model.config().vocab_size != tokenizer.vocab_size() {
+            return Err(format!(
+                "model vocab {} does not match tokenizer vocab {}",
+                model.config().vocab_size,
+                tokenizer.vocab_size()
+            ));
+        }
+        Ok(Wisdom {
+            config,
+            tokenizer,
+            model,
+        })
+    }
+}
+
+impl std::fmt::Debug for Wisdom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wisdom")
+            .field("config", &self.config)
+            .field("vocab", &self.tokenizer.vocab_size())
+            .field("params", &self.model.param_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pipeline_trains_and_completes() {
+        let mut phases = Vec::new();
+        let mut cb = |p: TrainPhase, _s: usize, _t: usize| {
+            if phases.last() != Some(&p) {
+                phases.push(p);
+            }
+        };
+        let wisdom = Wisdom::train(&WisdomConfig::tiny(), Some(&mut cb));
+        assert_eq!(
+            phases,
+            vec![
+                TrainPhase::Corpus,
+                TrainPhase::Tokenizer,
+                TrainPhase::Pretrain,
+                TrainPhase::Finetune
+            ]
+        );
+        let s = wisdom.complete_task("", "Install nginx");
+        // A tiny model may produce poor YAML, but the plumbing must hold:
+        // the snippet exists (possibly empty) and lint ran.
+        assert!(s.snippet.len() < 4000);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_behaviour() {
+        let wisdom = Wisdom::train(&WisdomConfig::tiny(), None);
+        let saved = wisdom.save();
+        let restored = Wisdom::load(&saved).expect("load");
+        let a = wisdom.complete_task("", "Install nginx");
+        let b = restored.complete_task("", "Install nginx");
+        assert_eq!(a.snippet, b.snippet);
+        assert_eq!(restored.config().vocab_size, wisdom.config().vocab_size);
+    }
+
+    #[test]
+    fn load_rejects_corrupted_artifacts() {
+        assert!(Wisdom::load("garbage").is_err());
+        let wisdom = Wisdom::train(&WisdomConfig::tiny(), None);
+        let saved = wisdom.save();
+        let corrupted = saved.replace("=== model ===", "=== nothing ===");
+        assert!(Wisdom::load(&corrupted).is_err());
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let a = Wisdom::train(&WisdomConfig::tiny(), None);
+        let b = Wisdom::train(&WisdomConfig::tiny(), None);
+        let sa = a.complete_task("", "Install nginx");
+        let sb = b.complete_task("", "Install nginx");
+        assert_eq!(sa.snippet, sb.snippet);
+    }
+}

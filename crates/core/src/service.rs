@@ -1,0 +1,120 @@
+//! Completion requests: turning editor state + intent into the model
+//! prompt, the way the paper's VS Code plugin does.
+
+/// A completion request from an editor or API client.
+///
+/// # Examples
+///
+/// ```
+/// use wisdom_core::CompletionRequest;
+///
+/// let req = CompletionRequest::new("---\n- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n", "start nginx");
+/// let prompt = req.prompt_text();
+/// assert!(prompt.ends_with("- name: start nginx\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompletionRequest {
+    /// The editor buffer so far (may be empty).
+    pub context: String,
+    /// The natural-language intent the user typed after `- name:`.
+    pub prompt: String,
+}
+
+impl CompletionRequest {
+    /// Creates a request.
+    pub fn new(context: impl Into<String>, prompt: impl Into<String>) -> Self {
+        Self {
+            context: context.into(),
+            prompt: prompt.into(),
+        }
+    }
+
+    /// Infers where the next `- name:` line belongs: inside a play's task
+    /// list when the context looks like a playbook, at top level otherwise.
+    pub fn name_indent(&self) -> usize {
+        // Prefer the indentation of the last task already present.
+        for line in self.context.lines().rev() {
+            let trimmed = line.trim_start_matches(' ');
+            if trimmed.starts_with("- name:") {
+                return line.len() - trimmed.len();
+            }
+        }
+        // A playbook context without tasks yet: nest under `tasks:`.
+        for line in self.context.lines().rev() {
+            let trimmed = line.trim_start_matches(' ');
+            if trimmed == "tasks:" {
+                return (line.len() - trimmed.len()) + 2;
+            }
+        }
+        0
+    }
+
+    /// The body indentation implied by [`CompletionRequest::name_indent`].
+    pub fn body_indent(&self) -> usize {
+        self.name_indent() + 2
+    }
+
+    /// The full model input: context, then the name-completion line.
+    pub fn prompt_text(&self) -> String {
+        let mut out = self.context.clone();
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(self.name_indent()));
+        out.push_str("- name: ");
+        out.push_str(self.prompt.trim());
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_context_prompts_at_top_level() {
+        let r = CompletionRequest::new("", "install nginx");
+        assert_eq!(r.name_indent(), 0);
+        assert_eq!(r.prompt_text(), "- name: install nginx\n");
+    }
+
+    #[test]
+    fn task_file_context_keeps_indent() {
+        let r = CompletionRequest::new(
+            "---\n- name: first\n  ansible.builtin.ping: {}\n",
+            "second",
+        );
+        assert_eq!(r.name_indent(), 0);
+        assert!(r.prompt_text().ends_with("- name: second\n"));
+    }
+
+    #[test]
+    fn playbook_context_nests_tasks() {
+        let r = CompletionRequest::new("---\n- hosts: all\n  tasks:\n", "ping it");
+        assert_eq!(r.name_indent(), 4);
+        assert!(r.prompt_text().ends_with("    - name: ping it\n"));
+    }
+
+    #[test]
+    fn playbook_with_existing_task_matches_its_indent() {
+        let r = CompletionRequest::new(
+            "---\n- hosts: all\n  tasks:\n    - name: first\n      ansible.builtin.ping: {}\n",
+            "second",
+        );
+        assert_eq!(r.name_indent(), 4);
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_fixed() {
+        let r = CompletionRequest::new("---\n- name: a\n  ansible.builtin.ping: {}", "b");
+        let p = r.prompt_text();
+        assert!(p.contains("{}\n- name: b\n"));
+    }
+
+    #[test]
+    fn intent_is_trimmed() {
+        let r = CompletionRequest::new("", "  spaced out  ");
+        assert_eq!(r.prompt_text(), "- name: spaced out\n");
+    }
+}

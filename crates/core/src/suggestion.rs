@@ -1,0 +1,138 @@
+//! Suggestion post-processing: truncation, reconstruction and lint feedback
+//! for a raw model generation.
+
+use wisdom_ansible::{lint_str, LintTarget, Violation};
+
+use crate::service::CompletionRequest;
+
+/// A processed completion suggestion, ready to paste into the editor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// The pasteable snippet: the `- name:` line plus the generated body,
+    /// indented for the request's context.
+    pub snippet: String,
+    /// The generated body only (without the name line).
+    pub body: String,
+    /// Whether the reconstructed task passes the strict schema.
+    pub schema_correct: bool,
+    /// Lint findings on the reconstructed task (empty when clean).
+    pub lint: Vec<Violation>,
+}
+
+impl Suggestion {
+    /// Builds a suggestion from a raw model generation: strips special
+    /// tokens, truncates to the first generated task, reconstructs the full
+    /// snippet, and lints it.
+    pub fn from_raw(request: &CompletionRequest, raw: &str) -> Suggestion {
+        let name_indent = request.name_indent();
+        let body = truncate_first_task(raw, name_indent);
+        let snippet = format!(
+            "{}- name: {}\n{}",
+            " ".repeat(name_indent),
+            request.prompt.trim(),
+            body
+        );
+        // Lint the de-indented standalone form.
+        let doc = deindent_block(&snippet, name_indent);
+        let lint = lint_str(&doc, LintTarget::TaskFile);
+        Suggestion {
+            schema_correct: lint.is_empty(),
+            snippet,
+            body,
+            lint,
+        }
+    }
+}
+
+/// Keeps only the first generated task: stops at special tokens, document
+/// markers, or a dedent back to (or above) the name line's level.
+pub fn truncate_first_task(raw: &str, name_indent: usize) -> String {
+    let mut text = raw;
+    for marker in ["<|endoftext|>", "<|sep|>", "<|pad|>"] {
+        if let Some(pos) = text.find(marker) {
+            text = &text[..pos];
+        }
+    }
+    let mut out = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.trim() == "---" {
+            break;
+        }
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        let indent = trimmed.len() - trimmed.trim_start_matches(' ').len();
+        if indent <= name_indent {
+            break;
+        }
+        out.push_str(trimmed);
+        out.push('\n');
+    }
+    out
+}
+
+fn deindent_block(text: &str, by: usize) -> String {
+    if by == 0 {
+        return text.to_string();
+    }
+    text.lines()
+        .map(|l| {
+            let strip = l
+                .char_indices()
+                .take_while(|(i, c)| *i < by && *c == ' ')
+                .count();
+            format!("{}\n", &l[strip..])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_raw_builds_schema_correct_snippet() {
+        let req = CompletionRequest::new("", "Install nginx");
+        let raw = "  ansible.builtin.apt:\n    name: nginx\n    state: present\n- name: extra\n  ping: {}\n";
+        let s = Suggestion::from_raw(&req, raw);
+        assert!(s.schema_correct, "{:?}", s.lint);
+        assert_eq!(
+            s.snippet,
+            "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+        );
+        assert!(!s.body.contains("extra"));
+    }
+
+    #[test]
+    fn bad_generation_reports_lint() {
+        let req = CompletionRequest::new("", "do something");
+        let raw = "  not_a_real_module:\n    x: 1\n";
+        let s = Suggestion::from_raw(&req, raw);
+        assert!(!s.schema_correct);
+        assert!(!s.lint.is_empty());
+    }
+
+    #[test]
+    fn truncation_respects_nested_indent() {
+        let raw = "      ansible.builtin.ping: {}\n    - name: next\n";
+        let body = truncate_first_task(raw, 4);
+        assert_eq!(body, "      ansible.builtin.ping: {}\n");
+    }
+
+    #[test]
+    fn empty_generation_is_not_schema_correct() {
+        let req = CompletionRequest::new("", "nothing");
+        let s = Suggestion::from_raw(&req, "");
+        assert!(!s.schema_correct);
+    }
+
+    #[test]
+    fn playbook_context_snippet_is_indented() {
+        let req = CompletionRequest::new("---\n- hosts: all\n  tasks:\n", "ping it");
+        let raw = "      ansible.builtin.ping: {}\n";
+        let s = Suggestion::from_raw(&req, raw);
+        assert!(s.snippet.starts_with("    - name: ping it\n"));
+        assert!(s.schema_correct, "{:?}", s.lint);
+    }
+}

@@ -1,0 +1,369 @@
+//! Corpus assembly: per-source channels, exact-match deduplication, and the
+//! Table 1 statistics.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use wisdom_prng::Prng;
+
+use crate::filegen::{emit_task_file, generate_playbook, generate_role_file};
+use crate::generic_yaml::generate_generic;
+use crate::pretrain_pools::{bigpython_pool, bigquery_pool, pile_pool};
+use crate::taskgen::FileCtx;
+
+/// A data source channel, matching Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Ansible Galaxy — fine-tuning data.
+    Galaxy,
+    /// GitLab Ansible repositories — pre-training.
+    GitLab,
+    /// GitHub + Google BigQuery Ansible YAML — pre-training.
+    GithubGbqAnsible,
+    /// GitHub + Google BigQuery generic YAML — pre-training.
+    GithubGbqGeneric,
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Source::Galaxy => "Galaxy",
+            Source::GitLab => "GitLab",
+            Source::GithubGbqAnsible => "GitHub + GBQ (Ansible)",
+            Source::GithubGbqGeneric => "GitHub + GBQ (Generic)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How many files/documents to build per channel. The paper's absolute
+/// counts (112K / 64K / 1.1M / 2.2M) divided by `scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusSpec {
+    /// Master seed; every channel forks a sub-stream from it.
+    pub seed: u64,
+    /// Ansible Galaxy file count (fine-tuning channel).
+    pub galaxy_files: usize,
+    /// GitLab Ansible file count.
+    pub gitlab_files: usize,
+    /// GitHub+GBQ Ansible file count.
+    pub github_ansible_files: usize,
+    /// GitHub+GBQ generic YAML file count.
+    pub generic_files: usize,
+    /// Pile-style natural-language documents.
+    pub pile_docs: usize,
+    /// Fraction of Pile documents that are YAML (the Pile's small YAML
+    /// admixture: ~25K Ansible + ~600K generic).
+    pub pile_yaml_fraction: f64,
+    /// BigQuery-style code documents.
+    pub bigquery_docs: usize,
+    /// BigPython-style documents.
+    pub bigpython_docs: usize,
+}
+
+impl CorpusSpec {
+    /// The paper's Table 1 counts divided by `scale` (e.g. `scale = 1000`
+    /// gives 112 Galaxy files).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    pub fn scaled(seed: u64, scale: usize) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        Self {
+            seed,
+            galaxy_files: (112_000 / scale).max(8),
+            gitlab_files: (64_000 / scale).max(4),
+            github_ansible_files: (1_100_000 / scale).max(8),
+            generic_files: (2_200_000 / scale).max(8),
+            pile_docs: (1_500_000 / scale).max(8),
+            pile_yaml_fraction: 0.03,
+            bigquery_docs: (800_000 / scale).max(8),
+            bigpython_docs: (400_000 / scale).max(8),
+        }
+    }
+}
+
+/// Per-channel build statistics (for the Table 1 report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Files requested by the spec.
+    pub requested: usize,
+    /// Files kept after deduplication.
+    pub kept: usize,
+    /// Exact-match duplicates dropped.
+    pub duplicates_removed: usize,
+}
+
+/// The assembled corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Galaxy fine-tuning files (validated and standardized).
+    pub galaxy: Vec<String>,
+    /// GitLab Ansible pre-training files (raw crawled style).
+    pub gitlab: Vec<String>,
+    /// GitHub+GBQ Ansible pre-training files (raw crawled style).
+    pub github_ansible: Vec<String>,
+    /// GitHub+GBQ generic YAML pre-training files.
+    pub generic: Vec<String>,
+    /// Pile stand-in documents.
+    pub pile: Vec<String>,
+    /// BigQuery code stand-in documents.
+    pub bigquery: Vec<String>,
+    /// BigPython stand-in documents.
+    pub bigpython: Vec<String>,
+    /// Per-source stats in Table 1 order.
+    pub stats: Vec<(Source, SourceStats)>,
+}
+
+impl Corpus {
+    /// Builds the full corpus for a spec. Deterministic in `spec.seed`.
+    pub fn build(spec: &CorpusSpec) -> Corpus {
+        let mut root = Prng::seed_from_u64(spec.seed);
+        let mut dedup: HashSet<u64> = HashSet::new();
+
+        let mut galaxy_rng = root.fork("galaxy");
+        let (galaxy, galaxy_stats) =
+            build_channel(spec.galaxy_files, &mut dedup, |rng| galaxy_file(rng), &mut galaxy_rng);
+
+        let mut gitlab_rng = root.fork("gitlab");
+        let (gitlab, gitlab_stats) =
+            build_channel(spec.gitlab_files, &mut dedup, crawled_ansible_file, &mut gitlab_rng);
+
+        let mut gh_rng = root.fork("github");
+        let (github_ansible, gh_stats) = build_channel(
+            spec.github_ansible_files,
+            &mut dedup,
+            crawled_ansible_file,
+            &mut gh_rng,
+        );
+
+        let mut gen_rng = root.fork("generic");
+        let (generic, gen_stats) = build_channel(
+            spec.generic_files,
+            &mut dedup,
+            |rng| Some(generate_generic(rng)),
+            &mut gen_rng,
+        );
+
+        let mut pile_rng = root.fork("pile");
+        let pile = pile_pool(&mut pile_rng, spec.pile_docs, spec.pile_yaml_fraction);
+        let mut bq_rng = root.fork("bigquery");
+        let bigquery = bigquery_pool(&mut bq_rng, spec.bigquery_docs);
+        let mut bp_rng = root.fork("bigpython");
+        let bigpython = bigpython_pool(&mut bp_rng, spec.bigpython_docs);
+
+        Corpus {
+            galaxy,
+            gitlab,
+            github_ansible,
+            generic,
+            pile,
+            bigquery,
+            bigpython,
+            stats: vec![
+                (Source::Galaxy, galaxy_stats),
+                (Source::GitLab, gitlab_stats),
+                (Source::GithubGbqAnsible, gh_stats),
+                (Source::GithubGbqGeneric, gen_stats),
+            ],
+        }
+    }
+
+    /// All Ansible pre-training files (GitLab + GitHub/GBQ), as used by the
+    /// Wisdom-Ansible pre-training set.
+    pub fn ansible_pretrain(&self) -> Vec<&str> {
+        self.gitlab
+            .iter()
+            .chain(self.github_ansible.iter())
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Renders the Table 1 dataset report.
+    pub fn table1(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 1: Extracted file count per data source\n");
+        out.push_str(&format!(
+            "{:<26} {:>9} {:>9} {:>7} {:>6}\n",
+            "Source", "Requested", "Kept", "Dups", "Usage"
+        ));
+        for (source, stats) in &self.stats {
+            let usage = match source {
+                Source::Galaxy => "FT",
+                _ => "PT",
+            };
+            out.push_str(&format!(
+                "{:<26} {:>9} {:>9} {:>7} {:>6}\n",
+                source.to_string(),
+                stats.requested,
+                stats.kept,
+                stats.duplicates_removed,
+                usage
+            ));
+        }
+        out
+    }
+}
+
+fn hash_text(text: &str) -> u64 {
+    // FNV-1a, adequate for exact-match dedup bookkeeping.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn build_channel(
+    target: usize,
+    dedup: &mut HashSet<u64>,
+    mut gen: impl FnMut(&mut Prng) -> Option<String>,
+    rng: &mut Prng,
+) -> (Vec<String>, SourceStats) {
+    let mut out = Vec::with_capacity(target);
+    let mut stats = SourceStats {
+        requested: target,
+        ..Default::default()
+    };
+    let max_attempts = target * 4 + 32;
+    let mut attempts = 0;
+    while out.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let Some(text) = gen(rng) else { continue };
+        if dedup.insert(hash_text(&text)) {
+            out.push(text);
+        } else {
+            stats.duplicates_removed += 1;
+        }
+    }
+    stats.kept = out.len();
+    (out, stats)
+}
+
+/// One Galaxy file: role task file or playbook, validated and standardized
+/// like the paper's fine-tuning pipeline ("checked for valid YAML and
+/// correct playbook or task syntax … standardized the formatting").
+fn galaxy_file(rng: &mut Prng) -> Option<String> {
+    let ctx = FileCtx::galaxy(rng);
+    let raw = match rng.weighted_index(&[0.78, 0.09, 0.13]) {
+        0 => emit_task_file(&generate_role_file(&ctx, rng)),
+        1 => generate_playbook(&ctx, rng, 1, 2).to_yaml(),
+        _ => generate_playbook(&ctx, rng, 3, 6).to_yaml(),
+    };
+    // Validation + standardization: reject unparseable, canonicalize style.
+    wisdom_ansible::standardize(&raw).ok()
+}
+
+/// One crawled Ansible file (GitHub/GitLab style: mixed spellings, legacy
+/// forms, no standardization).
+fn crawled_ansible_file(rng: &mut Prng) -> Option<String> {
+    let ctx = FileCtx::crawled(rng);
+    let text = if rng.chance(0.7) {
+        emit_task_file(&generate_role_file(&ctx, rng))
+    } else {
+        generate_playbook(&ctx, rng, 1, 5).to_yaml()
+    };
+    Some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CorpusSpec {
+        CorpusSpec {
+            seed: 11,
+            galaxy_files: 30,
+            gitlab_files: 10,
+            github_ansible_files: 20,
+            generic_files: 15,
+            pile_docs: 25,
+            pile_yaml_fraction: 0.1,
+            bigquery_docs: 10,
+            bigpython_docs: 10,
+        }
+    }
+
+    #[test]
+    fn build_meets_channel_counts() {
+        let c = Corpus::build(&small_spec());
+        assert_eq!(c.galaxy.len(), 30);
+        assert_eq!(c.gitlab.len(), 10);
+        assert_eq!(c.github_ansible.len(), 20);
+        assert_eq!(c.generic.len(), 15);
+        assert_eq!(c.pile.len(), 25);
+    }
+
+    #[test]
+    fn galaxy_files_are_standardized_and_valid() {
+        let c = Corpus::build(&small_spec());
+        for f in &c.galaxy {
+            assert!(f.starts_with("---\n"), "standardized files carry marker");
+            assert!(
+                wisdom_ansible::lint_str(f, wisdom_ansible::LintTarget::Auto).is_empty(),
+                "galaxy file should lint clean:\n{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_exact_duplicates_within_yaml_channels() {
+        let c = Corpus::build(&small_spec());
+        let mut seen = HashSet::new();
+        for f in c
+            .galaxy
+            .iter()
+            .chain(&c.gitlab)
+            .chain(&c.github_ansible)
+            .chain(&c.generic)
+        {
+            assert!(seen.insert(f.clone()), "duplicate file:\n{f}");
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = Corpus::build(&small_spec());
+        let b = Corpus::build(&small_spec());
+        assert_eq!(a.galaxy, b.galaxy);
+        assert_eq!(a.pile, b.pile);
+    }
+
+    #[test]
+    fn different_seed_different_corpus() {
+        let a = Corpus::build(&small_spec());
+        let b = Corpus::build(&CorpusSpec {
+            seed: 12,
+            ..small_spec()
+        });
+        assert_ne!(a.galaxy, b.galaxy);
+    }
+
+    #[test]
+    fn table1_report_lists_all_sources() {
+        let c = Corpus::build(&small_spec());
+        let report = c.table1();
+        assert!(report.contains("Galaxy"));
+        assert!(report.contains("GitLab"));
+        assert!(report.contains("GitHub + GBQ (Ansible)"));
+        assert!(report.contains("GitHub + GBQ (Generic)"));
+        assert!(report.contains("FT"));
+    }
+
+    #[test]
+    fn scaled_spec_matches_paper_ratios() {
+        let spec = CorpusSpec::scaled(0, 1000);
+        assert_eq!(spec.galaxy_files, 112);
+        assert_eq!(spec.gitlab_files, 64);
+        assert_eq!(spec.github_ansible_files, 1100);
+        assert_eq!(spec.generic_files, 2200);
+    }
+
+    #[test]
+    fn ansible_pretrain_combines_channels() {
+        let c = Corpus::build(&small_spec());
+        assert_eq!(c.ansible_pretrain().len(), c.gitlab.len() + c.github_ansible.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! Dataset construction for the Ansible Wisdom reproduction.
+//!
+//! The paper crawls GitHub/GitLab/BigQuery/Galaxy; offline, this crate
+//! *synthesizes* the equivalent corpus with the same pipeline semantics:
+//! per-source channels with source-specific quirks ([`dataset`]), validation
+//! + formatting standardization for the Galaxy fine-tuning channel,
+//! exact-match dedup, 80/10/10 splits, extraction of the four generation
+//! types, and the paper's name-completion prompt formulation ([`samples`]).
+//!
+//! The generators put real learnable structure into the data — package ↔
+//! service ↔ port correlations, scenario-level task orderings, natural
+//! language name templates with noise — so that language models trained on
+//! it reproduce the paper's qualitative results.
+//!
+//! # Examples
+//!
+//! ```
+//! use wisdom_corpus::{Corpus, CorpusSpec, SplitSamples};
+//!
+//! let spec = CorpusSpec { galaxy_files: 20, ..CorpusSpec::scaled(7, 4000) };
+//! let corpus = Corpus::build(&spec);
+//! assert_eq!(corpus.galaxy.len(), 20);
+//! let split = SplitSamples::build(&corpus.galaxy, 7);
+//! assert!(!split.train.is_empty());
+//! ```
+
+mod dataset;
+mod filegen;
+mod generic_yaml;
+mod pretrain_pools;
+mod samples;
+mod stats;
+mod taskgen;
+mod vocab;
+
+pub use dataset::{Corpus, CorpusSpec, Source, SourceStats};
+pub use filegen::{
+    emit_task_file, generate_playbook, generate_role_file, scenario_tasks, Scenario, SCENARIOS,
+};
+pub use generic_yaml::{generate_generic, generate_generic_of, GenericKind};
+pub use pretrain_pools::{
+    bigpython_pool, bigquery_pool, code_document, nl_document, pile_pool, python_document,
+};
+pub use samples::{extract_samples, GenType, PromptStyle, Sample, SplitSamples};
+pub use stats::{CorpusStats, PoolStats};
+pub use taskgen::{generate_task, pick_product, FileCtx, TaskKind};
+pub use vocab::{name_noise, Platform, Product, PRODUCTS};

@@ -1,0 +1,184 @@
+//! Stand-ins for the CodeGen pre-training corpora: natural language (the
+//! Pile), multi-language source code (BigQuery), and Python (BigPython).
+//!
+//! These pools exist so the CodeGen-NL / -Multi / -Mono baselines can be
+//! reproduced: a model pre-trained only on `pile_document`s has seen some
+//! YAML (the Pile contains ~25K Ansible and ~600K generic YAML files), one
+//! that adds `code_document`s learns more about structured syntax, etc.
+
+use wisdom_prng::Prng;
+
+use crate::filegen::{emit_task_file, generate_role_file};
+use crate::generic_yaml::generate_generic;
+use crate::taskgen::FileCtx;
+
+static SUBJECTS: &[&str] = &[
+    "the server", "our team", "the deployment", "this module", "the operator", "a user",
+    "the cluster", "the database", "the pipeline", "the service",
+];
+static VERBS: &[&str] = &[
+    "restarts", "configures", "monitors", "updates", "deploys", "validates", "schedules",
+    "provisions", "scales", "backs up",
+];
+static OBJECTS: &[&str] = &[
+    "the application", "every node", "the firewall rules", "its configuration",
+    "the staging environment", "all containers", "the web tier", "incoming requests",
+    "the build artifacts", "the access logs",
+];
+static CONNECTIVES: &[&str] = &[
+    "Afterwards,", "In practice,", "However,", "As a result,", "Meanwhile,", "Note that",
+];
+
+/// Generates one natural-language document (a short paragraph).
+pub fn nl_document(rng: &mut Prng) -> String {
+    let sentences = rng.range_usize(3, 8);
+    let mut out = String::new();
+    for i in 0..sentences {
+        if i > 0 && rng.chance(0.4) {
+            out.push_str(*rng.choice(CONNECTIVES));
+            out.push(' ');
+        }
+        let subj = rng.choice(SUBJECTS);
+        let verb = rng.choice(VERBS);
+        let obj = rng.choice(OBJECTS);
+        let mut sentence = format!("{subj} {verb} {obj}");
+        if rng.chance(0.3) {
+            sentence.push_str(" every night");
+        }
+        sentence.push('.');
+        let mut chars = sentence.chars();
+        let first = chars.next().expect("non-empty sentence").to_uppercase();
+        out.push_str(&format!("{}{} ", first, chars.as_str()));
+    }
+    out.trim_end().to_string()
+}
+
+static FUNC_NAMES: &[&str] = &[
+    "parse_config", "send_request", "update_cache", "compute_hash", "load_settings",
+    "restart_service", "validate_input", "merge_results",
+];
+static VAR_NAMES: &[&str] = &["result", "config", "client", "data", "path", "count", "buffer"];
+
+/// Generates one source-code document in a brace-style language
+/// (the BigQuery multi-language pool).
+pub fn code_document(rng: &mut Prng) -> String {
+    let lang = rng.range_usize(0, 3); // c-ish, java-ish, js-ish
+    let funcs = rng.range_usize(1, 4);
+    let mut out = String::new();
+    for _ in 0..funcs {
+        let name = rng.choice(FUNC_NAMES);
+        let var = rng.choice(VAR_NAMES);
+        let arg = rng.choice(VAR_NAMES);
+        match lang {
+            0 => {
+                out.push_str(&format!(
+                    "int {name}(const char *{arg}) {{\n    int {var} = 0;\n    if ({arg} != NULL) {{\n        {var} = process({arg});\n    }}\n    return {var};\n}}\n\n"
+                ));
+            }
+            1 => {
+                out.push_str(&format!(
+                    "public static String {name}(String {arg}) {{\n    String {var} = \"\";\n    if ({arg} != null) {{\n        {var} = helper.process({arg});\n    }}\n    return {var};\n}}\n\n"
+                ));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "function {name}({arg}) {{\n  const {var} = [];\n  for (const item of {arg}) {{\n    {var}.push(transform(item));\n  }}\n  return {var};\n}}\n\n"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Generates one Python document (the BigPython pool).
+pub fn python_document(rng: &mut Prng) -> String {
+    let funcs = rng.range_usize(1, 4);
+    let mut out = String::new();
+    for _ in 0..funcs {
+        let name = rng.choice(FUNC_NAMES);
+        let var = rng.choice(VAR_NAMES);
+        let arg = rng.choice(VAR_NAMES);
+        out.push_str(&format!(
+            "def {name}({arg}):\n    {var} = []\n    for item in {arg}:\n        if item is not None:\n            {var}.append(item)\n    return {var}\n\n\n"
+        ));
+    }
+    out
+}
+
+/// Builds a Pile-style pool: mostly natural language with a small YAML
+/// admixture (`yaml_fraction` of documents, split ~4% Ansible / 96% generic
+/// like the 25K/600K ratio the paper quotes).
+pub fn pile_pool(rng: &mut Prng, docs: usize, yaml_fraction: f64) -> Vec<String> {
+    let mut out = Vec::with_capacity(docs);
+    for _ in 0..docs {
+        if rng.chance(yaml_fraction) {
+            if rng.chance(0.04) {
+                let ctx = FileCtx::crawled(rng);
+                out.push(emit_task_file(&generate_role_file(&ctx, rng)));
+            } else {
+                out.push(generate_generic(rng));
+            }
+        } else {
+            out.push(nl_document(rng));
+        }
+    }
+    out
+}
+
+/// Builds a BigQuery-style multi-language code pool.
+pub fn bigquery_pool(rng: &mut Prng, docs: usize) -> Vec<String> {
+    (0..docs).map(|_| code_document(rng)).collect()
+}
+
+/// Builds a BigPython-style pool.
+pub fn bigpython_pool(rng: &mut Prng, docs: usize) -> Vec<String> {
+    (0..docs).map(|_| python_document(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nl_documents_look_like_prose() {
+        let mut rng = Prng::seed_from_u64(1);
+        let doc = nl_document(&mut rng);
+        assert!(doc.ends_with('.'));
+        assert!(doc.split('.').count() >= 3);
+        assert!(!doc.contains(':'), "prose should not look like YAML: {doc}");
+    }
+
+    #[test]
+    fn code_documents_have_braces() {
+        let mut rng = Prng::seed_from_u64(2);
+        for _ in 0..10 {
+            let doc = code_document(&mut rng);
+            assert!(doc.contains('{') && doc.contains('}'));
+        }
+    }
+
+    #[test]
+    fn python_documents_are_indentation_based() {
+        let mut rng = Prng::seed_from_u64(3);
+        let doc = python_document(&mut rng);
+        assert!(doc.contains("def "));
+        assert!(!doc.contains('{'));
+    }
+
+    #[test]
+    fn pile_pool_contains_some_yaml() {
+        let mut rng = Prng::seed_from_u64(4);
+        let pool = pile_pool(&mut rng, 300, 0.1);
+        assert_eq!(pool.len(), 300);
+        let yaml_docs = pool.iter().filter(|d| d.starts_with("---")).count();
+        assert!(yaml_docs > 5, "expected YAML admixture, got {yaml_docs}");
+        assert!(yaml_docs < 100, "YAML should be a minority, got {yaml_docs}");
+    }
+
+    #[test]
+    fn pools_are_deterministic() {
+        let mut a = Prng::seed_from_u64(5);
+        let mut b = Prng::seed_from_u64(5);
+        assert_eq!(pile_pool(&mut a, 20, 0.1), pile_pool(&mut b, 20, 0.1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Corpus statistics: byte/line/estimated-token volumes per channel — the
+//! counterpart of the paper's "about 1.1 billion training tokens in total"
+//! accounting for the YAML pre-training set.
+
+use crate::dataset::Corpus;
+
+/// Aggregate statistics for one document pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of documents.
+    pub documents: usize,
+    /// Total bytes.
+    pub bytes: usize,
+    /// Total lines.
+    pub lines: usize,
+    /// Rough token estimate (bytes / 3 — close to our BPE's compression on
+    /// YAML; exact counts depend on the trained tokenizer).
+    pub approx_tokens: usize,
+}
+
+impl PoolStats {
+    /// Computes stats over a document pool.
+    pub fn of<'a, I>(docs: I) -> PoolStats
+    where
+        I: IntoIterator<Item = &'a String>,
+    {
+        let mut s = PoolStats::default();
+        for d in docs {
+            s.documents += 1;
+            s.bytes += d.len();
+            s.lines += d.lines().count();
+        }
+        s.approx_tokens = s.bytes / 3;
+        s
+    }
+}
+
+/// Per-channel corpus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Channel label + stats, in report order.
+    pub pools: Vec<(&'static str, PoolStats)>,
+}
+
+impl CorpusStats {
+    /// Computes statistics for every channel of a corpus.
+    pub fn of(corpus: &Corpus) -> CorpusStats {
+        CorpusStats {
+            pools: vec![
+                ("galaxy (FT)", PoolStats::of(&corpus.galaxy)),
+                ("gitlab ansible (PT)", PoolStats::of(&corpus.gitlab)),
+                ("github+gbq ansible (PT)", PoolStats::of(&corpus.github_ansible)),
+                ("generic yaml (PT)", PoolStats::of(&corpus.generic)),
+                ("pile stand-in", PoolStats::of(&corpus.pile)),
+                ("bigquery stand-in", PoolStats::of(&corpus.bigquery)),
+                ("bigpython stand-in", PoolStats::of(&corpus.bigpython)),
+            ],
+        }
+    }
+
+    /// Total approximate tokens across the YAML pre-training channels — the
+    /// figure the paper quotes as ~1.1 B tokens at full scale.
+    pub fn yaml_pretrain_tokens(&self) -> usize {
+        self.pools
+            .iter()
+            .filter(|(name, _)| name.contains("(PT)"))
+            .map(|(_, s)| s.approx_tokens)
+            .sum()
+    }
+
+    /// Renders a text report.
+    pub fn report(&self) -> String {
+        let mut out = String::from("Corpus volume per channel\n");
+        out.push_str(&format!(
+            "{:<26} {:>7} {:>10} {:>8} {:>10}\n",
+            "Channel", "Docs", "Bytes", "Lines", "~Tokens"
+        ));
+        for (name, s) in &self.pools {
+            out.push_str(&format!(
+                "{:<26} {:>7} {:>10} {:>8} {:>10}\n",
+                name, s.documents, s.bytes, s.lines, s.approx_tokens
+            ));
+        }
+        out.push_str(&format!(
+            "YAML pre-training total: ~{} tokens (paper: ~1.1B at 1:1 scale)\n",
+            self.yaml_pretrain_tokens()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+
+    fn corpus() -> Corpus {
+        Corpus::build(&CorpusSpec {
+            seed: 3,
+            galaxy_files: 10,
+            gitlab_files: 5,
+            github_ansible_files: 10,
+            generic_files: 8,
+            pile_docs: 10,
+            pile_yaml_fraction: 0.1,
+            bigquery_docs: 5,
+            bigpython_docs: 5,
+        })
+    }
+
+    #[test]
+    fn stats_count_documents() {
+        let stats = CorpusStats::of(&corpus());
+        let galaxy = stats.pools[0].1;
+        assert_eq!(galaxy.documents, 10);
+        assert!(galaxy.bytes > 100);
+        assert!(galaxy.lines > 20);
+        assert_eq!(galaxy.approx_tokens, galaxy.bytes / 3);
+    }
+
+    #[test]
+    fn yaml_pretrain_total_covers_pt_channels_only() {
+        let stats = CorpusStats::of(&corpus());
+        let manual: usize = stats.pools[1].1.approx_tokens
+            + stats.pools[2].1.approx_tokens
+            + stats.pools[3].1.approx_tokens;
+        assert_eq!(stats.yaml_pretrain_tokens(), manual);
+    }
+
+    #[test]
+    fn report_mentions_every_channel() {
+        let report = CorpusStats::of(&corpus()).report();
+        for needle in ["galaxy", "gitlab", "github+gbq", "generic", "pile", "bigquery", "bigpython"] {
+            assert!(report.contains(needle), "missing {needle} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn empty_pool_stats() {
+        let s = PoolStats::of(std::iter::empty());
+        assert_eq!(s, PoolStats::default());
+    }
+}

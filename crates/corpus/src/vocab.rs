@@ -1,0 +1,223 @@
+//! Value pools for the synthetic corpus: packages, services, paths, users —
+//! the "nouns" that task generators compose into realistic Ansible content.
+
+use wisdom_prng::Prng;
+
+/// A software product with its package/service names and default port,
+/// mirroring the strong package↔service↔port correlations of real IT
+/// content that make the NL→YAML mapping learnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Product {
+    /// Human name used in task names ("nginx", "PostgreSQL").
+    pub label: &'static str,
+    /// Debian-family package name.
+    pub deb_package: &'static str,
+    /// RedHat-family package name.
+    pub rpm_package: &'static str,
+    /// systemd service name (empty when not a service).
+    pub service: &'static str,
+    /// Default TCP port (0 when not applicable).
+    pub port: u16,
+    /// Configuration file path (empty when not applicable).
+    pub config_path: &'static str,
+}
+
+/// The product catalogue the scenario generator draws from.
+pub static PRODUCTS: &[Product] = &[
+    Product { label: "nginx", deb_package: "nginx", rpm_package: "nginx", service: "nginx", port: 80, config_path: "/etc/nginx/nginx.conf" },
+    Product { label: "apache", deb_package: "apache2", rpm_package: "httpd", service: "httpd", port: 80, config_path: "/etc/httpd/conf/httpd.conf" },
+    Product { label: "haproxy", deb_package: "haproxy", rpm_package: "haproxy", service: "haproxy", port: 443, config_path: "/etc/haproxy/haproxy.cfg" },
+    Product { label: "postgresql", deb_package: "postgresql", rpm_package: "postgresql-server", service: "postgresql", port: 5432, config_path: "/etc/postgresql/postgresql.conf" },
+    Product { label: "mysql", deb_package: "mysql-server", rpm_package: "mysql-server", service: "mysqld", port: 3306, config_path: "/etc/my.cnf" },
+    Product { label: "redis", deb_package: "redis-server", rpm_package: "redis", service: "redis", port: 6379, config_path: "/etc/redis/redis.conf" },
+    Product { label: "docker", deb_package: "docker.io", rpm_package: "docker-ce", service: "docker", port: 0, config_path: "/etc/docker/daemon.json" },
+    Product { label: "ssh server", deb_package: "openssh-server", rpm_package: "openssh-server", service: "sshd", port: 22, config_path: "/etc/ssh/sshd_config" },
+    Product { label: "prometheus", deb_package: "prometheus", rpm_package: "prometheus", service: "prometheus", port: 9090, config_path: "/etc/prometheus/prometheus.yml" },
+    Product { label: "grafana", deb_package: "grafana", rpm_package: "grafana", service: "grafana-server", port: 3000, config_path: "/etc/grafana/grafana.ini" },
+    Product { label: "fail2ban", deb_package: "fail2ban", rpm_package: "fail2ban", service: "fail2ban", port: 0, config_path: "/etc/fail2ban/jail.local" },
+    Product { label: "chrony", deb_package: "chrony", rpm_package: "chrony", service: "chronyd", port: 0, config_path: "/etc/chrony/chrony.conf" },
+    Product { label: "memcached", deb_package: "memcached", rpm_package: "memcached", service: "memcached", port: 11211, config_path: "/etc/memcached.conf" },
+    Product { label: "rabbitmq", deb_package: "rabbitmq-server", rpm_package: "rabbitmq-server", service: "rabbitmq-server", port: 5672, config_path: "/etc/rabbitmq/rabbitmq.conf" },
+    Product { label: "elasticsearch", deb_package: "elasticsearch", rpm_package: "elasticsearch", service: "elasticsearch", port: 9200, config_path: "/etc/elasticsearch/elasticsearch.yml" },
+    Product { label: "jenkins", deb_package: "jenkins", rpm_package: "jenkins", service: "jenkins", port: 8080, config_path: "/etc/default/jenkins" },
+    Product { label: "node exporter", deb_package: "prometheus-node-exporter", rpm_package: "node_exporter", service: "node_exporter", port: 9100, config_path: "" },
+    Product { label: "keepalived", deb_package: "keepalived", rpm_package: "keepalived", service: "keepalived", port: 0, config_path: "/etc/keepalived/keepalived.conf" },
+];
+
+/// Plain utility packages (no associated service).
+pub static UTIL_PACKAGES: &[&str] = &[
+    "git", "curl", "wget", "vim", "htop", "unzip", "jq", "rsync", "tmux", "python3-pip",
+    "build-essential", "net-tools", "ca-certificates", "gnupg", "tree", "strace",
+];
+
+/// User account names.
+pub static USERS: &[&str] = &[
+    "deploy", "app", "www-data", "admin", "jenkins", "backup", "monitor", "ansible", "devops",
+];
+
+/// Unix groups.
+pub static GROUPS: &[&str] = &["wheel", "docker", "sudo", "developers", "web", "ops"];
+
+/// Host group patterns for plays.
+pub static HOST_GROUPS: &[&str] = &[
+    "all", "webservers", "dbservers", "appservers", "loadbalancers", "monitoring", "workers",
+    "localhost", "staging", "production",
+];
+
+/// Repository URLs for git tasks.
+pub static GIT_REPOS: &[&str] = &[
+    "https://github.com/example/app.git",
+    "https://github.com/acme/webapp.git",
+    "https://git.example.com/infra/scripts.git",
+    "https://github.com/example/api-server.git",
+];
+
+/// Download URLs.
+pub static DOWNLOAD_URLS: &[(&str, &str)] = &[
+    ("https://releases.example.com/app/app-1.4.2.tar.gz", "/tmp/app.tar.gz"),
+    ("https://dl.example.org/tools/cli-2.0.1-linux-amd64.tar.gz", "/tmp/cli.tar.gz"),
+    ("https://get.example.io/installer.sh", "/tmp/installer.sh"),
+    ("https://artifacts.example.com/agent/agent-latest.rpm", "/tmp/agent.rpm"),
+];
+
+/// Directory paths for file tasks.
+pub static DIRECTORIES: &[&str] = &[
+    "/opt/app", "/var/www/html", "/etc/app", "/var/log/app", "/srv/data", "/opt/scripts",
+    "/var/backups", "/usr/local/bin", "/home/deploy/releases",
+];
+
+/// Linux kernel sysctl keys.
+pub static SYSCTLS: &[(&str, &str)] = &[
+    ("net.ipv4.ip_forward", "1"),
+    ("vm.swappiness", "10"),
+    ("net.core.somaxconn", "1024"),
+    ("fs.file-max", "100000"),
+    ("net.ipv4.tcp_tw_reuse", "1"),
+];
+
+/// Timezones.
+pub static TIMEZONES: &[&str] = &["UTC", "Europe/Berlin", "America/New_York", "Asia/Tokyo"];
+
+/// Target platform of a generated file; decides apt vs yum and package
+/// spellings, the way real repositories target distro families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// apt-based content.
+    Debian,
+    /// yum/dnf-based content.
+    RedHat,
+    /// Distro-agnostic content (`package` module).
+    Generic,
+}
+
+impl Platform {
+    /// Picks a platform with realistic frequencies.
+    pub fn pick(rng: &mut Prng) -> Platform {
+        match rng.weighted_index(&[0.45, 0.35, 0.2]) {
+            0 => Platform::Debian,
+            1 => Platform::RedHat,
+            _ => Platform::Generic,
+        }
+    }
+
+    /// The package-manager module short name for this platform.
+    pub fn package_module(&self, rng: &mut Prng) -> &'static str {
+        match self {
+            Platform::Debian => "apt",
+            Platform::RedHat => {
+                if rng.chance(0.5) {
+                    "yum"
+                } else {
+                    "dnf"
+                }
+            }
+            Platform::Generic => "package",
+        }
+    }
+
+    /// The package spelling for `product` on this platform.
+    pub fn package_of(&self, product: &Product) -> &'static str {
+        match self {
+            Platform::Debian | Platform::Generic => product.deb_package,
+            Platform::RedHat => product.rpm_package,
+        }
+    }
+}
+
+/// Applies light natural-language noise to a task name: casing variants and
+/// occasional politeness/verbosity, so the NL side is not a fixed string.
+pub fn name_noise(name: impl AsRef<str>, rng: &mut Prng) -> String {
+    let mut n = name.as_ref().to_string();
+    match rng.weighted_index(&[0.6, 0.25, 0.15]) {
+        0 => {}
+        1 => n = lowercase_first(&n),
+        _ => {
+            // occasionally drop a trailing qualifier like " package"
+            if let Some(stripped) = n.strip_suffix(" package") {
+                n = stripped.to_string();
+            }
+        }
+    }
+    n
+}
+
+fn lowercase_first(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_lowercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products_have_consistent_fields() {
+        for p in PRODUCTS {
+            assert!(!p.label.is_empty());
+            assert!(!p.deb_package.is_empty());
+            assert!(!p.rpm_package.is_empty());
+        }
+    }
+
+    #[test]
+    fn platform_package_module_matches_family() {
+        let mut rng = Prng::seed_from_u64(0);
+        assert_eq!(Platform::Debian.package_module(&mut rng), "apt");
+        assert_eq!(Platform::Generic.package_module(&mut rng), "package");
+        let m = Platform::RedHat.package_module(&mut rng);
+        assert!(m == "yum" || m == "dnf");
+    }
+
+    #[test]
+    fn platform_package_spelling() {
+        let apache = PRODUCTS.iter().find(|p| p.label == "apache").unwrap();
+        assert_eq!(Platform::Debian.package_of(apache), "apache2");
+        assert_eq!(Platform::RedHat.package_of(apache), "httpd");
+    }
+
+    #[test]
+    fn name_noise_preserves_most_content() {
+        let mut rng = Prng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = name_noise("Install nginx package", &mut rng);
+            assert!(n.to_lowercase().contains("nginx"), "{n}");
+        }
+    }
+
+    #[test]
+    fn platform_pick_covers_all() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match Platform::pick(&mut rng) {
+                Platform::Debian => seen[0] = true,
+                Platform::RedHat => seen[1] = true,
+                Platform::Generic => seen[2] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,182 @@
+//! Scale profiles: the paper's experiments at GPU scale, shrunk to CPU
+//! budgets while preserving every ratio that matters (data-source mix,
+//! context-window grid, model-size ordering).
+
+use wisdom_corpus::CorpusSpec;
+
+/// All scale knobs for one reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Master seed.
+    pub seed: u64,
+    /// Divisor applied to the paper's Table 1 file counts.
+    pub corpus_scale: usize,
+    /// BPE vocabulary size.
+    pub vocab_size: usize,
+    /// Divisor applied to the paper's context windows (8 maps 2048→256).
+    pub ctx_scale: usize,
+    /// Pre-training epochs (the paper used 9).
+    pub pretrain_epochs: usize,
+    /// Pre-training batch size.
+    pub pretrain_batch: usize,
+    /// Pre-training peak LR.
+    pub pretrain_lr: f32,
+    /// Fine-tuning epochs (the paper used 8).
+    pub finetune_epochs: usize,
+    /// Fine-tuning batch size.
+    pub finetune_batch: usize,
+    /// Fine-tuning peak LR.
+    pub finetune_lr: f32,
+    /// Cap on evaluated test samples (the paper scores all 50 580).
+    pub eval_max_samples: usize,
+    /// Generation budget per sample.
+    pub max_new_tokens: usize,
+}
+
+impl Profile {
+    /// Tiny sizes for unit/integration tests (seconds, debug builds).
+    pub fn test() -> Profile {
+        Profile {
+            seed: 0xA11CE,
+            corpus_scale: 16_000,
+            vocab_size: 420,
+            ctx_scale: 32,
+            pretrain_epochs: 1,
+            pretrain_batch: 4,
+            pretrain_lr: 3e-3,
+            finetune_epochs: 2,
+            finetune_batch: 4,
+            finetune_lr: 2e-3,
+            eval_max_samples: 10,
+            max_new_tokens: 48,
+        }
+    }
+
+    /// Default for examples: minutes per table in release builds.
+    pub fn quick() -> Profile {
+        Profile {
+            seed: 0xA11CE,
+            corpus_scale: 2_000,
+            vocab_size: 800,
+            ctx_scale: 8,
+            pretrain_epochs: 4,
+            pretrain_batch: 8,
+            pretrain_lr: 3e-3,
+            finetune_epochs: 12,
+            finetune_batch: 8,
+            finetune_lr: 2e-3,
+            eval_max_samples: 80,
+            max_new_tokens: 120,
+        }
+    }
+
+    /// The largest CPU-feasible sizes (used for EXPERIMENTS.md numbers).
+    pub fn paper() -> Profile {
+        Profile {
+            seed: 0xA11CE,
+            corpus_scale: 1_000,
+            vocab_size: 1_000,
+            ctx_scale: 8,
+            pretrain_epochs: 5,
+            pretrain_batch: 8,
+            pretrain_lr: 3e-3,
+            finetune_epochs: 16,
+            finetune_batch: 8,
+            finetune_lr: 2e-3,
+            eval_max_samples: 200,
+            max_new_tokens: 140,
+        }
+    }
+
+    /// A trimmed variant of [`Profile::quick`] for the fine-tuning-heavy
+    /// tables: smaller pre-training pools (fine-tuning dominates those
+    /// results) and fewer fine-tuning epochs.
+    pub fn fast() -> Profile {
+        Profile {
+            seed: 0xA11CE,
+            corpus_scale: 4_000,
+            vocab_size: 800,
+            ctx_scale: 8,
+            pretrain_epochs: 3,
+            pretrain_batch: 8,
+            pretrain_lr: 3e-3,
+            finetune_epochs: 6,
+            finetune_batch: 8,
+            finetune_lr: 2e-3,
+            eval_max_samples: 60,
+            max_new_tokens: 120,
+        }
+    }
+
+    /// Parses `"test"`, `"fast"`, `"quick"`, or `"paper"`.
+    pub fn by_name(name: &str) -> Option<Profile> {
+        match name {
+            "test" => Some(Profile::test()),
+            "fast" => Some(Profile::fast()),
+            "quick" => Some(Profile::quick()),
+            "paper" => Some(Profile::paper()),
+            _ => None,
+        }
+    }
+
+    /// Maps a paper-scale context window to this profile's scale
+    /// (minimum 32).
+    pub fn ctx(&self, paper_ctx: usize) -> usize {
+        (paper_ctx / self.ctx_scale).max(32)
+    }
+
+    /// The corpus specification for this profile.
+    ///
+    /// The Galaxy fine-tuning channel is scaled at most 1:1000 regardless of
+    /// `corpus_scale`: it is tiny in absolute terms but every fine-tuning
+    /// and evaluation sample comes from it, so shrinking it further starves
+    /// the splits.
+    pub fn corpus_spec(&self) -> CorpusSpec {
+        let mut spec = CorpusSpec::scaled(self.seed, self.corpus_scale);
+        spec.galaxy_files = spec
+            .galaxy_files
+            .max(112_000 / self.corpus_scale.min(500));
+        spec
+    }
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_mapping_preserves_grid_ordering() {
+        let p = Profile::quick();
+        let c512 = p.ctx(512);
+        let c1024 = p.ctx(1024);
+        let c2048 = p.ctx(2048);
+        assert!(c512 < c1024 && c1024 < c2048);
+        assert_eq!(c1024, 128);
+    }
+
+    #[test]
+    fn ctx_floor_applies() {
+        let p = Profile::test();
+        assert_eq!(p.ctx(512), 32);
+    }
+
+    #[test]
+    fn by_name_resolves() {
+        assert!(Profile::by_name("test").is_some());
+        assert!(Profile::by_name("quick").is_some());
+        assert!(Profile::by_name("paper").is_some());
+        assert!(Profile::by_name("huge").is_none());
+    }
+
+    #[test]
+    fn corpus_spec_uses_profile_seed() {
+        let p = Profile::test();
+        assert_eq!(p.corpus_spec().seed, p.seed);
+    }
+}

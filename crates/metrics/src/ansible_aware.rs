@@ -1,0 +1,345 @@
+//! The **Ansible Aware** metric (§5.1): a structure-aware similarity that
+//! "uses knowledge of the Ansible YAML syntax to compare the modules,
+//! keywords and parameters that comprise an Ansible task or playbook".
+//!
+//! Faithful to the paper's description:
+//!
+//! * key order is insignificant (tasks are mappings);
+//! * the `name` key is ignored (no effect on execution);
+//! * the score of a task is the average over the *target's* top-level
+//!   key-value pairs; each pair scores `(key_score + value_score) / 2`;
+//! * keys missing from the prediction score 0; keys *inserted* by the
+//!   prediction are ignored;
+//! * list/dict values are scored recursively by averaging entries;
+//! * module names are normalized to their FQCN before comparison, and the
+//!   legacy `k=v` string form is converted to a mapping;
+//! * near-equivalent modules (`command`/`shell`, `copy`/`template`,
+//!   `package`/`apt`/`dnf`/`yum`) receive a partial key score averaged with
+//!   the score of their arguments.
+
+use wisdom_ansible::{
+    is_task_keyword, normalize_document, Equivalence, ModuleRegistry,
+};
+use wisdom_yaml::{Mapping, Value};
+
+/// Partial key credit for equivalent-but-different modules.
+const EQUIV_KEY_SCORE: f64 = 0.5;
+
+/// Scores a prediction document against the target document, in `[0, 100]`.
+///
+/// Both inputs are standalone YAML documents as produced by
+/// `Sample::scoring_document`: either a one-task file or a one-play
+/// playbook. An unparseable prediction scores 0.
+///
+/// # Examples
+///
+/// ```
+/// let target = "- name: x\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+/// assert!((wisdom_metrics::ansible_aware(target, target) - 100.0).abs() < 1e-9);
+/// assert_eq!(wisdom_metrics::ansible_aware(target, "not: [yaml"), 0.0);
+/// ```
+pub fn ansible_aware(target_doc: &str, prediction_doc: &str) -> f64 {
+    let Ok(target) = wisdom_yaml::parse(target_doc) else {
+        return 0.0;
+    };
+    let Ok(pred) = wisdom_yaml::parse(prediction_doc) else {
+        return 0.0;
+    };
+    let target = normalize_document(&target);
+    let pred = normalize_document(&pred);
+    let (Some(t_items), Some(p_items)) = (target.as_seq(), pred.as_seq()) else {
+        return 0.0;
+    };
+    if t_items.is_empty() {
+        return 0.0;
+    }
+    // Compare item-by-item (scoring documents hold exactly one item; longer
+    // sequences average).
+    let mut total = 0.0;
+    for (i, t) in t_items.iter().enumerate() {
+        let score = match p_items.get(i) {
+            Some(p) => unit_score(t, p),
+            None => 0.0,
+        };
+        total += score;
+    }
+    100.0 * total / t_items.len() as f64
+}
+
+/// Scores one task or play mapping pair in `[0, 1]`.
+fn unit_score(target: &Value, pred: &Value) -> f64 {
+    let (Some(t), Some(p)) = (target.as_map(), pred.as_map()) else {
+        return if target == pred { 1.0 } else { 0.0 };
+    };
+    if t.contains_key("hosts") || t.contains_key("tasks") {
+        play_score(t, p)
+    } else {
+        task_score(t, p)
+    }
+}
+
+fn play_score(target: &Mapping, pred: &Mapping) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (key, t_value) in target.iter() {
+        if key == "name" {
+            continue;
+        }
+        count += 1;
+        let Some(p_value) = pred.get(key) else {
+            continue; // missing -> 0
+        };
+        let value_score = if key == "tasks"
+            || key == "pre_tasks"
+            || key == "post_tasks"
+            || key == "handlers"
+        {
+            task_list_score(t_value, p_value)
+        } else {
+            value_score(t_value, p_value)
+        };
+        total += (1.0 + value_score) / 2.0;
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    total / count as f64
+}
+
+fn task_list_score(target: &Value, pred: &Value) -> f64 {
+    let (Some(t_items), Some(p_items)) = (target.as_seq(), pred.as_seq()) else {
+        return 0.0;
+    };
+    if t_items.is_empty() {
+        return if p_items.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut total = 0.0;
+    for (i, t) in t_items.iter().enumerate() {
+        if let Some(p) = p_items.get(i) {
+            let (Some(tm), Some(pm)) = (t.as_map(), p.as_map()) else {
+                continue;
+            };
+            total += task_score(tm, pm);
+        }
+    }
+    total / t_items.len() as f64
+}
+
+fn task_score(target: &Mapping, pred: &Mapping) -> f64 {
+    let reg = ModuleRegistry::global();
+    let t_module = target.keys().find(|k| !is_task_keyword(k));
+    let p_module = pred.keys().find(|k| !is_task_keyword(k));
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (key, t_value) in target.iter() {
+        if key == "name" {
+            continue;
+        }
+        count += 1;
+        let is_module_key = Some(key) == t_module;
+        if is_module_key {
+            // Module comparison with FQCN + equivalence handling.
+            let Some(p_mod) = p_module else {
+                continue; // no module in prediction -> 0
+            };
+            match reg.same_or_equivalent(key, p_mod) {
+                Equivalence::Same => {
+                    let args = value_score(
+                        t_value,
+                        pred.get(p_mod).expect("module key from iteration"),
+                    );
+                    total += (1.0 + args) / 2.0;
+                }
+                Equivalence::Equivalent => {
+                    let args = value_score(
+                        t_value,
+                        pred.get(p_mod).expect("module key from iteration"),
+                    );
+                    total += (EQUIV_KEY_SCORE + args) / 2.0;
+                }
+                Equivalence::Different => {}
+            }
+        } else {
+            let Some(p_value) = pred.get(key) else {
+                continue; // missing keyword -> 0
+            };
+            total += (1.0 + value_score(t_value, p_value)) / 2.0;
+        }
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    total / count as f64
+}
+
+/// Recursive value comparison in `[0, 1]`.
+fn value_score(target: &Value, pred: &Value) -> f64 {
+    match (target, pred) {
+        (Value::Map(t), Value::Map(p)) => {
+            if t.is_empty() {
+                return if p.is_empty() { 1.0 } else { 1.0 };
+            }
+            let mut total = 0.0;
+            for (k, tv) in t.iter() {
+                if let Some(pv) = p.get(k) {
+                    total += (1.0 + value_score(tv, pv)) / 2.0;
+                }
+            }
+            total / t.len() as f64
+        }
+        (Value::Seq(t), Value::Seq(p)) => {
+            if t.is_empty() {
+                return 1.0;
+            }
+            let mut total = 0.0;
+            for (i, tv) in t.iter().enumerate() {
+                if let Some(pv) = p.get(i) {
+                    total += value_score(tv, pv);
+                }
+            }
+            total / t.len() as f64
+        }
+        (t, p) => {
+            if t == p {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TARGET: &str =
+        "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+
+    #[test]
+    fn identical_scores_100() {
+        assert!((ansible_aware(TARGET, TARGET) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_order_is_insignificant() {
+        let reordered =
+            "- ansible.builtin.apt:\n    state: present\n    name: nginx\n  name: Install nginx\n";
+        assert!((ansible_aware(TARGET, reordered) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn name_differences_ignored() {
+        let renamed =
+            "- name: totally different words\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+        assert!((ansible_aware(TARGET, renamed) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_module_name_normalized_to_fqcn() {
+        let short = "- name: Install nginx\n  apt:\n    name: nginx\n    state: present\n";
+        assert!((ansible_aware(TARGET, short) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_kv_args_normalized() {
+        let kv = "- name: Install nginx\n  apt: name=nginx state=present\n";
+        assert!((ansible_aware(TARGET, kv) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_param_value_costs_partially() {
+        let wrong = "- name: x\n  ansible.builtin.apt:\n    name: apache2\n    state: present\n";
+        let s = ansible_aware(TARGET, wrong);
+        // one of two params wrong: value score = (1*0.5 + 1)/2... the task
+        // has a single module pair whose value is half right.
+        assert!(s > 50.0 && s < 100.0, "{s}");
+    }
+
+    #[test]
+    fn missing_param_scores_lower_than_wrong_param() {
+        let missing = "- name: x\n  ansible.builtin.apt:\n    name: nginx\n";
+        let wrong = "- name: x\n  ansible.builtin.apt:\n    name: nginx\n    state: absent\n";
+        let sm = ansible_aware(TARGET, missing);
+        let sw = ansible_aware(TARGET, wrong);
+        // missing: pair (1+args)/2 where args misses 'state' entirely;
+        // wrong: args has the key but wrong value -> gets key credit.
+        assert!(sw > sm, "wrong {sw} vs missing {sm}");
+    }
+
+    #[test]
+    fn inserted_keys_are_ignored() {
+        let extra = "- name: x\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n    update_cache: true\n  become: true\n";
+        assert!((ansible_aware(TARGET, extra) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equivalent_module_partial_credit() {
+        let target = "- name: c\n  ansible.builtin.copy:\n    src: a\n    dest: b\n";
+        let equiv = "- name: c\n  ansible.builtin.template:\n    src: a\n    dest: b\n";
+        let different = "- name: c\n  ansible.builtin.user:\n    name: a\n";
+        let se = ansible_aware(target, equiv);
+        let sd = ansible_aware(target, different);
+        // Equivalent module with identical args: (0.5 + 1.0)/2 = 0.75.
+        assert!((se - 75.0).abs() < 1.0, "{se}");
+        assert_eq!(sd, 0.0);
+    }
+
+    #[test]
+    fn package_family_equivalence() {
+        let yum_pred = "- name: x\n  ansible.builtin.yum:\n    name: nginx\n    state: present\n";
+        let s = ansible_aware(TARGET, yum_pred);
+        assert!((s - 75.0).abs() < 1.0, "{s}");
+    }
+
+    #[test]
+    fn missing_module_scores_0() {
+        let none = "- name: x\n  become: true\n";
+        // Target has exactly one scored pair (the module), missing -> 0.
+        assert_eq!(ansible_aware(TARGET, none), 0.0);
+    }
+
+    #[test]
+    fn keywords_compared_too() {
+        let target = "- name: x\n  ansible.builtin.ping: {}\n  when: deploy_enabled\n  become: true\n";
+        let miss_kw = "- name: x\n  ansible.builtin.ping: {}\n  become: true\n";
+        let s = ansible_aware(target, miss_kw);
+        // 3 pairs; module 1.0, become 1.0, when 0 -> 2/3.
+        assert!((s - 66.67).abs() < 1.0, "{s}");
+    }
+
+    #[test]
+    fn unparseable_prediction_scores_0() {
+        assert_eq!(ansible_aware(TARGET, "::: not yaml {"), 0.0);
+        assert_eq!(ansible_aware(TARGET, ""), 0.0);
+    }
+
+    #[test]
+    fn playbook_scoring_averages_play_keys() {
+        let target = "- name: P\n  hosts: web\n  become: true\n  tasks:\n    - name: a\n      ansible.builtin.ping: {}\n";
+        let perfect = target;
+        assert!((ansible_aware(target, perfect) - 100.0).abs() < 1e-9);
+        let wrong_hosts = "- name: P\n  hosts: db\n  become: true\n  tasks:\n    - name: a\n      ansible.builtin.ping: {}\n";
+        let s = ansible_aware(target, wrong_hosts);
+        // 3 pairs: hosts (1+0)/2, become 1, tasks 1 -> (0.5+1+1)/3 = 83.3
+        assert!((s - 83.33).abs() < 1.0, "{s}");
+    }
+
+    #[test]
+    fn playbook_task_lists_compared_positionally() {
+        let target = "- name: P\n  hosts: all\n  tasks:\n    - name: a\n      ansible.builtin.ping: {}\n    - name: b\n      ansible.builtin.setup: {}\n";
+        let half = "- name: P\n  hosts: all\n  tasks:\n    - name: a\n      ansible.builtin.ping: {}\n";
+        let s = ansible_aware(target, half);
+        // hosts 1.0; tasks: first task 1.0, second missing 0 -> 0.5 ->
+        // pair (1+0.5)/2 = 0.75 -> (1 + 0.75)/2 = 0.875
+        assert!((s - 87.5).abs() < 1.0, "{s}");
+    }
+
+    #[test]
+    fn list_values_recursive() {
+        let target = "- name: x\n  vyos.vyos.vyos_config:\n    lines:\n      - set system host-name vyos\n      - set service ssh\n";
+        let partial = "- name: x\n  vyos.vyos.vyos_config:\n    lines:\n      - set system host-name vyos\n";
+        let s = ansible_aware(target, partial);
+        assert!(s > 50.0 && s < 100.0, "{s}");
+    }
+}

@@ -1,0 +1,217 @@
+//! BLEU for YAML: n-gram precision with ORANGE-style smoothing (the paper
+//! cites Papineni et al. and Lin & Och) and the standard brevity penalty.
+//!
+//! "Since the sequences of tokens in an Ansible YAML file are important,
+//! while some reordering is permitted, the BLEU score's basis on n-gram
+//! coverage suggests it could be a useful metric." (§5.1)
+
+use std::collections::HashMap;
+
+const MAX_N: usize = 4;
+
+/// Tokenizes YAML-ish text for BLEU: identifier/number runs and individual
+/// punctuation marks; whitespace separates but indentation depth is kept as
+/// a token so structural errors cost n-grams.
+pub fn bleu_tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for line in text.lines() {
+        let indent = line.len() - line.trim_start_matches(' ').len();
+        if !line.trim().is_empty() {
+            tokens.push(format!("<ind{indent}>"));
+        }
+        let mut current = String::new();
+        for c in line.trim_start_matches(' ').chars() {
+            if c.is_alphanumeric() || c == '_' {
+                current.push(c);
+            } else {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                if !c.is_whitespace() {
+                    tokens.push(c.to_string());
+                }
+            }
+        }
+        if !current.is_empty() {
+            tokens.push(current);
+        }
+    }
+    tokens
+}
+
+fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
+    let mut map: HashMap<&[String], usize> = HashMap::new();
+    if tokens.len() >= n {
+        for w in tokens.windows(n) {
+            *map.entry(w).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Sentence-level smoothed BLEU-4 in `[0, 100]`.
+///
+/// Uses add-one smoothing on the modified n-gram precisions for n ≥ 2
+/// (Lin & Och 2004), so short predictions do not collapse to zero.
+///
+/// # Examples
+///
+/// ```
+/// let gold = "ansible.builtin.apt:\n  name: nginx\n  state: present\n";
+/// assert!((wisdom_metrics::sentence_bleu(gold, gold) - 100.0).abs() < 1e-6);
+/// assert_eq!(wisdom_metrics::sentence_bleu(gold, ""), 0.0);
+/// ```
+pub fn sentence_bleu(reference: &str, candidate: &str) -> f64 {
+    let ref_tokens = bleu_tokenize(reference);
+    let cand_tokens = bleu_tokenize(candidate);
+    if cand_tokens.is_empty() || ref_tokens.is_empty() {
+        return if cand_tokens.is_empty() && ref_tokens.is_empty() {
+            100.0
+        } else {
+            0.0
+        };
+    }
+    let mut log_sum = 0.0;
+    for n in 1..=MAX_N {
+        let ref_counts = ngram_counts(&ref_tokens, n);
+        let cand_counts = ngram_counts(&cand_tokens, n);
+        let total: usize = cand_counts.values().sum();
+        let mut matched = 0usize;
+        for (gram, &count) in &cand_counts {
+            let ref_count = ref_counts.get(gram).copied().unwrap_or(0);
+            matched += count.min(ref_count);
+        }
+        let (num, den) = if n == 1 {
+            (matched as f64, total as f64)
+        } else {
+            // add-one smoothing for higher-order n-grams
+            (matched as f64 + 1.0, total as f64 + 1.0)
+        };
+        if den == 0.0 || num == 0.0 {
+            return 0.0;
+        }
+        log_sum += (num / den).ln();
+    }
+    let precision_geo_mean = (log_sum / MAX_N as f64).exp();
+    let bp = brevity_penalty(ref_tokens.len(), cand_tokens.len());
+    100.0 * bp * precision_geo_mean
+}
+
+fn brevity_penalty(ref_len: usize, cand_len: usize) -> f64 {
+    if cand_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    }
+}
+
+/// Corpus-level BLEU: pools n-gram statistics over all pairs (the classical
+/// definition); also in `[0, 100]`.
+pub fn corpus_bleu<'a, I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let tokenized: Vec<(Vec<String>, Vec<String>)> = pairs
+        .into_iter()
+        .map(|(r, c)| (bleu_tokenize(r), bleu_tokenize(c)))
+        .collect();
+    if tokenized.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for n in 1..=MAX_N {
+        let mut matched = 0usize;
+        let mut total = 0usize;
+        for (r, c) in &tokenized {
+            let rc = ngram_counts(r, n);
+            let cc = ngram_counts(c, n);
+            total += cc.values().sum::<usize>();
+            for (gram, &count) in &cc {
+                matched += count.min(rc.get(gram).copied().unwrap_or(0));
+            }
+        }
+        let (num, den) = if n == 1 {
+            (matched as f64, total as f64)
+        } else {
+            (matched as f64 + 1.0, total as f64 + 1.0)
+        };
+        if den == 0.0 || num == 0.0 {
+            return 0.0;
+        }
+        log_sum += (num / den).ln();
+    }
+    let ref_len: usize = tokenized.iter().map(|(r, _)| r.len()).sum();
+    let cand_len: usize = tokenized.iter().map(|(_, c)| c.len()).sum();
+    100.0 * brevity_penalty(ref_len, cand_len) * (log_sum / MAX_N as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOLD: &str = "ansible.builtin.service:\n  name: nginx\n  state: started\n";
+
+    #[test]
+    fn identical_scores_100() {
+        assert!((sentence_bleu(GOLD, GOLD) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_candidate_scores_0() {
+        assert_eq!(sentence_bleu(GOLD, ""), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_0_and_100() {
+        let cand = "ansible.builtin.service:\n  name: apache\n  state: started\n";
+        let b = sentence_bleu(GOLD, cand);
+        assert!(b > 30.0 && b < 100.0, "{b}");
+    }
+
+    #[test]
+    fn unrelated_text_scores_low() {
+        let cand = "completely unrelated words here\n";
+        let b = sentence_bleu(GOLD, cand);
+        assert!(b < 10.0, "{b}");
+    }
+
+    #[test]
+    fn closer_candidate_scores_higher() {
+        let close = "ansible.builtin.service:\n  name: nginx\n  state: stopped\n";
+        let far = "ansible.builtin.user:\n  name: deploy\n";
+        assert!(sentence_bleu(GOLD, close) > sentence_bleu(GOLD, far));
+    }
+
+    #[test]
+    fn indentation_matters() {
+        let misindented = "ansible.builtin.service:\nname: nginx\nstate: started\n";
+        let b = sentence_bleu(GOLD, misindented);
+        assert!(b < 100.0 - 1.0, "indentation change should cost: {b}");
+    }
+
+    #[test]
+    fn brevity_penalizes_short_output() {
+        let short = "ansible.builtin.service:\n";
+        let long_enough = GOLD;
+        assert!(sentence_bleu(GOLD, short) < sentence_bleu(GOLD, long_enough));
+    }
+
+    #[test]
+    fn corpus_bleu_perfect_and_aggregate() {
+        let pairs = vec![(GOLD, GOLD), (GOLD, GOLD)];
+        assert!((corpus_bleu(pairs) - 100.0).abs() < 1.0);
+        let mixed = vec![
+            (GOLD, GOLD),
+            (GOLD, "ansible.builtin.user:\n  name: x\n"),
+        ];
+        let b = corpus_bleu(mixed);
+        assert!(b > 10.0 && b < 100.0, "{b}");
+    }
+
+    #[test]
+    fn tokenizer_captures_indent_levels() {
+        let toks = bleu_tokenize("a:\n  b: 1\n");
+        assert!(toks.contains(&"<ind0>".to_string()));
+        assert!(toks.contains(&"<ind2>".to_string()));
+    }
+}

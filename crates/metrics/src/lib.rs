@@ -1,0 +1,36 @@
+//! Evaluation metrics for NL→Ansible-YAML generation (§5.1 of the paper).
+//!
+//! Four metrics, two of them novel and Ansible-specific:
+//!
+//! * [`exact_match`] — normalized string equality of completions;
+//! * [`sentence_bleu`] / [`corpus_bleu`] — smoothed BLEU-4 over YAML tokens;
+//! * [`ansible_aware`] — structure-aware comparison of modules, keywords and
+//!   parameters with FQCN normalization and module-equivalence partial
+//!   credit;
+//! * [`schema_correct`] — strict Ansible schema validity of the prediction
+//!   alone.
+//!
+//! [`score_sample`] computes all four; [`MetricsAccumulator`] aggregates
+//! them into the percentage columns of Tables 3–5.
+//!
+//! # Examples
+//!
+//! ```
+//! use wisdom_metrics::{score_sample, MetricsAccumulator};
+//!
+//! let body = "  ansible.builtin.ping: {}\n";
+//! let doc = "- name: ping it\n  ansible.builtin.ping: {}\n";
+//! let scores = score_sample(body, body, doc, doc);
+//! let acc: MetricsAccumulator = [scores].into_iter().collect();
+//! assert_eq!(acc.summary().exact_match, 100.0);
+//! ```
+
+mod ansible_aware;
+mod bleu;
+mod report;
+
+pub use ansible_aware::ansible_aware;
+pub use bleu::{bleu_tokenize, corpus_bleu, sentence_bleu};
+pub use report::{
+    exact_match, schema_correct, score_sample, MetricsAccumulator, MetricsSummary, SampleScores,
+};

@@ -1,0 +1,260 @@
+//! Per-sample scoring and aggregation into the paper's four table columns.
+
+use crate::ansible_aware::ansible_aware;
+use crate::bleu::sentence_bleu;
+
+/// Exact Match after whitespace normalization (trailing spaces and final
+/// newlines do not count as differences).
+///
+/// # Examples
+///
+/// ```
+/// assert!(wisdom_metrics::exact_match("a: 1\n", "a: 1"));
+/// assert!(!wisdom_metrics::exact_match("a: 1\n", "a: 2\n"));
+/// ```
+pub fn exact_match(target: &str, prediction: &str) -> bool {
+    normalize_ws(target) == normalize_ws(prediction)
+}
+
+fn normalize_ws(s: &str) -> String {
+    let mut out: Vec<&str> = s.lines().map(|l| l.trim_end()).collect();
+    while out.last().is_some_and(|l| l.is_empty()) {
+        out.pop();
+    }
+    out.join("\n")
+}
+
+/// Whether a prediction document satisfies the Ansible schema
+/// (**Schema Correct**, §5.1 — prediction-only, no target involved).
+pub fn schema_correct(prediction_doc: &str) -> bool {
+    wisdom_ansible::is_schema_correct(prediction_doc, wisdom_ansible::LintTarget::Auto)
+}
+
+/// All four metrics for one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleScores {
+    /// Prediction satisfies the schema.
+    pub schema_correct: bool,
+    /// Exact match against the gold completion.
+    pub exact_match: bool,
+    /// Smoothed sentence BLEU in `[0, 100]`.
+    pub bleu: f64,
+    /// Ansible Aware in `[0, 100]`.
+    pub ansible_aware: f64,
+}
+
+/// Scores one sample given the raw completion bodies and the reconstructed
+/// scoring documents.
+///
+/// * `target_body` / `predicted_body`: the text after the `- name:` line
+///   (EM and BLEU operate here, like the paper's token comparison);
+/// * `target_doc` / `predicted_doc`: standalone reconstructions (Schema
+///   Correct and Ansible Aware operate here).
+pub fn score_sample(
+    target_body: &str,
+    predicted_body: &str,
+    target_doc: &str,
+    predicted_doc: &str,
+) -> SampleScores {
+    SampleScores {
+        schema_correct: schema_correct(predicted_doc),
+        exact_match: exact_match(target_body, predicted_body),
+        bleu: sentence_bleu(target_body, predicted_body),
+        ansible_aware: ansible_aware(target_doc, predicted_doc),
+    }
+}
+
+/// Aggregates per-sample scores into table-row percentages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsAccumulator {
+    count: usize,
+    schema_correct: usize,
+    exact_match: usize,
+    bleu_sum: f64,
+    aware_sum: f64,
+}
+
+impl MetricsAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample's scores.
+    pub fn add(&mut self, s: &SampleScores) {
+        self.count += 1;
+        if s.schema_correct {
+            self.schema_correct += 1;
+        }
+        if s.exact_match {
+            self.exact_match += 1;
+        }
+        self.bleu_sum += s.bleu;
+        self.aware_sum += s.ansible_aware;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MetricsAccumulator) {
+        self.count += other.count;
+        self.schema_correct += other.schema_correct;
+        self.exact_match += other.exact_match;
+        self.bleu_sum += other.bleu_sum;
+        self.aware_sum += other.aware_sum;
+    }
+
+    /// Number of scored samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Finalizes into a summary (all values in `[0, 100]`).
+    pub fn summary(&self) -> MetricsSummary {
+        let n = self.count.max(1) as f64;
+        MetricsSummary {
+            count: self.count,
+            schema_correct: 100.0 * self.schema_correct as f64 / n,
+            exact_match: 100.0 * self.exact_match as f64 / n,
+            bleu: self.bleu_sum / n,
+            ansible_aware: self.aware_sum / n,
+        }
+    }
+}
+
+impl Extend<SampleScores> for MetricsAccumulator {
+    fn extend<I: IntoIterator<Item = SampleScores>>(&mut self, iter: I) {
+        for s in iter {
+            self.add(&s);
+        }
+    }
+}
+
+impl FromIterator<SampleScores> for MetricsAccumulator {
+    fn from_iter<I: IntoIterator<Item = SampleScores>>(iter: I) -> Self {
+        let mut acc = MetricsAccumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// One table row: the four columns of Tables 3–5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSummary {
+    /// Samples scored.
+    pub count: usize,
+    /// % schema-correct predictions.
+    pub schema_correct: f64,
+    /// % exact matches.
+    pub exact_match: f64,
+    /// Mean sentence BLEU.
+    pub bleu: f64,
+    /// Mean Ansible Aware.
+    pub ansible_aware: f64,
+}
+
+impl std::fmt::Display for MetricsSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SC {:5.2}  EM {:5.2}  BLEU {:5.2}  AA {:5.2}  (n={})",
+            self.schema_correct, self.exact_match, self.bleu, self.ansible_aware, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_ignores_trailing_ws() {
+        assert!(exact_match("a: 1\nb: 2\n", "a: 1\nb: 2"));
+        assert!(exact_match("a: 1  \n\n", "a: 1"));
+        assert!(!exact_match("a: 1", "a: 1\nb: 2"));
+    }
+
+    #[test]
+    fn schema_correct_detects_bad_yaml() {
+        assert!(schema_correct(
+            "- name: x\n  ansible.builtin.ping: {}\n"
+        ));
+        assert!(!schema_correct("- name: x\n  nonexistent_module: {}\n"));
+        assert!(!schema_correct("broken: ["));
+    }
+
+    #[test]
+    fn perfect_sample_scores_perfectly() {
+        let body = "  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+        let doc = "- name: x\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+        let s = score_sample(body, body, doc, doc);
+        assert!(s.schema_correct);
+        assert!(s.exact_match);
+        assert!((s.bleu - 100.0).abs() < 1e-6);
+        assert!((s.ansible_aware - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricsAccumulator::new();
+        acc.add(&SampleScores {
+            schema_correct: true,
+            exact_match: true,
+            bleu: 100.0,
+            ansible_aware: 100.0,
+        });
+        acc.add(&SampleScores {
+            schema_correct: false,
+            exact_match: false,
+            bleu: 50.0,
+            ansible_aware: 0.0,
+        });
+        let s = acc.summary();
+        assert_eq!(s.count, 2);
+        assert!((s.schema_correct - 50.0).abs() < 1e-9);
+        assert!((s.exact_match - 50.0).abs() < 1e-9);
+        assert!((s.bleu - 75.0).abs() < 1e-9);
+        assert!((s.ansible_aware - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let a_scores = SampleScores {
+            schema_correct: true,
+            exact_match: false,
+            bleu: 70.0,
+            ansible_aware: 60.0,
+        };
+        let b_scores = SampleScores {
+            schema_correct: false,
+            exact_match: true,
+            bleu: 30.0,
+            ansible_aware: 90.0,
+        };
+        let mut a = MetricsAccumulator::new();
+        a.add(&a_scores);
+        let mut b = MetricsAccumulator::new();
+        b.add(&b_scores);
+        a.merge(&b);
+        let both: MetricsAccumulator = [a_scores, b_scores].into_iter().collect();
+        assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn empty_accumulator_summary_is_zero() {
+        let s = MetricsAccumulator::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.bleu, 0.0);
+    }
+
+    #[test]
+    fn paper_observation_em_without_schema_correct() {
+        // "a sample with a perfect Exact Match score may have a Schema
+        // Correct score of 0" — historical k=v form matches the target
+        // exactly but fails the strict schema.
+        let body = "  apt: name=nginx state=present\n";
+        let doc = "- name: x\n  apt: name=nginx state=present\n";
+        let s = score_sample(body, body, doc, doc);
+        assert!(s.exact_match);
+        assert!(!s.schema_correct);
+        assert!((s.ansible_aware - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,135 @@
+//! Model architecture configuration and the paper's size grid.
+
+/// Architecture of a decoder-only transformer LM.
+///
+/// # Examples
+///
+/// ```
+/// use wisdom_model::ModelConfig;
+///
+/// let cfg = ModelConfig::size_350m(600, 128);
+/// assert_eq!(cfg.head_dim(), cfg.d_model / cfg.n_heads);
+/// assert!(cfg.param_count() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Vocabulary size (from the tokenizer).
+    pub vocab_size: usize,
+    /// Embedding / residual width.
+    pub d_model: usize,
+    /// Number of transformer blocks.
+    pub n_layers: usize,
+    /// Attention heads per block.
+    pub n_heads: usize,
+    /// Maximum context window in tokens.
+    pub context_window: usize,
+}
+
+impl ModelConfig {
+    /// The scaled-down stand-in for CodeGen **350M** (the paper's production
+    /// size choice). All absolute sizes in this reproduction are divided by
+    /// a common factor so CPU training stays in the minutes range while the
+    /// *relative* capacity ordering 350M < 2.7B < 6B is preserved.
+    pub fn size_350m(vocab_size: usize, context_window: usize) -> Self {
+        Self {
+            vocab_size,
+            d_model: 64,
+            n_layers: 2,
+            n_heads: 4,
+            context_window,
+        }
+    }
+
+    /// Scaled stand-in for CodeGen **2.7B**.
+    pub fn size_2_7b(vocab_size: usize, context_window: usize) -> Self {
+        Self {
+            vocab_size,
+            d_model: 112,
+            n_layers: 4,
+            n_heads: 7,
+            context_window,
+        }
+    }
+
+    /// Scaled stand-in for CodeGen **6B**.
+    pub fn size_6b(vocab_size: usize, context_window: usize) -> Self {
+        Self {
+            vocab_size,
+            d_model: 144,
+            n_layers: 6,
+            n_heads: 9,
+            context_window,
+        }
+    }
+
+    /// Width of one attention head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `n_heads`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(
+            self.d_model % self.n_heads,
+            0,
+            "d_model {} not divisible by heads {}",
+            self.d_model,
+            self.n_heads
+        );
+        self.d_model / self.n_heads
+    }
+
+    /// Width of the MLP hidden layer (the GPT-standard 4×).
+    pub fn d_ff(&self) -> usize {
+        4 * self.d_model
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        let d = self.d_model;
+        let v = self.vocab_size;
+        let per_layer = 2 * d          // ln1 gain+bias
+            + 3 * (d * d + d)          // q,k,v
+            + d * d + d                // attn out
+            + 2 * d                    // ln2
+            + d * self.d_ff() + self.d_ff() // mlp in
+            + self.d_ff() * d + d; // mlp out
+        v * d                          // token embedding
+            + self.context_window * d  // position embedding
+            + self.n_layers * per_layer
+            + 2 * d                    // final ln
+            + d * v // lm head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_grid_is_ordered() {
+        let s = ModelConfig::size_350m(1000, 128);
+        let m = ModelConfig::size_2_7b(1000, 128);
+        let l = ModelConfig::size_6b(1000, 128);
+        assert!(s.param_count() < m.param_count());
+        assert!(m.param_count() < l.param_count());
+    }
+
+    #[test]
+    fn head_dims_divide() {
+        for cfg in [
+            ModelConfig::size_350m(500, 64),
+            ModelConfig::size_2_7b(500, 64),
+            ModelConfig::size_6b(500, 64),
+        ] {
+            assert!(cfg.head_dim() > 0);
+            assert_eq!(cfg.head_dim() * cfg.n_heads, cfg.d_model);
+        }
+    }
+
+    #[test]
+    fn param_count_scales_with_vocab() {
+        let a = ModelConfig::size_350m(500, 64);
+        let b = ModelConfig::size_350m(1000, 64);
+        assert!(b.param_count() > a.param_count());
+    }
+}

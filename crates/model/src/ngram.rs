@@ -1,0 +1,263 @@
+//! An interpolated back-off n-gram language model: the classical baseline
+//! against which the transformer's gains are measured, and a fast stand-in
+//! where a neural model would be overkill.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use wisdom_prng::Prng;
+use wisdom_tokenizer::BpeTokenizer;
+
+use crate::decode::{GenerationOptions, Strategy, TextGenerator};
+
+/// Token-level n-gram model with stupid-backoff scoring.
+///
+/// # Examples
+///
+/// ```
+/// use wisdom_model::NgramLm;
+///
+/// let mut lm = NgramLm::new(3, 100);
+/// lm.observe(&[1, 2, 3, 4, 1, 2, 3, 4]);
+/// // After seeing "1 2 3" -> 4 twice, prediction follows suit.
+/// assert_eq!(lm.predict(&[1, 2, 3]), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramLm {
+    order: usize,
+    vocab_size: usize,
+    /// For each context length 0..order, counts of (context, next).
+    counts: Vec<HashMap<Vec<u32>, HashMap<u32, u32>>>,
+}
+
+impl NgramLm {
+    /// Creates an empty model of the given order (order 3 = trigram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn new(order: usize, vocab_size: usize) -> Self {
+        assert!(order > 0, "order must be at least 1");
+        Self {
+            order,
+            vocab_size,
+            counts: (0..order).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// The model order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Accumulates counts from a token sequence.
+    pub fn observe(&mut self, tokens: &[u32]) {
+        for i in 0..tokens.len() {
+            let next = tokens[i];
+            for ctx_len in 0..self.order {
+                if i < ctx_len {
+                    continue;
+                }
+                let ctx = tokens[i - ctx_len..i].to_vec();
+                *self.counts[ctx_len]
+                    .entry(ctx)
+                    .or_default()
+                    .entry(next)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Most likely next token via stupid backoff (longest matching context
+    /// wins; ties break to the smaller token id). `None` for an untrained
+    /// model.
+    pub fn predict(&self, context: &[u32]) -> Option<u32> {
+        let scores = self.next_scores(context);
+        scores
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(&a.0)))
+            .map(|(t, _)| t)
+    }
+
+    /// Back-off scores over candidate next tokens.
+    fn next_scores(&self, context: &[u32]) -> Vec<(u32, f64)> {
+        const BACKOFF: f64 = 0.4;
+        let mut weight = 1.0;
+        for ctx_len in (0..self.order).rev() {
+            if context.len() < ctx_len {
+                continue;
+            }
+            let ctx = &context[context.len() - ctx_len..];
+            if let Some(nexts) = self.counts[ctx_len].get(ctx) {
+                let total: u32 = nexts.values().sum();
+                if total > 0 {
+                    return nexts
+                        .iter()
+                        .map(|(&t, &c)| (t, weight * f64::from(c) / f64::from(total)))
+                        .collect();
+                }
+            }
+            weight *= BACKOFF;
+        }
+        Vec::new()
+    }
+
+    /// Generates up to `max_new` tokens, stopping at `stop`.
+    pub fn generate(&self, prompt: &[u32], stop: u32, opts: &GenerationOptions) -> Vec<u32> {
+        let mut ctx = prompt.to_vec();
+        let mut out = Vec::new();
+        let mut rng = Prng::seed_from_u64(opts.seed);
+        while out.len() < opts.max_new_tokens {
+            let next = match opts.strategy {
+                Strategy::Greedy => self.predict(&ctx),
+                Strategy::TopK { k, .. } => {
+                    let mut scores = self.next_scores(&ctx);
+                    scores.sort_by(|a, b| {
+                        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    scores.truncate(k.max(1));
+                    if scores.is_empty() {
+                        None
+                    } else {
+                        let weights: Vec<f64> = scores.iter().map(|s| s.1).collect();
+                        Some(scores[rng.weighted_index(&weights)].0)
+                    }
+                }
+                // Beam search is a transformer-path feature; the n-gram
+                // baseline degrades to greedy.
+                Strategy::Beam { .. } => self.predict(&ctx),
+            };
+            let Some(next) = next else { break };
+            if next == stop {
+                break;
+            }
+            out.push(next);
+            ctx.push(next);
+        }
+        out
+    }
+
+    /// Vocabulary size this model was configured with.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+}
+
+/// An [`NgramLm`] paired with a tokenizer for text completion.
+#[derive(Debug, Clone)]
+pub struct NgramTextGenerator {
+    name: String,
+    lm: NgramLm,
+    tokenizer: Arc<BpeTokenizer>,
+}
+
+impl NgramTextGenerator {
+    /// Trains an n-gram model over `texts` and wraps it for text completion.
+    pub fn train<'a, I>(
+        name: impl Into<String>,
+        order: usize,
+        tokenizer: Arc<BpeTokenizer>,
+        texts: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut lm = NgramLm::new(order, tokenizer.vocab_size());
+        for t in texts {
+            let mut ids = tokenizer.encode(t);
+            ids.push(tokenizer.eot());
+            lm.observe(&ids);
+        }
+        Self {
+            name: name.into(),
+            lm,
+            tokenizer,
+        }
+    }
+
+    /// The underlying n-gram model.
+    pub fn lm(&self) -> &NgramLm {
+        &self.lm
+    }
+}
+
+impl TextGenerator for NgramTextGenerator {
+    fn complete(&self, prompt: &str, opts: &GenerationOptions) -> String {
+        let ids = self.tokenizer.encode(prompt);
+        let out = self.lm.generate(&ids, self.tokenizer.eot(), opts);
+        self.tokenizer.decode(&out)
+    }
+
+    fn model_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memorizes_repeated_pattern() {
+        let mut lm = NgramLm::new(3, 10);
+        lm.observe(&[1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        assert_eq!(lm.predict(&[1, 2]), Some(3));
+        assert_eq!(lm.predict(&[2, 3]), Some(1));
+    }
+
+    #[test]
+    fn backs_off_to_shorter_context() {
+        let mut lm = NgramLm::new(3, 10);
+        lm.observe(&[5, 1, 7, 5, 2, 7, 5, 3, 7]);
+        // Context [9, 9] unseen -> backoff to unigram distribution where 5
+        // and 7 dominate equally; prediction must still be produced.
+        assert!(lm.predict(&[9, 9]).is_some());
+    }
+
+    #[test]
+    fn untrained_predicts_none() {
+        let lm = NgramLm::new(2, 10);
+        assert_eq!(lm.predict(&[1]), None);
+        assert!(lm.generate(&[1], 0, &GenerationOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn generation_stops_at_stop_token() {
+        let mut lm = NgramLm::new(2, 10);
+        lm.observe(&[1, 2, 0, 1, 2, 0]);
+        let out = lm.generate(
+            &[1],
+            0,
+            &GenerationOptions {
+                max_new_tokens: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn text_generator_round_trip() {
+        let corpus = [
+            "- name: Install nginx\n  apt:\n    name: nginx\n",
+            "- name: Install nginx\n  apt:\n    name: nginx\n",
+        ];
+        let tok = Arc::new(BpeTokenizer::train(corpus.iter().copied(), 350));
+        let g = NgramTextGenerator::train("ngram", 4, tok, corpus.iter().copied());
+        let out = g.complete(
+            "- name: Install nginx\n",
+            &GenerationOptions {
+                max_new_tokens: 30,
+                ..Default::default()
+            },
+        );
+        assert!(out.contains("apt"), "got: {out:?}");
+        assert_eq!(g.model_name(), "ngram");
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn zero_order_panics() {
+        let _ = NgramLm::new(0, 10);
+    }
+}

@@ -1,0 +1,233 @@
+//! A nearest-neighbour retrieval "language model" — the offline stand-in for
+//! Codex-Davinci-002.
+//!
+//! The paper observes that Codex's few-shot Exact Match is the highest of
+//! all models and attributes it to training-set contamination ("Codex likely
+//! saw large portions of our Galaxy dataset"). A retrieval model over a pool
+//! that deliberately includes part of the evaluation data reproduces exactly
+//! that behaviour: near-perfect output whenever the sample leaked, plausible
+//! same-domain output otherwise — while still losing to a fine-tuned
+//! in-domain model overall.
+
+use std::collections::HashSet;
+
+use crate::decode::{GenerationOptions, TextGenerator};
+
+/// One indexed `- name:` line and the task/play body that followed it.
+#[derive(Debug, Clone)]
+struct Entry {
+    name_tokens: HashSet<String>,
+    /// Raw body lines, as they appeared under the name line.
+    body: Vec<String>,
+    /// Indent of the dash of the `- name:` line.
+    dash_indent: usize,
+}
+
+/// Retrieval-based completion over a document pool.
+///
+/// # Examples
+///
+/// ```
+/// use wisdom_model::{GenerationOptions, RetrievalModel, TextGenerator};
+///
+/// let doc = "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+/// let model = RetrievalModel::build("codex-sim", [doc]);
+/// let out = model.complete("- name: Install nginx\n", &GenerationOptions::default());
+/// assert!(out.contains("ansible.builtin.apt"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetrievalModel {
+    name: String,
+    entries: Vec<Entry>,
+}
+
+impl RetrievalModel {
+    /// Indexes every `- name:` line of every document in the pool.
+    pub fn build<'a, I>(name: impl Into<String>, docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut entries = Vec::new();
+        for doc in docs {
+            let lines: Vec<&str> = doc.lines().collect();
+            for i in 0..lines.len() {
+                let Some((dash_indent, value)) = parse_dash_name(lines[i]) else {
+                    continue;
+                };
+                let mut body = Vec::new();
+                for line in &lines[i + 1..] {
+                    if line.trim().is_empty() {
+                        break;
+                    }
+                    let ind = indent_of(line);
+                    if ind <= dash_indent {
+                        break;
+                    }
+                    body.push((*line).to_string());
+                }
+                if body.is_empty() {
+                    continue;
+                }
+                entries.push(Entry {
+                    name_tokens: tokenize(value),
+                    body,
+                    dash_indent,
+                });
+            }
+        }
+        Self {
+            name: name.into(),
+            entries,
+        }
+    }
+
+    /// Number of indexed name→body entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn best_entry(&self, query: &HashSet<String>) -> Option<&Entry> {
+        let mut best: Option<(&Entry, f64)> = None;
+        for e in &self.entries {
+            let inter = e.name_tokens.intersection(query).count();
+            let union = e.name_tokens.union(query).count();
+            if union == 0 {
+                continue;
+            }
+            let score = inter as f64 / union as f64;
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((e, score));
+            }
+        }
+        best.map(|(e, _)| e)
+    }
+}
+
+impl TextGenerator for RetrievalModel {
+    fn complete(&self, prompt: &str, _opts: &GenerationOptions) -> String {
+        // Locate the last `- name:` line in the prompt (the paper's prompt
+        // formulation guarantees one).
+        let mut query = None;
+        for line in prompt.lines().rev() {
+            if let Some((indent, value)) = parse_dash_name(line) {
+                query = Some((indent, tokenize(value)));
+                break;
+            }
+        }
+        let Some((query_indent, query_tokens)) = query else {
+            return String::new();
+        };
+        let Some(entry) = self.best_entry(&query_tokens) else {
+            return String::new();
+        };
+        // Re-indent the stored body to the query's nesting depth.
+        let mut out = String::new();
+        for line in &entry.body {
+            let shifted = shift_indent(line, entry.dash_indent, query_indent);
+            out.push_str(&shifted);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn model_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start_matches(' ').len()
+}
+
+/// Parses `  - name: Some intent` into `(dash_indent, value)`.
+fn parse_dash_name(line: &str) -> Option<(usize, &str)> {
+    let indent = indent_of(line);
+    let rest = line[indent..].strip_prefix("- name:")?;
+    Some((indent, rest.trim()))
+}
+
+fn tokenize(s: &str) -> HashSet<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+fn shift_indent(line: &str, from_base: usize, to_base: usize) -> String {
+    let ind = indent_of(line);
+    let body = &line[ind..];
+    let new_indent = (ind + to_base).saturating_sub(from_base);
+    format!("{}{}", " ".repeat(new_indent), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POOL: &[&str] = &[
+        "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n- name: Start nginx\n  ansible.builtin.service:\n    name: nginx\n    state: started\n",
+        "- name: Create deploy user\n  ansible.builtin.user:\n    name: deploy\n    shell: /bin/bash\n",
+    ];
+
+    fn model() -> RetrievalModel {
+        RetrievalModel::build("codex-sim", POOL.iter().copied())
+    }
+
+    #[test]
+    fn exact_leak_returns_verbatim_body() {
+        let out = model().complete("- name: Install nginx\n", &GenerationOptions::default());
+        assert_eq!(out, "  ansible.builtin.apt:\n    name: nginx\n    state: present\n");
+    }
+
+    #[test]
+    fn fuzzy_match_finds_similar_name() {
+        let out = model().complete(
+            "- name: install the nginx package\n",
+            &GenerationOptions::default(),
+        );
+        assert!(out.contains("apt"), "got {out:?}");
+    }
+
+    #[test]
+    fn unrelated_prompt_still_returns_nearest() {
+        let out = model().complete(
+            "- name: Create a deploy user account\n",
+            &GenerationOptions::default(),
+        );
+        assert!(out.contains("ansible.builtin.user"), "got {out:?}");
+    }
+
+    #[test]
+    fn deeper_context_is_reindented() {
+        // Query name line nested inside a playbook (dash at indent 4).
+        let prompt = "- hosts: all\n  tasks:\n    - name: Install nginx\n";
+        let out = model().complete(prompt, &GenerationOptions::default());
+        assert!(
+            out.starts_with("      ansible.builtin.apt:"),
+            "got {out:?}"
+        );
+    }
+
+    #[test]
+    fn prompt_without_name_line_returns_empty() {
+        let out = model().complete("hosts: all\n", &GenerationOptions::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_pool_returns_empty() {
+        let m = RetrievalModel::build("empty", std::iter::empty::<&str>());
+        assert!(m.is_empty());
+        assert_eq!(m.complete("- name: x\n", &GenerationOptions::default()), "");
+    }
+
+    #[test]
+    fn index_counts_entries() {
+        assert_eq!(model().len(), 3);
+    }
+}

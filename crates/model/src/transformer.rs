@@ -1,0 +1,889 @@
+//! The decoder-only transformer language model (the CodeGen-architecture
+//! stand-in), with a tape-based training path and a fast KV-cache inference
+//! path.
+
+use wisdom_prng::Prng;
+use wisdom_tensor::kernels::{dot, gelu, matmul, softmax_row};
+use wisdom_tensor::{clip_scale, global_grad_norm, Adam, ParamTensor, Tape, TensorRef};
+
+use crate::config::ModelConfig;
+use crate::decode::{GenerationOptions, Strategy};
+
+/// Parameters of one transformer block, in canonical order.
+#[derive(Debug, Clone)]
+struct Block {
+    ln1_g: ParamTensor,
+    ln1_b: ParamTensor,
+    wq: ParamTensor,
+    bq: ParamTensor,
+    wk: ParamTensor,
+    bk: ParamTensor,
+    wv: ParamTensor,
+    bv: ParamTensor,
+    wo: ParamTensor,
+    bo: ParamTensor,
+    ln2_g: ParamTensor,
+    ln2_b: ParamTensor,
+    w1: ParamTensor,
+    b1: ParamTensor,
+    w2: ParamTensor,
+    b2: ParamTensor,
+}
+
+/// A GPT-style decoder-only language model over token ids.
+///
+/// # Examples
+///
+/// ```
+/// use wisdom_model::{ModelConfig, TransformerLm};
+/// use wisdom_prng::Prng;
+///
+/// let cfg = ModelConfig { vocab_size: 50, d_model: 16, n_layers: 1, n_heads: 2, context_window: 16 };
+/// let mut rng = Prng::seed_from_u64(0);
+/// let model = TransformerLm::new(cfg, &mut rng);
+/// let logits = model.next_token_logits(&[1, 2, 3]);
+/// assert_eq!(logits.len(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransformerLm {
+    cfg: ModelConfig,
+    tok_emb: ParamTensor,
+    pos_emb: ParamTensor,
+    blocks: Vec<Block>,
+    lnf_g: ParamTensor,
+    lnf_b: ParamTensor,
+    lm_head: ParamTensor,
+}
+
+impl TransformerLm {
+    /// Creates a model with GPT-2-style initialization (N(0, 0.02) weights,
+    /// residual projections scaled by 1/√(2·layers)).
+    pub fn new(cfg: ModelConfig, rng: &mut Prng) -> Self {
+        let d = cfg.d_model;
+        let ff = cfg.d_ff();
+        let std = 0.02;
+        let res_std = std / ((2 * cfg.n_layers) as f32).sqrt();
+        let blocks = (0..cfg.n_layers)
+            .map(|_| Block {
+                ln1_g: ParamTensor::constant(1, d, 1.0),
+                ln1_b: ParamTensor::zeros(1, d),
+                wq: ParamTensor::randn(d, d, std, rng),
+                bq: ParamTensor::zeros(1, d),
+                wk: ParamTensor::randn(d, d, std, rng),
+                bk: ParamTensor::zeros(1, d),
+                wv: ParamTensor::randn(d, d, std, rng),
+                bv: ParamTensor::zeros(1, d),
+                wo: ParamTensor::randn(d, d, res_std, rng),
+                bo: ParamTensor::zeros(1, d),
+                ln2_g: ParamTensor::constant(1, d, 1.0),
+                ln2_b: ParamTensor::zeros(1, d),
+                w1: ParamTensor::randn(d, ff, std, rng),
+                b1: ParamTensor::zeros(1, ff),
+                w2: ParamTensor::randn(ff, d, res_std, rng),
+                b2: ParamTensor::zeros(1, d),
+            })
+            .collect();
+        Self {
+            tok_emb: ParamTensor::randn(cfg.vocab_size, d, std, rng),
+            pos_emb: ParamTensor::randn(cfg.context_window, d, 0.01, rng),
+            blocks,
+            lnf_g: ParamTensor::constant(1, d, 1.0),
+            lnf_b: ParamTensor::zeros(1, d),
+            lm_head: ParamTensor::randn(d, cfg.vocab_size, std, rng),
+            cfg,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Grows (or re-targets) the context window, e.g. when fine-tuning a
+    /// checkpoint with a different window than pre-training. Existing
+    /// position rows are kept; new rows are freshly initialized.
+    pub fn resize_context(&mut self, new_window: usize, rng: &mut Prng) {
+        if new_window == self.cfg.context_window {
+            return;
+        }
+        let d = self.cfg.d_model;
+        let mut new_pos = ParamTensor::randn(new_window, d, 0.01, rng);
+        let copy_rows = new_window.min(self.cfg.context_window);
+        new_pos.data[..copy_rows * d].copy_from_slice(&self.pos_emb.data[..copy_rows * d]);
+        self.pos_emb = new_pos;
+        self.cfg.context_window = new_window;
+    }
+
+    /// Iterates over `(name, data, rows, cols)` for every parameter tensor,
+    /// in canonical order (used by checkpointing).
+    pub fn named_parameters(&self) -> impl Iterator<Item = (String, &[f32], usize, usize)> {
+        self.param_names()
+            .into_iter()
+            .zip(self.params())
+            .map(|(name, p)| (name, p.data.as_slice(), p.rows, p.cols))
+    }
+
+    /// Overwrites one named parameter tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the name is unknown or the shape mismatches.
+    pub fn set_parameter(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        data: &[f32],
+    ) -> Result<(), String> {
+        let names = self.param_names();
+        let idx = names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| format!("unknown parameter {name:?}"))?;
+        let mut params = self.params_mut();
+        let p = &mut params[idx];
+        if (p.rows, p.cols) != (rows, cols) || data.len() != p.data.len() {
+            return Err(format!(
+                "shape mismatch for {name}: checkpoint {rows}x{cols}, model {}x{}",
+                p.rows, p.cols
+            ));
+        }
+        p.data.copy_from_slice(data);
+        Ok(())
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        let mut names = vec!["tok_emb".to_string(), "pos_emb".to_string()];
+        for l in 0..self.cfg.n_layers {
+            for field in [
+                "ln1_g", "ln1_b", "wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo", "ln2_g",
+                "ln2_b", "w1", "b1", "w2", "b2",
+            ] {
+                names.push(format!("block{l}.{field}"));
+            }
+        }
+        names.extend([
+            "lnf_g".to_string(),
+            "lnf_b".to_string(),
+            "lm_head".to_string(),
+        ]);
+        names
+    }
+
+    fn params(&self) -> Vec<&ParamTensor> {
+        let mut v: Vec<&ParamTensor> = vec![&self.tok_emb, &self.pos_emb];
+        for b in &self.blocks {
+            v.extend([
+                &b.ln1_g, &b.ln1_b, &b.wq, &b.bq, &b.wk, &b.bk, &b.wv, &b.bv, &b.wo, &b.bo,
+                &b.ln2_g, &b.ln2_b, &b.w1, &b.b1, &b.w2, &b.b2,
+            ]);
+        }
+        v.extend([&self.lnf_g, &self.lnf_b, &self.lm_head]);
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut ParamTensor> {
+        let mut v: Vec<&mut ParamTensor> = vec![&mut self.tok_emb, &mut self.pos_emb];
+        for b in &mut self.blocks {
+            v.extend([
+                &mut b.ln1_g,
+                &mut b.ln1_b,
+                &mut b.wq,
+                &mut b.bq,
+                &mut b.wk,
+                &mut b.bk,
+                &mut b.wv,
+                &mut b.bv,
+                &mut b.wo,
+                &mut b.bo,
+                &mut b.ln2_g,
+                &mut b.ln2_b,
+                &mut b.w1,
+                &mut b.b1,
+                &mut b.w2,
+                &mut b.b2,
+            ]);
+        }
+        v.extend([&mut self.lnf_g, &mut self.lnf_b, &mut self.lm_head]);
+        v
+    }
+
+    /// Builds the training graph and returns `(loss, logits, param_leaves)`.
+    fn forward_tape(
+        &self,
+        tape: &mut Tape,
+        tokens: &[u32],
+        targets: &[usize],
+        batch: usize,
+        time: usize,
+    ) -> (TensorRef, TensorRef, Vec<TensorRef>) {
+        assert_eq!(tokens.len(), batch * time, "token count");
+        assert_eq!(targets.len(), batch * time, "target count");
+        assert!(time <= self.cfg.context_window, "time exceeds context");
+        let leaves: Vec<TensorRef> = self
+            .params()
+            .into_iter()
+            .map(|p| tape.leaf(p.data.clone(), p.rows, p.cols))
+            .collect();
+        let mut li = leaves.iter().copied();
+        let tok_emb = li.next().expect("tok_emb leaf");
+        let pos_emb = li.next().expect("pos_emb leaf");
+
+        let tok_ids: Vec<usize> = tokens.iter().map(|&t| t as usize).collect();
+        let pos_ids: Vec<usize> = (0..batch * time).map(|r| r % time).collect();
+        let te = tape.embedding(tok_emb, &tok_ids);
+        let pe = tape.embedding(pos_emb, &pos_ids);
+        let mut x = tape.add(te, pe);
+
+        for _ in 0..self.cfg.n_layers {
+            let ln1_g = li.next().expect("ln1_g");
+            let ln1_b = li.next().expect("ln1_b");
+            let wq = li.next().expect("wq");
+            let bq = li.next().expect("bq");
+            let wk = li.next().expect("wk");
+            let bk = li.next().expect("bk");
+            let wv = li.next().expect("wv");
+            let bv = li.next().expect("bv");
+            let wo = li.next().expect("wo");
+            let bo = li.next().expect("bo");
+            let ln2_g = li.next().expect("ln2_g");
+            let ln2_b = li.next().expect("ln2_b");
+            let w1 = li.next().expect("w1");
+            let b1 = li.next().expect("b1");
+            let w2 = li.next().expect("w2");
+            let b2 = li.next().expect("b2");
+
+            let h = tape.layer_norm(x, ln1_g, ln1_b);
+            let q0 = tape.matmul(h, wq);
+            let q = tape.add_row_bias(q0, bq);
+            let k0 = tape.matmul(h, wk);
+            let k = tape.add_row_bias(k0, bk);
+            let v0 = tape.matmul(h, wv);
+            let v = tape.add_row_bias(v0, bv);
+            let att = tape.causal_attention(q, k, v, batch, time, self.cfg.n_heads);
+            let proj0 = tape.matmul(att, wo);
+            let proj = tape.add_row_bias(proj0, bo);
+            x = tape.add(x, proj);
+
+            let h2 = tape.layer_norm(x, ln2_g, ln2_b);
+            let m0 = tape.matmul(h2, w1);
+            let m1 = tape.add_row_bias(m0, b1);
+            let m2 = tape.gelu(m1);
+            let m3 = tape.matmul(m2, w2);
+            let m4 = tape.add_row_bias(m3, b2);
+            x = tape.add(x, m4);
+        }
+        let lnf_g = li.next().expect("lnf_g");
+        let lnf_b = li.next().expect("lnf_b");
+        let lm_head = li.next().expect("lm_head");
+        let xf = tape.layer_norm(x, lnf_g, lnf_b);
+        let logits = tape.matmul(xf, lm_head);
+        let loss = tape.cross_entropy(logits, targets);
+        (loss, logits, leaves)
+    }
+
+    /// Evaluation loss on one batch (no gradient computation).
+    ///
+    /// Targets equal to `usize::MAX` are ignored (padding / prompt masking).
+    pub fn loss(&self, tokens: &[u32], targets: &[usize], batch: usize, time: usize) -> f32 {
+        let mut tape = Tape::new();
+        let (loss, _, _) = self.forward_tape(&mut tape, tokens, targets, batch, time);
+        tape.data(loss)[0]
+    }
+
+    /// Full-batch logits via the training graph: `(batch*time, vocab)`
+    /// row-major. Used for validation and to cross-check the KV-cache path.
+    pub fn batch_logits(&self, tokens: &[u32], batch: usize, time: usize) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let targets = vec![usize::MAX; tokens.len()];
+        let (_, logits, _) = self.forward_tape(&mut tape, tokens, &targets, batch, time);
+        tape.data(logits).to_vec()
+    }
+
+    /// One optimization step on a batch; returns the loss before the update.
+    ///
+    /// Gradients are clipped to a global norm of `max_grad_norm` when it is
+    /// finite and positive.
+    pub fn train_step(
+        &mut self,
+        tokens: &[u32],
+        targets: &[usize],
+        batch: usize,
+        time: usize,
+        adam: &mut Adam,
+        max_grad_norm: f32,
+    ) -> f32 {
+        let mut tape = Tape::new();
+        let (loss, _, leaves) = self.forward_tape(&mut tape, tokens, targets, batch, time);
+        let loss_value = tape.data(loss)[0];
+        tape.backward(loss);
+        let scale = if max_grad_norm.is_finite() && max_grad_norm > 0.0 {
+            let norm = global_grad_norm(leaves.iter().map(|&l| tape.grad(l)));
+            clip_scale(norm, max_grad_norm)
+        } else {
+            1.0
+        };
+        adam.begin_step();
+        let params = self.params_mut();
+        debug_assert_eq!(params.len(), leaves.len());
+        for (param, leaf) in params.into_iter().zip(leaves) {
+            if scale == 1.0 {
+                adam.update(param, tape.grad(leaf));
+            } else {
+                let scaled: Vec<f32> = tape.grad(leaf).iter().map(|g| g * scale).collect();
+                adam.update(param, &scaled);
+            }
+        }
+        loss_value
+    }
+
+    /// Logits for the token following `prompt` (prompt is left-truncated to
+    /// the context window). Inference path with a KV cache.
+    pub fn next_token_logits(&self, prompt: &[u32]) -> Vec<f32> {
+        let mut cache = KvCache::new(self);
+        let start = prompt.len().saturating_sub(self.cfg.context_window);
+        let window = &prompt[start..];
+        let mut logits = vec![0.0; self.cfg.vocab_size];
+        for (pos, &tok) in window.iter().enumerate() {
+            logits = self.step(tok, pos, &mut cache);
+        }
+        logits
+    }
+
+    /// Autoregressive generation. The prompt is left-truncated to fit the
+    /// context window; generation stops at `opts.max_new_tokens`, at any of
+    /// the `stops` tokens, or when the window is exhausted, whichever comes
+    /// first.
+    ///
+    /// Returns only the newly generated ids (without the prompt and without
+    /// the stop token).
+    pub fn generate(&self, prompt: &[u32], stops: &[u32], opts: &GenerationOptions) -> Vec<u32> {
+        let ctx = self.cfg.context_window;
+        // Reserve room to generate.
+        let reserve = opts.max_new_tokens.min(ctx / 2);
+        let start = prompt.len().saturating_sub(ctx - reserve.max(1));
+        let window = &prompt[start..];
+        let mut cache = KvCache::new(self);
+        let mut logits = vec![0.0; self.cfg.vocab_size];
+        let mut pos = 0;
+        for &tok in window {
+            logits = self.step(tok, pos, &mut cache);
+            pos += 1;
+        }
+        if let Strategy::Beam { width } = opts.strategy {
+            return self.beam_generate(logits, cache, pos, stops, width.max(1), opts);
+        }
+        let mut rng = Prng::seed_from_u64(opts.seed);
+        let mut out = Vec::new();
+        while out.len() < opts.max_new_tokens && pos < ctx {
+            let next = match opts.strategy {
+                Strategy::Greedy => argmax(&logits),
+                Strategy::TopK { k, temperature } => {
+                    sample_top_k(&logits, k, temperature, &mut rng)
+                }
+                Strategy::Beam { .. } => unreachable!("handled above"),
+            };
+            if stops.contains(&next) {
+                break;
+            }
+            out.push(next);
+            logits = self.step(next, pos, &mut cache);
+            pos += 1;
+        }
+        out
+    }
+
+    /// Beam search continuation from a prefilled cache. Scores are
+    /// length-normalized log-probabilities; beams that emit a stop token are
+    /// finalized and compete with live beams at the end.
+    fn beam_generate(
+        &self,
+        first_logits: Vec<f32>,
+        cache: KvCache,
+        start_pos: usize,
+        stops: &[u32],
+        width: usize,
+        opts: &GenerationOptions,
+    ) -> Vec<u32> {
+        struct Beam {
+            tokens: Vec<u32>,
+            log_prob: f64,
+            cache: KvCache,
+            logits: Vec<f32>,
+        }
+        let norm = |b: &Beam| b.log_prob / (b.tokens.len().max(1) as f64);
+        let mut live = vec![Beam {
+            tokens: Vec::new(),
+            log_prob: 0.0,
+            cache,
+            logits: first_logits,
+        }];
+        let mut done: Vec<(Vec<u32>, f64)> = Vec::new();
+        let ctx = self.cfg.context_window;
+        let mut pos = start_pos;
+        while !live.is_empty() && pos < ctx {
+            if live.iter().all(|b| b.tokens.len() >= opts.max_new_tokens) {
+                break;
+            }
+            // Expand every live beam by its top-`width` continuations.
+            let mut candidates: Vec<(usize, u32, f64)> = Vec::new();
+            for (bi, beam) in live.iter().enumerate() {
+                let mut probs = beam.logits.clone();
+                softmax_row(&mut probs);
+                let mut idx: Vec<usize> = (0..probs.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    probs[b]
+                        .partial_cmp(&probs[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for &t in idx.iter().take(width) {
+                    let lp = beam.log_prob + f64::from(probs[t].max(1e-20)).ln();
+                    candidates.push((bi, t as u32, lp));
+                }
+            }
+            candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            candidates.truncate(width);
+            let mut next_live = Vec::with_capacity(width);
+            for (bi, tok, lp) in candidates {
+                let parent = &live[bi];
+                if stops.contains(&tok) {
+                    done.push((parent.tokens.clone(), lp / (parent.tokens.len().max(1) as f64)));
+                    continue;
+                }
+                let mut tokens = parent.tokens.clone();
+                tokens.push(tok);
+                let mut cache = parent.cache.clone();
+                let logits = self.step(tok, pos, &mut cache);
+                let beam = Beam {
+                    tokens,
+                    log_prob: lp,
+                    cache,
+                    logits,
+                };
+                if beam.tokens.len() >= opts.max_new_tokens {
+                    done.push((beam.tokens.clone(), norm(&beam)));
+                } else {
+                    next_live.push(beam);
+                }
+            }
+            live = next_live;
+            pos += 1;
+        }
+        for b in &live {
+            done.push((b.tokens.clone(), norm(b)));
+        }
+        done.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        done.into_iter().map(|(t, _)| t).next().unwrap_or_default()
+    }
+
+    /// Runs one token through the model, appending to the cache, and returns
+    /// the next-token logits.
+    fn step(&self, token: u32, pos: usize, cache: &mut KvCache) -> Vec<f32> {
+        let d = self.cfg.d_model;
+        let heads = self.cfg.n_heads;
+        let hd = self.cfg.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let tok = token as usize;
+        assert!(tok < self.cfg.vocab_size, "token {tok} out of vocabulary");
+        assert!(pos < self.cfg.context_window, "position {pos} out of window");
+
+        let mut x = vec![0.0f32; d];
+        for i in 0..d {
+            x[i] = self.tok_emb.data[tok * d + i] + self.pos_emb.data[pos * d + i];
+        }
+        for (l, b) in self.blocks.iter().enumerate() {
+            // attn
+            let h = layer_norm_row(&x, &b.ln1_g.data, &b.ln1_b.data);
+            let mut q = b.bq.data.clone();
+            matvec_acc(&h, &b.wq.data, d, d, &mut q);
+            let mut k = b.bk.data.clone();
+            matvec_acc(&h, &b.wk.data, d, d, &mut k);
+            let mut v = b.bv.data.clone();
+            matvec_acc(&h, &b.wv.data, d, d, &mut v);
+            cache.k[l].extend_from_slice(&k);
+            cache.v[l].extend_from_slice(&v);
+            let t_len = cache.k[l].len() / d;
+            let mut att_out = vec![0.0f32; d];
+            for hi in 0..heads {
+                let q_h = &q[hi * hd..(hi + 1) * hd];
+                let mut scores = vec![0.0f32; t_len];
+                for (t, s) in scores.iter_mut().enumerate() {
+                    let k_h = &cache.k[l][t * d + hi * hd..t * d + (hi + 1) * hd];
+                    *s = dot(q_h, k_h) * scale;
+                }
+                softmax_row(&mut scores);
+                let out_h = &mut att_out[hi * hd..(hi + 1) * hd];
+                for (t, &w) in scores.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let v_h = &cache.v[l][t * d + hi * hd..t * d + (hi + 1) * hd];
+                    for (o, &vv) in out_h.iter_mut().zip(v_h.iter()) {
+                        *o += w * vv;
+                    }
+                }
+            }
+            let mut proj = b.bo.data.clone();
+            matvec_acc(&att_out, &b.wo.data, d, d, &mut proj);
+            for i in 0..d {
+                x[i] += proj[i];
+            }
+            // mlp
+            let h2 = layer_norm_row(&x, &b.ln2_g.data, &b.ln2_b.data);
+            let ff = self.cfg.d_ff();
+            let mut m = b.b1.data.clone();
+            matvec_acc(&h2, &b.w1.data, d, ff, &mut m);
+            for mv in m.iter_mut() {
+                *mv = gelu(*mv);
+            }
+            let mut m2 = b.b2.data.clone();
+            matvec_acc(&m, &b.w2.data, ff, d, &mut m2);
+            for i in 0..d {
+                x[i] += m2[i];
+            }
+        }
+        let xf = layer_norm_row(&x, &self.lnf_g.data, &self.lnf_b.data);
+        let mut logits = vec![0.0f32; self.cfg.vocab_size];
+        matmul(&xf, &self.lm_head.data, 1, d, self.cfg.vocab_size, &mut logits);
+        logits
+    }
+}
+
+/// Per-layer key/value cache for incremental decoding.
+#[derive(Debug, Clone)]
+struct KvCache {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl KvCache {
+    fn new(model: &TransformerLm) -> Self {
+        let cap = model.cfg.context_window * model.cfg.d_model;
+        Self {
+            k: (0..model.cfg.n_layers)
+                .map(|_| Vec::with_capacity(cap))
+                .collect(),
+            v: (0..model.cfg.n_layers)
+                .map(|_| Vec::with_capacity(cap))
+                .collect(),
+        }
+    }
+}
+
+/// `out += x (1×k) @ w (k×n)`.
+fn matvec_acc(x: &[f32], w: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), k);
+    debug_assert_eq!(w.len(), k * n);
+    debug_assert_eq!(out.len(), n);
+    for (p, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        let w_row = &w[p * n..(p + 1) * n];
+        for (o, &wv) in out.iter_mut().zip(w_row.iter()) {
+            *o += xv * wv;
+        }
+    }
+}
+
+fn layer_norm_row(x: &[f32], gain: &[f32], bias: &[f32]) -> Vec<f32> {
+    const EPS: f32 = 1e-5;
+    let n = x.len() as f32;
+    let mean: f32 = x.iter().sum::<f32>() / n;
+    let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let rstd = 1.0 / (var + EPS).sqrt();
+    x.iter()
+        .zip(gain.iter().zip(bias.iter()))
+        .map(|(&xv, (&g, &b))| (xv - mean) * rstd * g + b)
+        .collect()
+}
+
+fn argmax(xs: &[f32]) -> u32 {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best as u32
+}
+
+fn sample_top_k(logits: &[f32], k: usize, temperature: f32, rng: &mut Prng) -> u32 {
+    let k = k.max(1).min(logits.len());
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    let t = temperature.max(1e-3);
+    let mut probs: Vec<f64> = idx
+        .iter()
+        .map(|&i| f64::from(logits[i] / t))
+        .collect();
+    let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for p in probs.iter_mut() {
+        *p = (*p - max).exp();
+        sum += *p;
+    }
+    for p in probs.iter_mut() {
+        *p /= sum;
+    }
+    idx[rng.weighted_index(&probs)] as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisdom_tensor::AdamConfig;
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            vocab_size: 20,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            context_window: 12,
+        }
+    }
+
+    #[test]
+    fn param_count_matches_config_formula() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(0);
+        let model = TransformerLm::new(cfg, &mut rng);
+        assert_eq!(model.param_count(), cfg.param_count());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_repetitive_sequence() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(1);
+        let mut model = TransformerLm::new(cfg, &mut rng);
+        let mut adam = Adam::new(AdamConfig {
+            lr: 1e-2,
+            ..Default::default()
+        });
+        // Memorize the cyclic sequence 1 2 3 4 1 2 3 4 ...
+        let tokens: Vec<u32> = (0..8).map(|i| 1 + (i % 4) as u32).collect();
+        let targets: Vec<usize> = (0..8).map(|i| 1 + ((i + 1) % 4)).collect();
+        let first = model.loss(&tokens, &targets, 1, 8);
+        let mut last = first;
+        for _ in 0..60 {
+            last = model.train_step(&tokens, &targets, 1, 8, &mut adam, 1.0);
+        }
+        assert!(
+            last < first * 0.3,
+            "loss should drop substantially: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn kv_cache_inference_matches_tape_forward() {
+        // The training graph's final-position logits and the KV-cache path
+        // must agree (they are two implementations of the same function).
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(2);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let prompt: Vec<u32> = vec![3, 7, 1, 11, 5];
+
+        let fast = model.next_token_logits(&prompt);
+        let logits_all = model.batch_logits(&prompt, 1, prompt.len());
+        let vocab = cfg.vocab_size;
+        let last_row = &logits_all[(prompt.len() - 1) * vocab..];
+        for (a, b) in fast.iter().zip(last_row.iter()) {
+            assert!((a - b).abs() < 1e-3, "mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn greedy_generation_reproduces_memorized_sequence() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(3);
+        let mut model = TransformerLm::new(cfg, &mut rng);
+        let mut adam = Adam::new(AdamConfig {
+            lr: 1e-2,
+            ..Default::default()
+        });
+        let tokens: Vec<u32> = vec![5, 6, 7, 8, 5, 6, 7, 8];
+        let targets: Vec<usize> = vec![6, 7, 8, 5, 6, 7, 8, 5];
+        for _ in 0..150 {
+            model.train_step(&tokens, &targets, 1, 8, &mut adam, 1.0);
+        }
+        let out = model.generate(
+            &[5, 6, 7, 8],
+            &[0],
+            &GenerationOptions {
+                max_new_tokens: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out, vec![5, 6, 7, 8], "should continue the cycle");
+    }
+
+    #[test]
+    fn generation_respects_stop_token() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(4);
+        let mut model = TransformerLm::new(cfg, &mut rng);
+        let mut adam = Adam::new(AdamConfig {
+            lr: 1e-2,
+            ..Default::default()
+        });
+        // teach: 9 -> 0 (stop)
+        let tokens: Vec<u32> = vec![1, 9, 0, 1, 9, 0, 1, 9];
+        let targets: Vec<usize> = vec![9, 0, 1, 9, 0, 1, 9, 0];
+        for _ in 0..150 {
+            model.train_step(&tokens, &targets, 1, 8, &mut adam, 1.0);
+        }
+        let out = model.generate(
+            &[1, 9],
+            &[0],
+            &GenerationOptions {
+                max_new_tokens: 8,
+                ..Default::default()
+            },
+        );
+        assert!(out.is_empty(), "stop token should end generation: {out:?}");
+    }
+
+    #[test]
+    fn generation_bounded_by_max_new_tokens() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(5);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let out = model.generate(
+            &[1, 2],
+            &[19],
+            &GenerationOptions {
+                max_new_tokens: 3,
+                ..Default::default()
+            },
+        );
+        assert!(out.len() <= 3);
+    }
+
+    #[test]
+    fn long_prompt_left_truncated() {
+        let cfg = tiny_cfg(); // window 12
+        let mut rng = Prng::seed_from_u64(6);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let prompt: Vec<u32> = (0..40).map(|i| (i % 15) as u32).collect();
+        let logits = model.next_token_logits(&prompt);
+        assert_eq!(logits.len(), cfg.vocab_size);
+        let out = model.generate(
+            &prompt,
+            &[19],
+            &GenerationOptions {
+                max_new_tokens: 4,
+                ..Default::default()
+            },
+        );
+        assert!(out.len() <= 4);
+    }
+
+    #[test]
+    fn beam_search_matches_greedy_on_memorized_sequence() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(12);
+        let mut model = TransformerLm::new(cfg, &mut rng);
+        let mut adam = Adam::new(AdamConfig {
+            lr: 1e-2,
+            ..Default::default()
+        });
+        let tokens: Vec<u32> = vec![5, 6, 7, 8, 5, 6, 7, 8];
+        let targets: Vec<usize> = vec![6, 7, 8, 5, 6, 7, 8, 5];
+        for _ in 0..150 {
+            model.train_step(&tokens, &targets, 1, 8, &mut adam, 1.0);
+        }
+        let greedy = model.generate(
+            &[5, 6, 7, 8],
+            &[0],
+            &GenerationOptions {
+                max_new_tokens: 4,
+                ..Default::default()
+            },
+        );
+        let beam = model.generate(
+            &[5, 6, 7, 8],
+            &[0],
+            &GenerationOptions {
+                max_new_tokens: 4,
+                strategy: Strategy::Beam { width: 3 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(beam, greedy, "confident model: beam == greedy");
+    }
+
+    #[test]
+    fn beam_search_respects_budget_and_stops() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(13);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let opts = GenerationOptions {
+            max_new_tokens: 5,
+            strategy: Strategy::Beam { width: 4 },
+            ..Default::default()
+        };
+        let out = model.generate(&[1, 2], &[0], &opts);
+        assert!(out.len() <= 5);
+        // Width 1 degenerates to greedy.
+        let w1 = model.generate(
+            &[1, 2],
+            &[0],
+            &GenerationOptions {
+                max_new_tokens: 5,
+                strategy: Strategy::Beam { width: 1 },
+                ..Default::default()
+            },
+        );
+        let greedy = model.generate(
+            &[1, 2],
+            &[0],
+            &GenerationOptions {
+                max_new_tokens: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(w1, greedy);
+    }
+
+    #[test]
+    fn top_k_sampling_is_seeded_and_deterministic() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(7);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let opts = GenerationOptions {
+            max_new_tokens: 6,
+            strategy: Strategy::TopK {
+                k: 5,
+                temperature: 1.0,
+            },
+            seed: 42,
+        };
+        let a = model.generate(&[1, 2, 3], &[0], &opts);
+        let b = model.generate(&[1, 2, 3], &[0], &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resize_context_preserves_prefix_rows() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(8);
+        let mut model = TransformerLm::new(cfg, &mut rng);
+        let before = model.pos_emb.data[..cfg.d_model].to_vec();
+        model.resize_context(24, &mut rng);
+        assert_eq!(model.config().context_window, 24);
+        assert_eq!(&model.pos_emb.data[..cfg.d_model], &before[..]);
+        // Larger window now accepted.
+        let prompt: Vec<u32> = (0..20).map(|i| (i % 10) as u32).collect();
+        let _ = model.next_token_logits(&prompt);
+    }
+}
+

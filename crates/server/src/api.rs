@@ -1,0 +1,236 @@
+//! The completions REST API: the offline counterpart of the paper's
+//! GRPC/REST inference service behind the VS Code plugin.
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/completions` with `{"prompt": "...", "context": "..."}` →
+//!   `{"completion", "snippet", "schema_correct", "lint", "model"}`;
+//! * `GET /healthz` → `ok`.
+
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use wisdom_core::{CompletionRequest, Wisdom};
+
+use crate::http::{read_request, Request, Response};
+use crate::json::{parse_json, Json};
+
+/// The inference server: owns a trained [`Wisdom`] assistant and serves
+/// completion requests over HTTP.
+pub struct WisdomServer {
+    wisdom: Arc<Wisdom>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle for stopping a running server from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Asks the serving loop to stop (takes effect on the next connection).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop.
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+}
+
+impl WisdomServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(wisdom: Arc<Wisdom>, addr: impl ToSocketAddrs) -> std::io::Result<WisdomServer> {
+        Ok(WisdomServer {
+            wisdom,
+            listener: TcpListener::bind(addr)?,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// A handle for stopping the server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.listener.local_addr().expect("bound listener"),
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serves until [`ServerHandle::stop`] is called. One thread per
+    /// connection (completions are CPU-bound and short).
+    pub fn serve(self) {
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut conn) = conn else { continue };
+            let wisdom = Arc::clone(&self.wisdom);
+            std::thread::spawn(move || {
+                let response = match read_request(&mut conn) {
+                    Ok(request) => route(&wisdom, &request),
+                    Err(e) => Response::text(400, e.to_string()),
+                };
+                let _ = response.write_to(&mut conn);
+            });
+        }
+    }
+}
+
+/// Routes one request.
+pub fn route(wisdom: &Wisdom, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok"),
+        ("POST", "/v1/completions") => completions(wisdom, request),
+        ("POST", "/v1/lint") => lint(request),
+        ("POST", _) | ("GET", _) => Response::text(404, "unknown endpoint"),
+        _ => Response::text(405, "method not allowed"),
+    }
+}
+
+/// Lint-as-a-service: `{"content": "<yaml>"}` → schema findings. The same
+/// strict checker that gates suggestions, exposed for editor integrations.
+fn lint(request: &Request) -> Response {
+    let payload = match parse_json(&request.body_text()) {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, e.to_string()),
+    };
+    let Some(content) = payload.get("content").and_then(Json::as_str) else {
+        return Response::text(400, "missing required field 'content'");
+    };
+    let violations = wisdom_core::lint_document(content);
+    let findings = violations
+        .iter()
+        .map(|v| Json::Str(v.to_string()))
+        .collect();
+    Response::json(
+        Json::obj(vec![
+            ("schema_correct", Json::Bool(violations.is_empty())),
+            ("findings", Json::Arr(findings)),
+        ])
+        .to_text(),
+    )
+}
+
+fn completions(wisdom: &Wisdom, request: &Request) -> Response {
+    let payload = match parse_json(&request.body_text()) {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, e.to_string()),
+    };
+    let Some(prompt) = payload.get("prompt").and_then(Json::as_str) else {
+        return Response::text(400, "missing required field 'prompt'");
+    };
+    let context = payload
+        .get("context")
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    let suggestion = wisdom.complete(&CompletionRequest::new(context, prompt));
+    let lint = suggestion
+        .lint
+        .iter()
+        .map(|v| Json::Str(v.to_string()))
+        .collect();
+    Response::json(
+        Json::obj(vec![
+            ("completion", Json::Str(suggestion.body.clone())),
+            ("snippet", Json::Str(suggestion.snippet.clone())),
+            ("schema_correct", Json::Bool(suggestion.schema_correct)),
+            ("lint", Json::Arr(lint)),
+            ("model", Json::Str("wisdom".to_string())),
+        ])
+        .to_text(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    use wisdom_core::WisdomConfig;
+
+    fn tiny_wisdom() -> Arc<Wisdom> {
+        static WISDOM: OnceLock<Arc<Wisdom>> = OnceLock::new();
+        WISDOM
+            .get_or_init(|| Arc::new(Wisdom::train(&WisdomConfig::tiny(), None)))
+            .clone()
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: HashMap::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn healthz_works() {
+        let w = tiny_wisdom();
+        let r = route(
+            &w,
+            &Request {
+                method: "GET".to_string(),
+                path: "/healthz".to_string(),
+                headers: HashMap::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn completions_endpoint_returns_json() {
+        let w = tiny_wisdom();
+        let r = route(
+            &w,
+            &post("/v1/completions", r#"{"prompt":"install nginx"}"#),
+        );
+        assert_eq!(r.status, 200);
+        let j = parse_json(&String::from_utf8(r.body).unwrap()).unwrap();
+        assert!(j.get("completion").is_some());
+        assert!(j.get("schema_correct").and_then(Json::as_bool).is_some());
+        let snippet = j.get("snippet").and_then(Json::as_str).unwrap();
+        assert!(snippet.starts_with("- name: install nginx"));
+    }
+
+    #[test]
+    fn lint_endpoint_reports_findings() {
+        let w = tiny_wisdom();
+        let good = route(
+            &w,
+            &post("/v1/lint", r#"{"content":"- name: ok\n  ansible.builtin.ping: {}\n"}"#),
+        );
+        assert_eq!(good.status, 200);
+        let j = parse_json(&String::from_utf8(good.body).unwrap()).unwrap();
+        assert_eq!(j.get("schema_correct").and_then(Json::as_bool), Some(true));
+
+        let bad = route(
+            &w,
+            &post("/v1/lint", r#"{"content":"- name: bad\n  not_a_module: {}\n"}"#),
+        );
+        let j = parse_json(&String::from_utf8(bad.body).unwrap()).unwrap();
+        assert_eq!(j.get("schema_correct").and_then(Json::as_bool), Some(false));
+        assert!(matches!(j.get("findings"), Some(Json::Arr(items)) if !items.is_empty()));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        let w = tiny_wisdom();
+        assert_eq!(route(&w, &post("/v1/completions", "not json")).status, 400);
+        assert_eq!(route(&w, &post("/v1/completions", "{}")).status, 400);
+        assert_eq!(route(&w, &post("/nope", "{}")).status, 404);
+    }
+}

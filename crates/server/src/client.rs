@@ -1,0 +1,126 @@
+//! A tiny blocking client for the completions API, used by examples and
+//! integration tests (the "editor plugin" side of the loop).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::{parse_json, Json};
+
+/// A completion returned by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionResponse {
+    /// The generated body (after the name line).
+    pub completion: String,
+    /// The pasteable snippet (name line + body).
+    pub snippet: String,
+    /// Whether the server's linter accepted it.
+    pub schema_correct: bool,
+    /// Lint findings (empty when clean).
+    pub lint: Vec<String>,
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Network failure.
+    Io(std::io::Error),
+    /// Server returned a non-200 status.
+    Status(u16, String),
+    /// Response was not the expected JSON.
+    BadResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Status(code, body) => write!(f, "server returned {code}: {body}"),
+            ClientError::BadResponse(msg) => write!(f, "bad response: {msg}"),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Requests a completion from a running [`crate::WisdomServer`].
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on connection, status, or decoding problems.
+pub fn request_completion(
+    addr: impl ToSocketAddrs,
+    context: &str,
+    prompt: &str,
+) -> Result<CompletionResponse, ClientError> {
+    let payload = Json::obj(vec![
+        ("prompt", Json::Str(prompt.to_string())),
+        ("context", Json::Str(context.to_string())),
+    ])
+    .to_text();
+    let (status, body) = post(addr, "/v1/completions", &payload)?;
+    if status != 200 {
+        return Err(ClientError::Status(status, body));
+    }
+    let j = parse_json(&body).map_err(|e| ClientError::BadResponse(e.to_string()))?;
+    let text = |key: &str| -> Result<String, ClientError> {
+        j.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::BadResponse(format!("missing field {key}")))
+    };
+    let lint = match j.get("lint") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(CompletionResponse {
+        completion: text("completion")?,
+        snippet: text("snippet")?,
+        schema_correct: j
+            .get("schema_correct")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        lint,
+    })
+}
+
+/// Performs one `POST` and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Returns [`ClientError::Io`] on network failures.
+pub fn post(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::BadResponse("no status line".to_string()))?;
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}

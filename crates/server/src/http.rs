@@ -1,0 +1,204 @@
+//! A minimal HTTP/1.1 server and request/response types over `std::net`,
+//! sufficient for the completions REST API (no TLS, no chunked encoding).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (`/v1/completions`).
+    pub path: String,
+    /// Lower-cased header map.
+    pub headers: HashMap<String, String>,
+    /// Request body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON 200 response.
+    pub fn json(text: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json".to_string(),
+            body: text.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response with a status code.
+    pub fn text(status: u16, text: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain".to_string(),
+            body: text.into().into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Writes the response to a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// HTTP parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHttpError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseHttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "http parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseHttpError {}
+
+fn bad(message: &str) -> ParseHttpError {
+    ParseHttpError {
+        message: message.to_string(),
+    }
+}
+
+/// Reads one request from a stream.
+///
+/// # Errors
+///
+/// Returns [`ParseHttpError`] on malformed requests or I/O failure.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseHttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| bad(&format!("io: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("missing method"))?.to_string();
+    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+    let mut headers = HashMap::new();
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| bad(&format!("io: {e}")))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            headers.insert(k.trim().to_lowercase(), v.trim().to_string());
+        }
+    }
+    let length: usize = headers
+        .get("content-length")
+        .map(|v| v.parse().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if length > 16 * 1024 * 1024 {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; length];
+    if length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| bad(&format!("io: {e}")))?;
+    }
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn request_round_trip_over_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn).unwrap();
+            Response::json("{\"ok\":true}").write_to(&mut conn).unwrap();
+            req
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let body = "{\"prompt\":\"x\"}";
+        write!(
+            client,
+            "POST /v1/completions HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        client.flush().unwrap();
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.ends_with("{\"ok\":true}"));
+        let req = handle.join().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/completions");
+        assert_eq!(req.body_text(), body);
+        assert_eq!(
+            req.headers.get("content-type").map(String::as_str),
+            Some("application/json")
+        );
+    }
+
+    #[test]
+    fn response_status_lines() {
+        assert_eq!(Response::text(404, "x").reason(), "Not Found");
+        assert_eq!(Response::json("{}").status, 200);
+    }
+}

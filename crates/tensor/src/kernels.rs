@@ -1,0 +1,211 @@
+//! Low-level f32 kernels shared by the autograd tape (training) and the
+//! KV-cache inference path in `wisdom-model`.
+//!
+//! All matrices are dense row-major. Loops are ordered i-k-j so the inner
+//! loop streams both the output row and the right-hand row, which is the
+//! cache-friendly order for row-major storage.
+
+/// `out += a @ b` where `a` is `m×k`, `b` is `k×n`, `out` is `m×n`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if slice lengths disagree with the dimensions.
+pub fn matmul_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+}
+
+/// `out = a @ b` (overwrites `out`).
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    matmul_acc(a, b, m, k, n, out);
+}
+
+/// `out += aᵀ @ b` where `a` is `k×m` (so `aᵀ` is `m×k`), `b` is `k×n`.
+pub fn matmul_at_b_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * bv;
+            }
+        }
+    }
+}
+
+/// `out += a @ bᵀ` where `a` is `m×k`, `b` is `n×k` (so `bᵀ` is `k×n`).
+pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            *o += dot(a_row, b_row);
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// In-place numerically stable softmax over one row.
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// GELU activation (tanh approximation, as used by GPT-family models).
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044_715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2x2
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        let mut out = vec![0.0; 4];
+        matmul(&a, &eye, 2, 2, 2, &mut out);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] @ [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut out = vec![0.0; 4];
+        matmul(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // 1x3 @ 3x2
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut out = vec![0.0; 2];
+        matmul(&a, &b, 1, 3, 2, &mut out);
+        assert_eq!(out, vec![14.0, 32.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        // a: 3x2, b: 3x4 -> aT@b : 2x4
+        let a = vec![1., 2., 3., 4., 5., 6.];
+        let b = vec![1., 0., 2., 1., 0., 3., 1., 2., 2., 1., 0., 1.];
+        let mut got = vec![0.0; 8];
+        matmul_at_b_acc(&a, &b, 2, 3, 4, &mut got);
+        // explicit transpose of a: 2x3
+        let at = vec![1., 3., 5., 2., 4., 6.];
+        let mut want = vec![0.0; 8];
+        matmul(&at, &b, 2, 3, 4, &mut want);
+        assert_eq!(got, want);
+
+        // a: 2x3, b: 4x3 -> a@bT : 2x4
+        let a2 = vec![1., 2., 3., 4., 5., 6.];
+        let b2 = vec![1., 0., 1., 2., 1., 0., 0., 3., 2., 1., 1., 1.];
+        let mut got2 = vec![0.0; 8];
+        matmul_a_bt_acc(&a2, &b2, 2, 3, 4, &mut got2);
+        let b2t = vec![1., 2., 0., 1., 0., 1., 3., 1., 1., 0., 2., 1.];
+        let mut want2 = vec![0.0; 8];
+        matmul(&a2, &b2t, 2, 3, 4, &mut want2);
+        assert_eq!(got2, want2);
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut row = vec![1.0, 2.0, 3.0, 4.0];
+        softmax_row(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut row = vec![1000.0, 1000.0];
+        softmax_row(&mut row);
+        assert!((row[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_reference_values() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // large x -> identity, large -x -> 0
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-3,
+                "x={x}: analytic {} vs fd {}",
+                gelu_grad(x),
+                fd
+            );
+        }
+    }
+}

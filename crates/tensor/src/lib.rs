@@ -1,0 +1,39 @@
+//! A compact CPU autodiff engine for training the Wisdom language models.
+//!
+//! The paper trains CodeGen-architecture transformers on GPUs; this crate is
+//! the offline substitute: a tape-based reverse-mode automatic
+//! differentiation engine over row-major `f32` matrices with exactly the op
+//! set a decoder-only transformer needs, plus the Adam optimizer and the raw
+//! [`kernels`] reused by the fast KV-cache inference path.
+//!
+//! Gradient correctness is enforced by finite-difference tests on every op.
+//!
+//! # Examples
+//!
+//! Train a linear softmax classifier for a few steps:
+//!
+//! ```
+//! use wisdom_prng::Prng;
+//! use wisdom_tensor::{Adam, AdamConfig, ParamTensor, Tape};
+//!
+//! let mut rng = Prng::seed_from_u64(0);
+//! let mut w = ParamTensor::randn(3, 2, 0.1, &mut rng);
+//! let mut adam = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+//! for _ in 0..20 {
+//!     let mut tape = Tape::new();
+//!     let x = tape.leaf(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], 2, 3);
+//!     let wt = tape.leaf(w.data.clone(), 3, 2);
+//!     let logits = tape.matmul(x, wt);
+//!     let loss = tape.cross_entropy(logits, &[0, 1]);
+//!     tape.backward(loss);
+//!     adam.begin_step();
+//!     adam.update(&mut w, tape.grad(wt));
+//! }
+//! ```
+
+pub mod kernels;
+mod optim;
+mod tape;
+
+pub use optim::{clip_scale, global_grad_norm, Adam, AdamConfig, ParamTensor};
+pub use tape::{Tape, TensorRef};

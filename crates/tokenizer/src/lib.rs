@@ -1,0 +1,22 @@
+//! A trainable byte-pair-encoding tokenizer with byte fallback.
+//!
+//! The paper's Wisdom models reuse the CodeGen tokenizer; since no pretrained
+//! vocabulary is available offline, this crate implements the same family of
+//! tokenizer from scratch: byte-level BPE with special tokens. Any UTF-8
+//! text can be encoded (unknown content falls back to raw byte tokens), and
+//! `decode(encode(text)) == text` for all inputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use wisdom_tokenizer::BpeTokenizer;
+//!
+//! let corpus = ["- name: Install nginx\n  apt:\n    name: nginx\n"; 4];
+//! let tok = BpeTokenizer::train(corpus.iter().copied(), 300);
+//! let ids = tok.encode("- name: Install nginx\n");
+//! assert_eq!(tok.decode(&ids), "- name: Install nginx\n");
+//! ```
+
+mod bpe;
+
+pub use bpe::{BpeTokenizer, LoadTokenizerError, SPECIAL_TOKENS};

@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a YAML document cannot be parsed.
+///
+/// Carries the 1-based line number where the problem was detected plus a
+/// human-readable message.
+///
+/// # Examples
+///
+/// ```
+/// let err = wisdom_yaml::parse("a:\n\tb: 1\n").unwrap_err();
+/// assert_eq!(err.line(), 2);
+/// assert!(err.to_string().contains("tab"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseYamlError {
+    line: usize,
+    message: String,
+}
+
+impl ParseYamlError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line where parsing failed (0 when unknown).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The diagnostic message, without location information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseYamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseYamlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_message() {
+        let e = ParseYamlError::new(7, "unexpected thing");
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("unexpected thing"));
+    }
+}

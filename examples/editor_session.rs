@@ -1,0 +1,58 @@
+//! Editor session: simulates the paper's VS Code plugin talking to the
+//! REST inference service. The "editor" sends the buffer and the typed
+//! `- name:` intent; the server returns a suggestion which the user accepts
+//! (tab) when the schema check passes or rejects (esc) otherwise.
+//!
+//! ```text
+//! cargo run --release --example editor_session
+//! ```
+
+use std::sync::Arc;
+
+use ansible_wisdom::core::{Wisdom, WisdomConfig};
+use ansible_wisdom::server::{request_completion, WisdomServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training assistant and starting inference server…");
+    let config = if std::env::args().any(|a| a == "--standard") {
+        WisdomConfig::standard()
+    } else {
+        WisdomConfig::tiny()
+    };
+    let wisdom = Arc::new(Wisdom::train(&config, None));
+    let server = WisdomServer::bind(wisdom, "127.0.0.1:0")?;
+    let handle = server.handle();
+    let addr = handle.addr();
+    std::thread::spawn(move || server.serve());
+    println!("server listening on {addr}\n");
+
+    let mut buffer = String::from("---\n");
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for intent in [
+        "Install nginx",
+        "Start nginx service",
+        "Create deploy user",
+        "Schedule nightly backup",
+    ] {
+        println!(">>> user types: - name: {intent}");
+        let response = request_completion(addr, &buffer, intent)?;
+        println!("{}", response.snippet);
+        if response.schema_correct {
+            println!("    [tab] accepted\n");
+            buffer.push_str(&response.snippet);
+            accepted += 1;
+        } else {
+            println!(
+                "    [esc] rejected ({} lint finding(s))\n",
+                response.lint.len()
+            );
+            rejected += 1;
+        }
+    }
+    println!("session summary: {accepted} accepted, {rejected} rejected");
+    println!("================ buffer ================");
+    println!("{buffer}");
+    handle.stop();
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release --example experiments -- all quick
+//! cargo run --release --example experiments -- table3 test
+//! cargo run --release --example experiments -- throughput
+//! ```
+//!
+//! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
+//! `throughput`, `all`. Profiles: `test` (seconds), `fast`, `quick`
+//! (default), `paper`.
+
+use std::time::Instant;
+
+use ansible_wisdom::corpus::{Corpus, CorpusStats};
+use ansible_wisdom::eval::{
+    run_decoding_ablation, run_table3, run_table4, run_table5, run_throughput, tables, Profile,
+    Zoo,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let profile_name = args.get(1).map(String::as_str).unwrap_or("quick");
+    let Some(profile) = Profile::by_name(profile_name) else {
+        eprintln!("unknown profile {profile_name:?}; use test|quick|paper");
+        std::process::exit(2);
+    };
+    println!("# Ansible Wisdom reproduction — target={target} profile={profile_name}");
+    println!("# seed={} corpus_scale=1/{} ctx_scale=1/{}\n", profile.seed, profile.corpus_scale, profile.ctx_scale);
+
+    let started = Instant::now();
+    match target {
+        "table1" => table1(&profile),
+        "tables45" => {
+            let mut zoo = build_zoo(profile);
+            print!("{}", tables::table4_text(&run_table4(&mut zoo, progress())));
+            println!();
+            print!("{}", tables::table5_text(&run_table5(&mut zoo, progress())));
+        }
+        "decoding" => {
+            let mut zoo = build_zoo(profile);
+            let rows = run_decoding_ablation(&mut zoo, progress());
+            println!("Decoding-strategy ablation (extension; paper §5.2 expectation)");
+            for r in &rows {
+                println!("  {:<28} {}", r.model, r.metrics);
+            }
+        }
+        "table2" => print!("{}", tables::table2_text()),
+        "table3" | "table4" | "table5" => {
+            let mut zoo = build_zoo(profile);
+            match target {
+                "table3" => print!("{}", tables::table3_text(&run_table3(&mut zoo, progress()))),
+                "table4" => print!("{}", tables::table4_text(&run_table4(&mut zoo, progress()))),
+                _ => print!("{}", tables::table5_text(&run_table5(&mut zoo, progress()))),
+            }
+        }
+        "throughput" => throughput(&profile),
+        "all" => {
+            table1(&profile);
+            println!();
+            print!("{}", tables::table2_text());
+            println!();
+            let mut zoo = build_zoo(profile);
+            print!("{}", tables::table3_text(&run_table3(&mut zoo, progress())));
+            println!();
+            print!("{}", tables::table4_text(&run_table4(&mut zoo, progress())));
+            println!();
+            print!("{}", tables::table5_text(&run_table5(&mut zoo, progress())));
+            println!();
+            throughput(&profile);
+        }
+        other => {
+            eprintln!("unknown target {other:?}");
+            std::process::exit(2);
+        }
+    }
+    println!("\n# done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn build_zoo(profile: Profile) -> Zoo {
+    eprintln!("[building corpus, splits, tokenizer…]");
+    let zoo = Zoo::build(profile);
+    eprintln!(
+        "[corpus ready: {} galaxy files, {} train / {} valid / {} test samples, vocab {}]",
+        zoo.corpus.galaxy.len(),
+        zoo.split.train.len(),
+        zoo.split.valid.len(),
+        zoo.split.test.len(),
+        zoo.tokenizer.vocab_size()
+    );
+    zoo
+}
+
+fn progress() -> Option<&'static mut dyn FnMut(&str, usize, usize)> {
+    // Leaking one closure per process keeps the API simple for an example.
+    let cb: Box<dyn FnMut(&str, usize, usize)> = Box::new(|phase, _s, _t| {
+        eprintln!("[{phase}]");
+    });
+    Some(Box::leak(cb))
+}
+
+fn table1(profile: &Profile) {
+    let corpus = Corpus::build(&profile.corpus_spec());
+    print!("{}", corpus.table1());
+    println!(
+        "(counts are the paper's Table 1 divided by {}; dedup is exact-match)",
+        profile.corpus_scale
+    );
+    println!();
+    print!("{}", CorpusStats::of(&corpus).report());
+}
+
+fn throughput(profile: &Profile) {
+    let r = run_throughput(profile, 96);
+    print!("{}", tables::throughput_text(&r));
+}

@@ -1,0 +1,70 @@
+//! Playbook authoring: the paper's motivating workflow. A user writes a
+//! playbook one `- name:` intent at a time; Wisdom completes every task,
+//! contexts accumulate (the PB+NL→T generation type), the linter gates each
+//! suggestion, and the final document is standardized.
+//!
+//! ```text
+//! cargo run --release --example playbook_authoring
+//! ```
+
+use ansible_wisdom::ansible::{lint_str, standardize, LintTarget};
+use ansible_wisdom::core::{CompletionRequest, Wisdom, WisdomConfig};
+
+fn main() {
+    println!("training a small Wisdom assistant…");
+    let config = if std::env::args().any(|a| a == "--standard") {
+        WisdomConfig::standard()
+    } else {
+        WisdomConfig::tiny()
+    };
+    let wisdom = Wisdom::train(&config, None);
+
+    // The playbook skeleton the user starts with.
+    let mut buffer = String::from("---\n- name: Setup web server\n  hosts: webservers\n  become: true\n  tasks:\n");
+    let intents = [
+        "Install nginx",
+        "Deploy nginx configuration",
+        "Start and enable nginx",
+        "Open port 80 in the firewall",
+    ];
+
+    for intent in intents {
+        let request = CompletionRequest::new(buffer.as_str(), intent);
+        let suggestion = wisdom.complete(&request);
+        println!("== intent: {intent}");
+        if suggestion.body.is_empty() {
+            println!("   (no suggestion — keeping a manual placeholder)\n");
+            buffer.push_str(&format!(
+                "    - name: {intent}\n      ansible.builtin.debug:\n        msg: TODO\n"
+            ));
+            continue;
+        }
+        println!("{}", suggestion.snippet);
+        println!(
+            "   accepted: {} | lint findings: {}\n",
+            suggestion.schema_correct,
+            suggestion.lint.len()
+        );
+        // The plugin pastes accepted suggestions into the buffer.
+        buffer.push_str(&suggestion.snippet);
+    }
+
+    println!("================ final playbook ================");
+    println!("{buffer}");
+    match standardize(&buffer) {
+        Ok(canonical) => {
+            println!("============= standardized form ================");
+            println!("{canonical}");
+            let violations = lint_str(&canonical, LintTarget::Playbook);
+            println!(
+                "final lint: {} finding(s){}",
+                violations.len(),
+                if violations.is_empty() { " — ready to run" } else { "" }
+            );
+            for v in violations.iter().take(5) {
+                println!("  - {v}");
+            }
+        }
+        Err(e) => println!("buffer is not valid YAML: {e}"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: train a small Ansible Wisdom assistant end to end and ask it
+//! for task completions, exactly the paper's intended usage loop.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ansible_wisdom::core::{TrainPhase, Wisdom, WisdomConfig};
+
+fn main() {
+    // `tiny()` finishes in seconds; switch to `standard()` for a genuinely
+    // useful assistant (a few minutes in release mode).
+    let config = if std::env::args().any(|a| a == "--standard") {
+        WisdomConfig::standard()
+    } else {
+        WisdomConfig::tiny()
+    };
+    println!("training Ansible Wisdom ({config:?})…");
+    let mut last_phase = None;
+    let mut progress = |phase: TrainPhase, step: usize, total: usize| {
+        if last_phase != Some(phase) {
+            println!("  phase: {phase:?}");
+            last_phase = Some(phase);
+        }
+        if total > 0 && step % 50 == 0 {
+            println!("    step {step}/{total}");
+        }
+    };
+    let wisdom = Wisdom::train(&config, Some(&mut progress));
+    println!("trained: {wisdom:?}\n");
+
+    for intent in [
+        "Install nginx",
+        "Start and enable nginx",
+        "Create deploy user",
+        "Open port 443 in the firewall",
+    ] {
+        let suggestion = wisdom.complete_task("", intent);
+        println!("---- prompt: {intent}");
+        println!("{}", suggestion.snippet);
+        if suggestion.schema_correct {
+            println!("  [schema: OK]\n");
+        } else {
+            println!("  [schema: {} finding(s)]", suggestion.lint.len());
+            for v in suggestion.lint.iter().take(3) {
+                println!("    - {v}");
+            }
+            println!();
+        }
+    }
+}

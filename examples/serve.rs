@@ -1,0 +1,30 @@
+//! Runs the Wisdom inference server on a fixed port.
+//!
+//! ```text
+//! cargo run --release --example serve -- 8731 --standard
+//! curl -s localhost:8731/healthz
+//! curl -s localhost:8731/v1/completions -d '{"prompt":"install nginx"}'
+//! ```
+
+use std::sync::Arc;
+
+use ansible_wisdom::core::{Wisdom, WisdomConfig};
+use ansible_wisdom::server::WisdomServer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(8731);
+    let config = if std::env::args().any(|a| a == "--standard") {
+        WisdomConfig::standard()
+    } else {
+        WisdomConfig::tiny()
+    };
+    println!("training model ({config:?})…");
+    let wisdom = Arc::new(Wisdom::train(&config, None));
+    let server = WisdomServer::bind(wisdom, ("127.0.0.1", port))?;
+    println!("serving on http://127.0.0.1:{port}  (POST /v1/completions, GET /healthz)");
+    server.serve();
+    Ok(())
+}

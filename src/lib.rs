@@ -1,0 +1,37 @@
+//! Ansible Wisdom — facade crate.
+//!
+//! Re-exports every subsystem of the Ansible Wisdom reproduction (DAC 2023,
+//! *Automated Code generation for Information Technology Tasks in YAML
+//! through Large Language Models*) under one roof. See the individual crates
+//! for details:
+//!
+//! * [`yaml`] — YAML parser/emitter substrate.
+//! * [`ansible`] — Ansible domain model, schema lint, normalization.
+//! * [`corpus`] — dataset construction pipeline.
+//! * [`tokenizer`] — BPE tokenizer.
+//! * [`tensor`] — CPU autograd engine.
+//! * [`model`] — transformer / n-gram / retrieval language models.
+//! * [`metrics`] — Exact Match, BLEU, Ansible Aware, Schema Correct.
+//! * [`eval`] — experiment harness regenerating the paper's tables.
+//! * [`core`] — the end-to-end Wisdom pipeline and completion service.
+//! * [`server`] — REST inference server.
+//!
+//! # Examples
+//!
+//! ```
+//! let doc = ansible_wisdom::yaml::parse("- name: demo\n  ansible.builtin.ping: {}\n")?;
+//! assert!(doc.as_seq().is_some());
+//! # Ok::<(), ansible_wisdom::yaml::ParseYamlError>(())
+//! ```
+
+pub use wisdom_ansible as ansible;
+pub use wisdom_core as core;
+pub use wisdom_corpus as corpus;
+pub use wisdom_eval as eval;
+pub use wisdom_metrics as metrics;
+pub use wisdom_model as model;
+pub use wisdom_prng as prng;
+pub use wisdom_server as server;
+pub use wisdom_tensor as tensor;
+pub use wisdom_tokenizer as tokenizer;
+pub use wisdom_yaml as yaml;

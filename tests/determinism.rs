@@ -1,0 +1,72 @@
+//! Cross-crate determinism guarantees: the same seed must reproduce the
+//! same corpus, samples, tokenizer, training trajectory and generations —
+//! the property that makes every table in EXPERIMENTS.md regenerable.
+
+use ansible_wisdom::corpus::{Corpus, SplitSamples};
+use ansible_wisdom::eval::Profile;
+use ansible_wisdom::model::{
+    pretrain, ModelConfig, PretrainConfig, TransformerLm,
+};
+use ansible_wisdom::prng::Prng;
+use ansible_wisdom::tokenizer::BpeTokenizer;
+
+#[test]
+fn corpus_and_samples_are_seed_deterministic() {
+    let spec = Profile::test().corpus_spec();
+    let a = Corpus::build(&spec);
+    let b = Corpus::build(&spec);
+    assert_eq!(a.galaxy, b.galaxy);
+    assert_eq!(a.pile, b.pile);
+    assert_eq!(a.bigquery, b.bigquery);
+    let sa = SplitSamples::build(&a.galaxy, 42);
+    let sb = SplitSamples::build(&b.galaxy, 42);
+    assert_eq!(sa.train, sb.train);
+    assert_eq!(sa.test, sb.test);
+    // Different seed reshuffles the split.
+    let sc = SplitSamples::build(&a.galaxy, 43);
+    assert_ne!(
+        sa.train.first().map(|s| s.nl.clone()),
+        sc.train.first().map(|s| s.nl.clone()),
+    );
+}
+
+#[test]
+fn tokenizer_training_is_deterministic() {
+    let spec = Profile::test().corpus_spec();
+    let corpus = Corpus::build(&spec);
+    let texts: Vec<&str> = corpus.galaxy.iter().map(String::as_str).collect();
+    let a = BpeTokenizer::train(texts.iter().copied(), 400);
+    let b = BpeTokenizer::train(texts.iter().copied(), 400);
+    assert_eq!(a.to_text(), b.to_text());
+}
+
+#[test]
+fn training_trajectory_is_deterministic() {
+    let cfg = ModelConfig {
+        vocab_size: 50,
+        d_model: 16,
+        n_layers: 1,
+        n_heads: 2,
+        context_window: 16,
+    };
+    let stream: Vec<u32> = (0..400).map(|i| (i % 23) as u32).collect();
+    let run = || {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut model = TransformerLm::new(cfg, &mut rng);
+        let losses = pretrain(
+            &mut model,
+            &stream,
+            &PretrainConfig {
+                epochs: 2,
+                batch_size: 4,
+                ..Default::default()
+            },
+            None,
+        );
+        (losses, ansible_wisdom::model::save_checkpoint(&model))
+    };
+    let (la, ca) = run();
+    let (lb, cb) = run();
+    assert_eq!(la, lb, "loss curves must match exactly");
+    assert_eq!(ca, cb, "final weights must match bit-for-bit");
+}

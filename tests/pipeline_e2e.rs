@@ -1,0 +1,164 @@
+//! End-to-end pipeline tests: corpus → splits → models → evaluation, plus
+//! the oracle and contamination sanity checks that pin the harness down.
+
+use ansible_wisdom::corpus::{Corpus, GenType, PromptStyle, Sample};
+use ansible_wisdom::eval::{
+    evaluate, EvalSettings, Oracle, Profile, SampleCap, SizeClass, Zoo,
+};
+use ansible_wisdom::model::{GenerationOptions, RetrievalModel, TextGenerator};
+
+fn test_profile() -> Profile {
+    Profile::test()
+}
+
+#[test]
+fn corpus_table1_counts_match_spec() {
+    let profile = test_profile();
+    let spec = profile.corpus_spec();
+    let corpus = Corpus::build(&spec);
+    assert_eq!(corpus.galaxy.len(), spec.galaxy_files);
+    assert_eq!(corpus.gitlab.len(), spec.gitlab_files);
+    assert_eq!(corpus.github_ansible.len(), spec.github_ansible_files);
+    assert_eq!(corpus.generic.len(), spec.generic_files);
+    let report = corpus.table1();
+    assert!(report.contains("Galaxy"));
+}
+
+#[test]
+fn splits_cover_all_generation_types_at_scale() {
+    // At the quick scale the Galaxy channel is large enough that all four
+    // generation types appear in the test split.
+    let mut profile = Profile::test();
+    profile.corpus_scale = 1_000; // more galaxy files, corpus still fast
+    let spec = profile.corpus_spec();
+    let corpus = Corpus::build(&spec);
+    let split = ansible_wisdom::corpus::SplitSamples::build(&corpus.galaxy, profile.seed);
+    for gt in GenType::ALL {
+        let n = split
+            .train
+            .iter()
+            .chain(&split.valid)
+            .chain(&split.test)
+            .filter(|s| s.gen_type == gt)
+            .count();
+        assert!(n > 0, "no samples of type {gt}");
+    }
+    // T+NL→T dominates, NL→PB is rare — the paper's Table 5 distribution.
+    let count = |gt: GenType| split.train.iter().filter(|s| s.gen_type == gt).count();
+    assert!(count(GenType::TNlToT) > count(GenType::NlToT));
+    assert!(count(GenType::NlToT) > count(GenType::NlToPb));
+}
+
+#[test]
+fn oracle_scores_100_on_every_metric_and_type() {
+    let zoo = Zoo::build(test_profile());
+    let refs: Vec<&Sample> = zoo.split.test.iter().collect();
+    assert!(!refs.is_empty());
+    let oracle = Oracle::new(&refs);
+    let settings = EvalSettings {
+        cap: SampleCap::Total(usize::MAX),
+        ..EvalSettings::for_profile(&zoo.profile)
+    };
+    let result = evaluate(&oracle, &refs, &settings);
+    assert_eq!(result.overall.count, refs.len());
+    assert!(
+        (result.overall.exact_match - 100.0).abs() < 1e-9,
+        "oracle EM must be 100, got {}",
+        result.overall.exact_match
+    );
+    assert!((result.overall.bleu - 100.0).abs() < 1e-6);
+    assert!((result.overall.ansible_aware - 100.0).abs() < 1e-6);
+    assert!((result.overall.schema_correct - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn fully_contaminated_retrieval_gets_high_scores() {
+    // A retrieval model whose pool contains *all* Galaxy files (full leak)
+    // must score very high EM on task-type test samples — the mechanism
+    // behind the paper's Codex observation, amplified to 100% leakage.
+    let zoo = Zoo::build(test_profile());
+    let docs: Vec<&str> = zoo.corpus.galaxy.iter().map(String::as_str).collect();
+    let leaked = RetrievalModel::build("fully-leaked", docs);
+    let refs: Vec<&Sample> = zoo
+        .split
+        .test
+        .iter()
+        .filter(|s| s.gen_type == GenType::NlToT || s.gen_type == GenType::TNlToT)
+        .collect();
+    if refs.is_empty() {
+        return; // tiny split may lack task samples; covered at larger scales
+    }
+    let settings = EvalSettings {
+        cap: SampleCap::Total(usize::MAX),
+        ..EvalSettings::for_profile(&zoo.profile)
+    };
+    let result = evaluate(&leaked, &refs, &settings);
+    assert!(
+        result.overall.ansible_aware > 60.0,
+        "leaked retrieval should be strong, got {}",
+        result.overall.ansible_aware
+    );
+    assert!(
+        result.overall.bleu > 50.0,
+        "leaked retrieval BLEU, got {}",
+        result.overall.bleu
+    );
+}
+
+#[test]
+fn fewshot_pipeline_runs_for_smallest_model() {
+    let mut zoo = Zoo::build(test_profile());
+    let spec = *ansible_wisdom::eval::spec("Wisdom-Ansible", SizeClass::S350m).expect("spec");
+    let generator = zoo.fewshot_generator(&spec, None);
+    let refs: Vec<&Sample> = zoo.split.test.iter().collect();
+    let result = evaluate(&generator, &refs, &EvalSettings::for_profile(&zoo.profile));
+    // Tiny models produce junk; only the plumbing is asserted.
+    assert!(result.overall.count > 0);
+    assert!(result.overall.bleu >= 0.0 && result.overall.bleu <= 100.0);
+}
+
+#[test]
+fn finetuned_model_beats_or_matches_fewshot_on_bleu() {
+    // Even at the tiny test scale, fine-tuning on in-distribution samples
+    // should not hurt BLEU relative to the raw pre-trained model.
+    let mut zoo = Zoo::build(test_profile());
+    let spec = *ansible_wisdom::eval::spec("Wisdom-Ansible", SizeClass::S350m).expect("spec");
+    let refs: Vec<Sample> = zoo.split.test.clone();
+    let settings = EvalSettings::for_profile(&zoo.profile);
+
+    let fewshot = zoo.fewshot_generator(&spec, None);
+    let refs1: Vec<&Sample> = refs.iter().collect();
+    let base = evaluate(&fewshot, &refs1, &settings);
+
+    let tuned = zoo.finetuned_generator(
+        "tuned",
+        &spec,
+        1024,
+        PromptStyle::NameCompletion,
+        1.0,
+        None,
+    );
+    let refs2: Vec<&Sample> = refs.iter().collect();
+    let after = evaluate(&tuned, &refs2, &settings);
+    assert!(
+        after.overall.bleu + 1e-9 >= base.overall.bleu * 0.5,
+        "fine-tuning should not collapse quality: {} -> {}",
+        base.overall.bleu,
+        after.overall.bleu
+    );
+}
+
+#[test]
+fn generation_is_deterministic_across_runs() {
+    let mut zoo_a = Zoo::build(test_profile());
+    let mut zoo_b = Zoo::build(test_profile());
+    let spec = *ansible_wisdom::eval::spec("Wisdom-Yaml", SizeClass::S350m).expect("spec");
+    let gen_a = zoo_a.fewshot_generator(&spec, None);
+    let gen_b = zoo_b.fewshot_generator(&spec, None);
+    let prompt = "---\n- name: Install nginx\n";
+    let opts = GenerationOptions {
+        max_new_tokens: 24,
+        ..Default::default()
+    };
+    assert_eq!(gen_a.complete(prompt, &opts), gen_b.complete(prompt, &opts));
+}

@@ -1,0 +1,68 @@
+//! Full-socket integration test of the inference service: trains a tiny
+//! assistant, serves it over HTTP, and drives it like the editor plugin.
+
+use std::sync::Arc;
+
+use ansible_wisdom::core::{Wisdom, WisdomConfig};
+use ansible_wisdom::server::{post, request_completion, WisdomServer};
+
+fn spawn_server() -> (ansible_wisdom::server::ServerHandle, std::net::SocketAddr) {
+    let wisdom = Arc::new(Wisdom::train(&WisdomConfig::tiny(), None));
+    let server = WisdomServer::bind(wisdom, "127.0.0.1:0").expect("bind");
+    let handle = server.handle();
+    let addr = handle.addr();
+    std::thread::spawn(move || server.serve());
+    (handle, addr)
+}
+
+#[test]
+fn completion_round_trip_over_http() {
+    let (handle, addr) = spawn_server();
+
+    // Health check.
+    let (status, body) = post(addr, "/healthz-wrong", "{}").expect("post");
+    assert_eq!(status, 404, "{body}");
+
+    // A real completion request.
+    let response = request_completion(addr, "", "install nginx").expect("completion");
+    assert!(
+        response.snippet.starts_with("- name: install nginx"),
+        "{}",
+        response.snippet
+    );
+    // Body and snippet agree.
+    assert!(response.snippet.ends_with(&response.completion) || response.completion.is_empty());
+
+    // With playbook context, the suggestion is nested.
+    let response = request_completion(
+        addr,
+        "---\n- hosts: web\n  tasks:\n",
+        "start nginx service",
+    )
+    .expect("completion");
+    assert!(
+        response.snippet.starts_with("    - name: start nginx service"),
+        "{}",
+        response.snippet
+    );
+
+    // Malformed request is a 400, not a crash.
+    let (status, _) = post(addr, "/v1/completions", "{\"nope\":1}").expect("post");
+    assert_eq!(status, 400);
+    let (status, _) = post(addr, "/v1/completions", "garbage").expect("post");
+    assert_eq!(status, 400);
+
+    // Concurrent requests are served.
+    let mut threads = Vec::new();
+    for i in 0..4 {
+        threads.push(std::thread::spawn(move || {
+            request_completion(addr, "", &format!("create user number{i}")).expect("completion")
+        }));
+    }
+    for t in threads {
+        let r = t.join().expect("thread");
+        assert!(r.snippet.starts_with("- name: create user"));
+    }
+
+    handle.stop();
+}
