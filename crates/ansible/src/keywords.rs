@@ -38,9 +38,7 @@ impl KindSet {
     /// templating; numbers are accepted where strings are.
     pub fn accepts(&self, value: &Value) -> bool {
         match value {
-            Value::Str(s) => {
-                self.bits & Self::STR != 0 || s.contains("{{")
-            }
+            Value::Str(s) => self.bits & Self::STR != 0 || s.contains("{{"),
             Value::Bool(_) => self.bits & Self::BOOL != 0,
             Value::Int(_) => self.bits & (Self::INT | Self::STR) != 0,
             Value::Float(_) => self.bits & (Self::INT | Self::STR) != 0,
@@ -222,7 +220,9 @@ mod tests {
     #[test]
     fn jinja_strings_accepted_everywhere() {
         let become_kw = task_keyword("become").unwrap();
-        assert!(become_kw.kinds.accepts(&Value::Str("{{ use_sudo }}".into())));
+        assert!(become_kw
+            .kinds
+            .accepts(&Value::Str("{{ use_sudo }}".into())));
         assert!(!become_kw.kinds.accepts(&Value::Str("plainstring".into())));
     }
 

@@ -35,11 +35,7 @@ pub fn parse_kv_args(text: &str) -> Option<Mapping> {
     for token in tokens {
         let eq = token.find('=')?;
         let key = &token[..eq];
-        if key.is_empty()
-            || !key
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        {
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
             return None;
         }
         let raw_value = &token[eq + 1..];

@@ -34,14 +34,12 @@ mod playbook;
 mod task;
 
 pub use keywords::{
-    is_block_key, is_task_keyword, play_keyword, task_keyword, KeywordSpec, KindSet,
-    PLAY_KEYWORDS, TASK_KEYWORDS,
+    is_block_key, is_task_keyword, play_keyword, task_keyword, KeywordSpec, KindSet, PLAY_KEYWORDS,
+    TASK_KEYWORDS,
 };
 pub use kv::parse_kv_args;
 pub use lint::{detect_target, is_schema_correct, lint_str, lint_value, LintTarget, Violation};
-pub use module_registry::{
-    Equivalence, ModuleRegistry, ModuleSpec, ParamKind, ParamSpec, MODULES,
-};
+pub use module_registry::{Equivalence, ModuleRegistry, ModuleSpec, ParamKind, ParamSpec, MODULES};
 pub use normalize::{normalize_document, normalize_play, normalize_task, standardize};
 pub use playbook::{parse_task_file, Block, ParsePlaybookError, Play, Playbook, TaskItem};
 pub use task::{ParseTaskError, Task};

@@ -175,7 +175,8 @@ fn lint_play(value: &Value, path: &str, reg: &ModuleRegistry, out: &mut Vec<Viol
                 };
                 for (i, r) in items.iter().enumerate() {
                     let ok = matches!(r, Value::Str(_))
-                        || r.as_map().is_some_and(|m| m.contains_key("role") || m.contains_key("name"));
+                        || r.as_map()
+                            .is_some_and(|m| m.contains_key("role") || m.contains_key("name"));
                     if !ok {
                         out.push(Violation::new(
                             format!("{path}.roles[{i}]"),
@@ -381,25 +382,19 @@ fn lint_module_invocation(
 fn param_accepts(kind: ParamKind, value: &Value) -> bool {
     match kind {
         ParamKind::Any => true,
-        ParamKind::Str => matches!(
-            value,
-            Value::Str(_) | Value::Int(_) | Value::Float(_)
-        ),
+        ParamKind::Str => matches!(value, Value::Str(_) | Value::Int(_) | Value::Float(_)),
         ParamKind::Bool => {
-            matches!(value, Value::Bool(_))
-                || matches!(value, Value::Str(s) if s.contains("{{"))
+            matches!(value, Value::Bool(_)) || matches!(value, Value::Str(s) if s.contains("{{"))
         }
         ParamKind::Int => {
             matches!(value, Value::Int(_))
                 || matches!(value, Value::Str(s) if s.contains("{{") || s.parse::<i64>().is_ok())
         }
         ParamKind::List => {
-            matches!(value, Value::Seq(_))
-                || matches!(value, Value::Str(s) if s.contains("{{"))
+            matches!(value, Value::Seq(_)) || matches!(value, Value::Str(s) if s.contains("{{"))
         }
         ParamKind::Map => {
-            matches!(value, Value::Map(_))
-                || matches!(value, Value::Str(s) if s.contains("{{"))
+            matches!(value, Value::Map(_)) || matches!(value, Value::Str(s) if s.contains("{{"))
         }
     }
 }
@@ -416,7 +411,8 @@ mod tests {
     fn bad(src: &str, needle: &str) {
         let v = lint_str(src, LintTarget::Auto);
         assert!(
-            v.iter().any(|x| x.message.contains(needle) || x.path.contains(needle)),
+            v.iter()
+                .any(|x| x.message.contains(needle) || x.path.contains(needle)),
             "expected violation containing {needle:?}, got {v:?}"
         );
     }
@@ -443,7 +439,10 @@ mod tests {
 
     #[test]
     fn unknown_play_keyword() {
-        bad("- hosts: all\n  bogus: 1\n  tasks:\n    - ping: {}\n", "unknown play keyword");
+        bad(
+            "- hosts: all\n  bogus: 1\n  tasks:\n    - ping: {}\n",
+            "unknown play keyword",
+        );
     }
 
     #[test]
@@ -461,16 +460,19 @@ mod tests {
 
     #[test]
     fn missing_required_parameter() {
-        bad("- name: x\n  ansible.builtin.apt:\n    state: present\n", "missing required");
-        bad("- name: x\n  ansible.builtin.git:\n    repo: http://x\n", "missing required");
+        bad(
+            "- name: x\n  ansible.builtin.apt:\n    state: present\n",
+            "missing required",
+        );
+        bad(
+            "- name: x\n  ansible.builtin.git:\n    repo: http://x\n",
+            "missing required",
+        );
     }
 
     #[test]
     fn legacy_kv_form_rejected() {
-        bad(
-            "- name: x\n  apt: name=nginx state=present\n",
-            "legacy k=v",
-        );
+        bad("- name: x\n  apt: name=nginx state=present\n", "legacy k=v");
     }
 
     #[test]
@@ -486,7 +488,10 @@ mod tests {
 
     #[test]
     fn keyword_type_checks() {
-        bad("- name: x\n  ping: {}\n  register:\n    - a\n", "expected string");
+        bad(
+            "- name: x\n  ping: {}\n  register:\n    - a\n",
+            "expected string",
+        );
         bad("- name: x\n  ping: {}\n  vars: not_a_map\n", "expected map");
         ok("- name: x\n  ping: {}\n  when: foo is defined\n  register: out\n");
     }
@@ -518,7 +523,10 @@ mod tests {
 
     #[test]
     fn block_with_bad_inner_task() {
-        bad("- block:\n    - name: broken\n      nonexistent_mod: {}\n", "unknown module");
+        bad(
+            "- block:\n    - name: broken\n      nonexistent_mod: {}\n",
+            "unknown module",
+        );
     }
 
     #[test]
@@ -532,7 +540,10 @@ mod tests {
     #[test]
     fn import_playbook_entry() {
         ok("- import_playbook: other.yml\n- hosts: all\n  tasks:\n    - ping: {}\n");
-        bad("- import_playbook: other.yml\n  hosts: web\n", "not allowed alongside");
+        bad(
+            "- import_playbook: other.yml\n  hosts: web\n",
+            "not allowed alongside",
+        );
     }
 
     #[test]

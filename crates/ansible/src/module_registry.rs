@@ -550,28 +550,61 @@ mod tests {
     fn short_name_resolution() {
         let reg = ModuleRegistry::global();
         assert_eq!(reg.resolve_fqcn("apt"), Some("ansible.builtin.apt"));
-        assert_eq!(reg.resolve_fqcn("ansible.builtin.apt"), Some("ansible.builtin.apt"));
-        assert_eq!(reg.resolve_fqcn("firewalld"), Some("ansible.posix.firewalld"));
+        assert_eq!(
+            reg.resolve_fqcn("ansible.builtin.apt"),
+            Some("ansible.builtin.apt")
+        );
+        assert_eq!(
+            reg.resolve_fqcn("firewalld"),
+            Some("ansible.posix.firewalld")
+        );
         assert_eq!(reg.resolve_fqcn("nonexistent_module"), None);
     }
 
     #[test]
     fn equivalence_classes_match_paper() {
         let reg = ModuleRegistry::global();
-        assert_eq!(reg.same_or_equivalent("command", "shell"), Equivalence::Equivalent);
-        assert_eq!(reg.same_or_equivalent("copy", "template"), Equivalence::Equivalent);
-        assert_eq!(reg.same_or_equivalent("package", "apt"), Equivalence::Equivalent);
-        assert_eq!(reg.same_or_equivalent("dnf", "yum"), Equivalence::Equivalent);
-        assert_eq!(reg.same_or_equivalent("apt", "ansible.builtin.apt"), Equivalence::Same);
-        assert_eq!(reg.same_or_equivalent("apt", "service"), Equivalence::Different);
-        assert_eq!(reg.same_or_equivalent("copy", "user"), Equivalence::Different);
+        assert_eq!(
+            reg.same_or_equivalent("command", "shell"),
+            Equivalence::Equivalent
+        );
+        assert_eq!(
+            reg.same_or_equivalent("copy", "template"),
+            Equivalence::Equivalent
+        );
+        assert_eq!(
+            reg.same_or_equivalent("package", "apt"),
+            Equivalence::Equivalent
+        );
+        assert_eq!(
+            reg.same_or_equivalent("dnf", "yum"),
+            Equivalence::Equivalent
+        );
+        assert_eq!(
+            reg.same_or_equivalent("apt", "ansible.builtin.apt"),
+            Equivalence::Same
+        );
+        assert_eq!(
+            reg.same_or_equivalent("apt", "service"),
+            Equivalence::Different
+        );
+        assert_eq!(
+            reg.same_or_equivalent("copy", "user"),
+            Equivalence::Different
+        );
     }
 
     #[test]
     fn unknown_names_compare_by_string() {
         let reg = ModuleRegistry::global();
-        assert_eq!(reg.same_or_equivalent("custom.ns.thing", "custom.ns.thing"), Equivalence::Same);
-        assert_eq!(reg.same_or_equivalent("custom.ns.thing", "other.ns.thing"), Equivalence::Different);
+        assert_eq!(
+            reg.same_or_equivalent("custom.ns.thing", "custom.ns.thing"),
+            Equivalence::Same
+        );
+        assert_eq!(
+            reg.same_or_equivalent("custom.ns.thing", "other.ns.thing"),
+            Equivalence::Different
+        );
     }
 
     #[test]
@@ -586,7 +619,11 @@ mod tests {
     fn every_module_has_valid_fqcn_shape() {
         for m in MODULES {
             let parts: Vec<&str> = m.fqcn.split('.').collect();
-            assert!(parts.len() >= 3, "fqcn {} should be ns.collection.module", m.fqcn);
+            assert!(
+                parts.len() >= 3,
+                "fqcn {} should be ns.collection.module",
+                m.fqcn
+            );
             assert_eq!(parts.last().copied(), Some(m.short), "short of {}", m.fqcn);
         }
     }

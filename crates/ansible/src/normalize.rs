@@ -182,14 +182,20 @@ mod tests {
     fn kv_args_become_mapping() {
         let src = "- name: T\n  yum: name=httpd state=latest\n";
         let out = standardize(src).unwrap();
-        assert!(out.contains("ansible.builtin.yum:\n    name: httpd\n    state: latest"), "{out}");
+        assert!(
+            out.contains("ansible.builtin.yum:\n    name: httpd\n    state: latest"),
+            "{out}"
+        );
     }
 
     #[test]
     fn free_form_commands_untouched() {
         let src = "- name: T\n  shell: systemctl restart nginx\n";
         let out = standardize(src).unwrap();
-        assert!(out.contains("ansible.builtin.shell: systemctl restart nginx"), "{out}");
+        assert!(
+            out.contains("ansible.builtin.shell: systemctl restart nginx"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -235,7 +241,8 @@ mod tests {
 
     #[test]
     fn blocks_normalized_recursively() {
-        let src = "- when: c\n  block:\n    - copy: src=a dest=b\n      name: inner\n  name: outer\n";
+        let src =
+            "- when: c\n  block:\n    - copy: src=a dest=b\n      name: inner\n  name: outer\n";
         let out = standardize(src).unwrap();
         assert!(out.contains("ansible.builtin.copy:"), "{out}");
         let n = out.find("name: outer").unwrap();

@@ -470,8 +470,7 @@ mod tests {
 
     #[test]
     fn task_file_parsing() {
-        let items =
-            parse_task_file("- name: A\n  ping: {}\n- name: B\n  setup: {}\n").unwrap();
+        let items = parse_task_file("- name: A\n  ping: {}\n- name: B\n  setup: {}\n").unwrap();
         assert_eq!(items.len(), 2);
     }
 
@@ -482,7 +481,8 @@ mod tests {
 
     #[test]
     fn multi_play_playbook() {
-        let src = "- hosts: web\n  tasks:\n    - ping: {}\n- hosts: db\n  tasks:\n    - setup: {}\n";
+        let src =
+            "- hosts: web\n  tasks:\n    - ping: {}\n- hosts: db\n  tasks:\n    - setup: {}\n";
         let pb = Playbook::parse(src).unwrap();
         assert_eq!(pb.plays.len(), 2);
     }

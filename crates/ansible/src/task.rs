@@ -27,7 +27,11 @@ impl fmt::Display for ParseTaskError {
             ParseTaskError::NotAMapping => write!(f, "task node is not a mapping"),
             ParseTaskError::MissingModule => write!(f, "task has no module key"),
             ParseTaskError::MultipleModules(keys) => {
-                write!(f, "task has multiple module candidates: {}", keys.join(", "))
+                write!(
+                    f,
+                    "task has multiple module candidates: {}",
+                    keys.join(", ")
+                )
             }
             ParseTaskError::IsBlock => write!(f, "mapping is a block, not a task"),
         }
@@ -79,10 +83,7 @@ impl Task {
         if map.keys().any(is_block_key) {
             return Err(ParseTaskError::IsBlock);
         }
-        let candidates: Vec<&str> = map
-            .keys()
-            .filter(|k| !is_task_keyword(k))
-            .collect();
+        let candidates: Vec<&str> = map.keys().filter(|k| !is_task_keyword(k)).collect();
         match candidates.len() {
             0 => Err(ParseTaskError::MissingModule),
             1 => {
@@ -157,8 +158,8 @@ mod tests {
 
     #[test]
     fn parse_simple_task() {
-        let t = Task::parse("name: Start nginx\nservice:\n  name: nginx\n  state: started\n")
-            .unwrap();
+        let t =
+            Task::parse("name: Start nginx\nservice:\n  name: nginx\n  state: started\n").unwrap();
         assert_eq!(t.name.as_deref(), Some("Start nginx"));
         assert_eq!(t.module, "service");
         assert_eq!(t.fqcn(), "ansible.builtin.service");

@@ -5,8 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wisdom_corpus::{FileCtx, GenericKind};
 use wisdom_metrics::{ansible_aware, sentence_bleu};
+use wisdom_model::{ModelConfig, TransformerLm};
 use wisdom_prng::Prng;
-use wisdom_tensor::kernels::matmul;
+use wisdom_tensor::kernels::{matmul, matmul_acc_sparse, matmul_acc_threads};
 use wisdom_tokenizer::BpeTokenizer;
 
 fn bench(c: &mut Criterion) {
@@ -27,7 +28,12 @@ fn bench(c: &mut Criterion) {
     });
 
     c.bench_function("ansible/lint_role_file", |b| {
-        b.iter(|| black_box(wisdom_ansible::lint_str(&file, wisdom_ansible::LintTarget::Auto)))
+        b.iter(|| {
+            black_box(wisdom_ansible::lint_str(
+                &file,
+                wisdom_ansible::LintTarget::Auto,
+            ))
+        })
     });
     c.bench_function("ansible/standardize_role_file", |b| {
         b.iter(|| black_box(wisdom_ansible::standardize(&file)))
@@ -60,6 +66,35 @@ fn bench(c: &mut Criterion) {
             matmul(&a, &bm, m, m, m, &mut out);
             black_box(out[0])
         })
+    });
+    // Blocked dense kernel vs the former zero-skipping naive kernel, on the
+    // same dense operands, single-threaded so only the loop structure
+    // differs.
+    c.bench_function("tensor/matmul_128_blocked_1thread", |b| {
+        b.iter(|| {
+            out.fill(0.0);
+            matmul_acc_threads(&a, &bm, m, m, m, &mut out, 1);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("tensor/matmul_128_naive", |b| {
+        b.iter(|| {
+            out.fill(0.0);
+            matmul_acc_sparse(&a, &bm, m, m, m, &mut out);
+            black_box(out[0])
+        })
+    });
+
+    // Batched prompt prefill vs the sequential step loop on the 350M-class
+    // architecture with a full-context prompt.
+    let cfg = ModelConfig::size_350m(500, 64);
+    let model = TransformerLm::new(cfg, &mut rng);
+    let window: Vec<u32> = (0..64u32).map(|i| (i * 17 + 3) % 500).collect();
+    c.bench_function("model/prefill_batched_ctx64", |b| {
+        b.iter(|| black_box(model.prefill(&window)))
+    });
+    c.bench_function("model/prefill_step_loop_ctx64", |b| {
+        b.iter(|| black_box(model.prefill_sequential(&window)))
     });
 }
 

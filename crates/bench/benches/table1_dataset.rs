@@ -33,9 +33,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table1/standardize_file", |b| {
         let mut rng = Prng::seed_from_u64(2);
         let ctx = FileCtx::crawled(&mut rng);
-        let file = wisdom_corpus::emit_task_file(&wisdom_corpus::generate_role_file(
-            &ctx, &mut rng,
-        ));
+        let file =
+            wisdom_corpus::emit_task_file(&wisdom_corpus::generate_role_file(&ctx, &mut rng));
         b.iter(|| wisdom_ansible::standardize(black_box(&file)))
     });
 

@@ -24,11 +24,16 @@ fn bench(c: &mut Criterion) {
         ("2.7B", ModelConfig::size_2_7b(vocab, ctx)),
         ("6B", ModelConfig::size_6b(vocab, ctx)),
     ];
+    let models: Vec<(&str, TransformerLm)> = configs
+        .into_iter()
+        .map(|(label, cfg)| (label, TransformerLm::new(cfg, &mut rng)))
+        .collect();
+
+    // Decode: tokens generated per second after the prompt is in the cache.
     let tokens = 48usize;
     let mut group = c.benchmark_group("throughput/generate_48_tokens");
     group.throughput(Throughput::Elements(tokens as u64));
-    for (label, cfg) in configs {
-        let model = TransformerLm::new(cfg, &mut rng);
+    for (label, model) in &models {
         let opts = GenerationOptions {
             max_new_tokens: tokens,
             strategy: Strategy::TopK {
@@ -37,8 +42,25 @@ fn bench(c: &mut Criterion) {
             },
             seed: 11,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, m| {
+        group.bench_with_input(BenchmarkId::from_parameter(label), model, |b, m| {
             b.iter(|| black_box(m.generate(&[3, 4, 5, 6], &[], &opts)))
+        });
+    }
+    group.finish();
+
+    // Prefill: prompt tokens absorbed per second on a context-window-length
+    // prompt, batched pass vs the sequential step-loop baseline.
+    let window: Vec<u32> = (0..ctx as u32)
+        .map(|i| (i * 31 + 3) % vocab as u32)
+        .collect();
+    let mut group = c.benchmark_group("throughput/prefill_full_context");
+    group.throughput(Throughput::Elements(ctx as u64));
+    for (label, model) in &models {
+        group.bench_with_input(BenchmarkId::new("batched", label), model, |b, m| {
+            b.iter(|| black_box(m.prefill(&window)))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", label), model, |b, m| {
+            b.iter(|| black_box(m.prefill_sequential(&window)))
         });
     }
     group.finish();

@@ -223,11 +223,8 @@ impl Wisdom {
     /// first task, and lints the result.
     pub fn complete(&self, request: &CompletionRequest) -> Suggestion {
         let prompt = request.prompt_text();
-        let generator = LmTextGenerator::new(
-            "wisdom",
-            self.model.clone(),
-            Arc::clone(&self.tokenizer),
-        );
+        let generator =
+            LmTextGenerator::new("wisdom", self.model.clone(), Arc::clone(&self.tokenizer));
         let raw = generator.complete(
             &prompt,
             &GenerationOptions {
@@ -299,8 +296,7 @@ impl Wisdom {
             finetune_lr: 0.0,
             max_new_tokens: get("max_new")?,
         };
-        let tokenizer =
-            Arc::new(BpeTokenizer::from_text(tok_text).map_err(|e| e.to_string())?);
+        let tokenizer = Arc::new(BpeTokenizer::from_text(tok_text).map_err(|e| e.to_string())?);
         let model = wisdom_model::load_checkpoint(model_text).map_err(|e| e.to_string())?;
         if model.config().vocab_size != tokenizer.vocab_size() {
             return Err(format!(

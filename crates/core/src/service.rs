@@ -81,10 +81,8 @@ mod tests {
 
     #[test]
     fn task_file_context_keeps_indent() {
-        let r = CompletionRequest::new(
-            "---\n- name: first\n  ansible.builtin.ping: {}\n",
-            "second",
-        );
+        let r =
+            CompletionRequest::new("---\n- name: first\n  ansible.builtin.ping: {}\n", "second");
         assert_eq!(r.name_indent(), 0);
         assert!(r.prompt_text().ends_with("- name: second\n"));
     }

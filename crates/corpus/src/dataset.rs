@@ -124,11 +124,15 @@ impl Corpus {
 
         let mut galaxy_rng = root.fork("galaxy");
         let (galaxy, galaxy_stats) =
-            build_channel(spec.galaxy_files, &mut dedup, |rng| galaxy_file(rng), &mut galaxy_rng);
+            build_channel(spec.galaxy_files, &mut dedup, galaxy_file, &mut galaxy_rng);
 
         let mut gitlab_rng = root.fork("gitlab");
-        let (gitlab, gitlab_stats) =
-            build_channel(spec.gitlab_files, &mut dedup, crawled_ansible_file, &mut gitlab_rng);
+        let (gitlab, gitlab_stats) = build_channel(
+            spec.gitlab_files,
+            &mut dedup,
+            crawled_ansible_file,
+            &mut gitlab_rng,
+        );
 
         let mut gh_rng = root.fork("github");
         let (github_ansible, gh_stats) = build_channel(
@@ -364,6 +368,9 @@ mod tests {
     #[test]
     fn ansible_pretrain_combines_channels() {
         let c = Corpus::build(&small_spec());
-        assert_eq!(c.ansible_pretrain().len(), c.gitlab.len() + c.github_ansible.len());
+        assert_eq!(
+            c.ansible_pretrain().len(),
+            c.gitlab.len() + c.github_ansible.len()
+        );
     }
 }

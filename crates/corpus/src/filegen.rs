@@ -61,9 +61,9 @@ impl Scenario {
             Scenario::WebServer => {
                 pick_product(rng, |p| matches!(p.label, "nginx" | "apache" | "haproxy"))
             }
-            Scenario::Database => pick_product(rng, |p| {
-                matches!(p.label, "postgresql" | "mysql" | "redis")
-            }),
+            Scenario::Database => {
+                pick_product(rng, |p| matches!(p.label, "postgresql" | "mysql" | "redis"))
+            }
             Scenario::Monitoring => pick_product(rng, |p| {
                 matches!(p.label, "prometheus" | "grafana" | "node exporter")
             }),
@@ -197,14 +197,16 @@ impl Scenario {
 
     /// A host pattern that suits the scenario.
     fn hosts(&self, rng: &mut Prng) -> &'static str {
-        match self {
-            Scenario::WebServer => *rng.choice(&["webservers", "web", "all"]),
-            Scenario::Database => *rng.choice(&["dbservers", "databases", "all"]),
-            Scenario::Monitoring => *rng.choice(&["monitoring", "all"]),
-            Scenario::DockerHost => *rng.choice(&["workers", "docker", "all"]),
-            Scenario::NetworkDevice => "all",
-            _ => *rng.choice(HOST_GROUPS),
-        }
+        let groups: &[&'static str] = match self {
+            Scenario::WebServer => &["webservers", "web", "all"],
+            Scenario::Database => &["dbservers", "databases", "all"],
+            Scenario::Monitoring => &["monitoring", "all"],
+            Scenario::DockerHost => &["workers", "docker", "all"],
+            // No rng draw here: keeps the deterministic stream unchanged.
+            Scenario::NetworkDevice => return "all",
+            _ => HOST_GROUPS,
+        };
+        rng.pick(groups)
     }
 }
 
@@ -278,7 +280,11 @@ pub fn generate_playbook(
             let mut vars = Mapping::new();
             vars.insert(
                 "app_port".to_string(),
-                Value::Int(i64::from(if product.port == 0 { 8080 } else { product.port })),
+                Value::Int(i64::from(if product.port == 0 {
+                    8080
+                } else {
+                    product.port
+                })),
             );
             vars.insert("app_env".to_string(), Value::Str("production".to_string()));
             keywords.insert("vars".to_string(), Value::Map(vars));
@@ -286,7 +292,10 @@ pub fn generate_playbook(
     }
     let play = Play {
         name: Some(scenario.play_name(product, rng)),
-        hosts: keywords.get("hosts").and_then(|v| v.as_str()).map(String::from),
+        hosts: keywords
+            .get("hosts")
+            .and_then(|v| v.as_str())
+            .map(String::from),
         tasks: tasks.into_iter().map(TaskItem::Task).collect(),
         pre_tasks: Vec::new(),
         post_tasks: Vec::new(),

@@ -61,9 +61,17 @@ fn ci_workflow(rng: &mut Prng) -> Value {
     let lang = *rng.choice(&["node", "python", "go", "rust"]);
     let (setup, build, test) = match lang {
         "node" => ("actions/setup-node@v3", "npm ci", "npm test"),
-        "python" => ("actions/setup-python@v4", "pip install -r requirements.txt", "pytest"),
+        "python" => (
+            "actions/setup-python@v4",
+            "pip install -r requirements.txt",
+            "pytest",
+        ),
         "go" => ("actions/setup-go@v4", "go build ./...", "go test ./..."),
-        _ => ("actions-rs/toolchain@v1", "cargo build --release", "cargo test"),
+        _ => (
+            "actions-rs/toolchain@v1",
+            "cargo build --release",
+            "cargo test",
+        ),
     };
     let mut steps = vec![
         m(vec![("uses", s("actions/checkout@v3"))]),
@@ -102,12 +110,7 @@ fn ci_workflow(rng: &mut Prng) -> Value {
 
 fn k8s_manifest(rng: &mut Prng) -> Value {
     let app = *rng.choice(&["web", "api", "worker", "frontend", "cache"]);
-    let image = *rng.choice(&[
-        "nginx:1.25",
-        "redis:7",
-        "example/api:2.3.1",
-        "postgres:15",
-    ]);
+    let image = *rng.choice(&["nginx:1.25", "redis:7", "example/api:2.3.1", "postgres:15"]);
     let replicas = *rng.choice(&[1i64, 2, 3, 5]);
     let port = *rng.choice(&[80i64, 8080, 5432, 6379]);
     m(vec![
@@ -115,10 +118,7 @@ fn k8s_manifest(rng: &mut Prng) -> Value {
         ("kind", s("Deployment")),
         (
             "metadata",
-            m(vec![
-                ("name", s(app)),
-                ("labels", m(vec![("app", s(app))])),
-            ]),
+            m(vec![("name", s(app)), ("labels", m(vec![("app", s(app))]))]),
         ),
         (
             "spec",
@@ -174,10 +174,7 @@ fn docker_compose(rng: &mut Prng) -> Value {
             ("ports", Value::Seq(vec![s(ports)])),
         ];
         if rng.chance(0.4) {
-            svc.push((
-                "environment",
-                m(vec![("APP_ENV", s("production"))]),
-            ));
+            svc.push(("environment", m(vec![("APP_ENV", s("production"))])));
         }
         services.insert(name.to_string(), m(svc));
     }

@@ -2,10 +2,11 @@
 //!
 //! The paper crawls GitHub/GitLab/BigQuery/Galaxy; offline, this crate
 //! *synthesizes* the equivalent corpus with the same pipeline semantics:
-//! per-source channels with source-specific quirks ([`dataset`]), validation
-//! + formatting standardization for the Galaxy fine-tuning channel,
-//! exact-match dedup, 80/10/10 splits, extraction of the four generation
-//! types, and the paper's name-completion prompt formulation ([`samples`]).
+//! per-source channels with source-specific quirks ([`dataset`]),
+//! validation and formatting standardization for the Galaxy fine-tuning
+//! channel, exact-match dedup, 80/10/10 splits, extraction of the four
+//! generation types, and the paper's name-completion prompt formulation
+//! ([`samples`]).
 //!
 //! The generators put real learnable structure into the data — package ↔
 //! service ↔ port correlations, scenario-level task orderings, natural

@@ -13,20 +13,48 @@ use crate::generic_yaml::generate_generic;
 use crate::taskgen::FileCtx;
 
 static SUBJECTS: &[&str] = &[
-    "the server", "our team", "the deployment", "this module", "the operator", "a user",
-    "the cluster", "the database", "the pipeline", "the service",
+    "the server",
+    "our team",
+    "the deployment",
+    "this module",
+    "the operator",
+    "a user",
+    "the cluster",
+    "the database",
+    "the pipeline",
+    "the service",
 ];
 static VERBS: &[&str] = &[
-    "restarts", "configures", "monitors", "updates", "deploys", "validates", "schedules",
-    "provisions", "scales", "backs up",
+    "restarts",
+    "configures",
+    "monitors",
+    "updates",
+    "deploys",
+    "validates",
+    "schedules",
+    "provisions",
+    "scales",
+    "backs up",
 ];
 static OBJECTS: &[&str] = &[
-    "the application", "every node", "the firewall rules", "its configuration",
-    "the staging environment", "all containers", "the web tier", "incoming requests",
-    "the build artifacts", "the access logs",
+    "the application",
+    "every node",
+    "the firewall rules",
+    "its configuration",
+    "the staging environment",
+    "all containers",
+    "the web tier",
+    "incoming requests",
+    "the build artifacts",
+    "the access logs",
 ];
 static CONNECTIVES: &[&str] = &[
-    "Afterwards,", "In practice,", "However,", "As a result,", "Meanwhile,", "Note that",
+    "Afterwards,",
+    "In practice,",
+    "However,",
+    "As a result,",
+    "Meanwhile,",
+    "Note that",
 ];
 
 /// Generates one natural-language document (a short paragraph).
@@ -35,7 +63,7 @@ pub fn nl_document(rng: &mut Prng) -> String {
     let mut out = String::new();
     for i in 0..sentences {
         if i > 0 && rng.chance(0.4) {
-            out.push_str(*rng.choice(CONNECTIVES));
+            out.push_str(rng.pick(CONNECTIVES));
             out.push(' ');
         }
         let subj = rng.choice(SUBJECTS);
@@ -54,10 +82,18 @@ pub fn nl_document(rng: &mut Prng) -> String {
 }
 
 static FUNC_NAMES: &[&str] = &[
-    "parse_config", "send_request", "update_cache", "compute_hash", "load_settings",
-    "restart_service", "validate_input", "merge_results",
+    "parse_config",
+    "send_request",
+    "update_cache",
+    "compute_hash",
+    "load_settings",
+    "restart_service",
+    "validate_input",
+    "merge_results",
 ];
-static VAR_NAMES: &[&str] = &["result", "config", "client", "data", "path", "count", "buffer"];
+static VAR_NAMES: &[&str] = &[
+    "result", "config", "client", "data", "path", "count", "buffer",
+];
 
 /// Generates one source-code document in a brace-style language
 /// (the BigQuery multi-language pool).
@@ -172,7 +208,10 @@ mod tests {
         assert_eq!(pool.len(), 300);
         let yaml_docs = pool.iter().filter(|d| d.starts_with("---")).count();
         assert!(yaml_docs > 5, "expected YAML admixture, got {yaml_docs}");
-        assert!(yaml_docs < 100, "YAML should be a minority, got {yaml_docs}");
+        assert!(
+            yaml_docs < 100,
+            "YAML should be a minority, got {yaml_docs}"
+        );
     }
 
     #[test]

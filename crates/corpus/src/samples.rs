@@ -25,7 +25,12 @@ pub enum GenType {
 
 impl GenType {
     /// All types, in the paper's Table 5 order.
-    pub const ALL: [GenType; 4] = [GenType::NlToPb, GenType::NlToT, GenType::PbNlToT, GenType::TNlToT];
+    pub const ALL: [GenType; 4] = [
+        GenType::NlToPb,
+        GenType::NlToT,
+        GenType::PbNlToT,
+        GenType::TNlToT,
+    ];
 }
 
 impl fmt::Display for GenType {
@@ -169,7 +174,10 @@ impl SplitSamples {
 
     /// Test samples of one generation type.
     pub fn test_of(&self, gen_type: GenType) -> Vec<&Sample> {
-        self.test.iter().filter(|s| s.gen_type == gen_type).collect()
+        self.test
+            .iter()
+            .filter(|s| s.gen_type == gen_type)
+            .collect()
     }
 }
 
@@ -189,9 +197,7 @@ pub fn extract_samples(file_text: &str) -> Vec<Sample> {
         return Vec::new();
     };
     match wisdom_ansible::detect_target(&value) {
-        wisdom_ansible::LintTarget::Playbook => {
-            extract_from_playbook(&value).unwrap_or_default()
-        }
+        wisdom_ansible::LintTarget::Playbook => extract_from_playbook(&value).unwrap_or_default(),
         _ => extract_from_task_file(&value).unwrap_or_default(),
     }
 }
@@ -318,17 +324,19 @@ fn extract_from_playbook(value: &Value) -> Option<Vec<Sample>> {
         });
     } else {
         // PB+NL→T: predict task i given the playbook truncated before it.
-        for i in 1..tasks.len() {
-            let name = tasks[i].name.clone().expect("checked above");
-            let Some(body) = task_body(tasks[i], 4) else {
+        for (i, task) in tasks.iter().enumerate().skip(1) {
+            let name = task.name.clone().expect("checked above");
+            let Some(body) = task_body(task, 4) else {
                 continue;
             };
             let mut truncated = play.clone();
             truncated.tasks = play.tasks[..i].to_vec();
-            let context = emit_doc(&Playbook {
-                plays: vec![truncated],
-            }
-            .to_value());
+            let context = emit_doc(
+                &Playbook {
+                    plays: vec![truncated],
+                }
+                .to_value(),
+            );
             out.push(Sample {
                 gen_type: GenType::PbNlToT,
                 context,
@@ -365,9 +373,7 @@ mod tests {
         // Fig. 2c: T+NL→T for the second.
         assert_eq!(samples[1].gen_type, GenType::TNlToT);
         assert!(samples[1].context.contains("ansible.builtin.yum"));
-        assert!(samples[1]
-            .expected
-            .contains("ansible.builtin.template"));
+        assert!(samples[1].expected.contains("ansible.builtin.template"));
     }
 
     #[test]

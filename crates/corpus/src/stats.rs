@@ -49,7 +49,10 @@ impl CorpusStats {
             pools: vec![
                 ("galaxy (FT)", PoolStats::of(&corpus.galaxy)),
                 ("gitlab ansible (PT)", PoolStats::of(&corpus.gitlab)),
-                ("github+gbq ansible (PT)", PoolStats::of(&corpus.github_ansible)),
+                (
+                    "github+gbq ansible (PT)",
+                    PoolStats::of(&corpus.github_ansible),
+                ),
                 ("generic yaml (PT)", PoolStats::of(&corpus.generic)),
                 ("pile stand-in", PoolStats::of(&corpus.pile)),
                 ("bigquery stand-in", PoolStats::of(&corpus.bigquery)),
@@ -130,7 +133,15 @@ mod tests {
     #[test]
     fn report_mentions_every_channel() {
         let report = CorpusStats::of(&corpus()).report();
-        for needle in ["galaxy", "gitlab", "github+gbq", "generic", "pile", "bigquery", "bigpython"] {
+        for needle in [
+            "galaxy",
+            "gitlab",
+            "github+gbq",
+            "generic",
+            "pile",
+            "bigquery",
+            "bigpython",
+        ] {
             assert!(report.contains(needle), "missing {needle} in:\n{report}");
         }
     }

@@ -219,7 +219,11 @@ fn update_cache(ctx: &FileCtx, rng: &mut Prng) -> Task {
             new_task(
                 name,
                 module_name("yum", "ansible.builtin.yum", ctx),
-                map(vec![("name", str_val("*")), ("state", str_val("latest")), ("update_cache", Value::Bool(true))]),
+                map(vec![
+                    ("name", str_val("*")),
+                    ("state", str_val("latest")),
+                    ("update_cache", Value::Bool(true)),
+                ]),
             )
         }
         _ => {
@@ -254,11 +258,7 @@ fn deploy_config(product: &Product, ctx: &FileCtx, rng: &mut Prng) -> Task {
     let name = name_noise(rng.choice(&templates), rng);
     let base = dest.rsplit('/').next().expect("path has a basename");
     let (short, fqcn, src) = if use_template {
-        (
-            "template",
-            "ansible.builtin.template",
-            format!("{base}.j2"),
-        )
+        ("template", "ansible.builtin.template", format!("{base}.j2"))
     } else {
         ("copy", "ansible.builtin.copy", format!("files/{base}"))
     };
@@ -337,7 +337,11 @@ fn restart_service(product: &Product, ctx: &FileCtx, rng: &mut Prng) -> Task {
 }
 
 fn open_firewall(product: &Product, ctx: &FileCtx, rng: &mut Prng) -> Task {
-    let port = if product.port == 0 { 8080 } else { product.port };
+    let port = if product.port == 0 {
+        8080
+    } else {
+        product.port
+    };
     let templates = [
         format!("Open port {port} in the firewall"),
         format!("Allow {} traffic", product.label),
@@ -368,7 +372,11 @@ fn open_firewall(product: &Product, ctx: &FileCtx, rng: &mut Prng) -> Task {
 }
 
 fn wait_for_port(product: &Product, ctx: &FileCtx, rng: &mut Prng) -> Task {
-    let port = if product.port == 0 { 8080 } else { product.port };
+    let port = if product.port == 0 {
+        8080
+    } else {
+        product.port
+    };
     let templates = [
         format!("Wait for {} to come up", product.label),
         format!("Wait for port {port} to be open"),
@@ -427,7 +435,10 @@ fn git_clone(ctx: &FileCtx, rng: &mut Prng) -> Task {
     let name = name_noise(rng.choice(&templates), rng);
     let mut pairs = vec![("repo", str_val(repo)), ("dest", str_val(dest))];
     if rng.chance(0.5) {
-        pairs.push(("version", str_val(*rng.choice(&["main", "master", "v1.4.2", "stable"]))));
+        pairs.push((
+            "version",
+            str_val(*rng.choice(&["main", "master", "v1.4.2", "stable"])),
+        ));
     }
     if rng.chance(0.3) {
         pairs.push(("update", Value::Bool(true)));
@@ -515,7 +526,10 @@ fn create_group(ctx: &FileCtx, rng: &mut Prng) -> Task {
     new_task(
         name,
         module_name("group", "ansible.builtin.group", ctx),
-        map(vec![("name", str_val(group)), ("state", str_val("present"))]),
+        map(vec![
+            ("name", str_val(group)),
+            ("state", str_val("present")),
+        ]),
     )
 }
 
@@ -569,12 +583,21 @@ fn config_line(product: &Product, ctx: &FileCtx, rng: &mut Prng) -> Task {
             "^#?PermitRootLogin",
         )
     } else if product.config_path.is_empty() {
-        ("/etc/app/app.conf", "max_connections = 100", "^max_connections")
+        (
+            "/etc/app/app.conf",
+            "max_connections = 100",
+            "^max_connections",
+        )
     } else {
         (product.config_path, "log_level = info", "^log_level")
     };
     let templates = [
-        format!("Set {} in {path}", line.split(|c| c == ' ' || c == '=').next().expect("line has a first word")),
+        format!(
+            "Set {} in {path}",
+            line.split([' ', '='])
+                .next()
+                .expect("line has a first word")
+        ),
         format!("Update {path}"),
         format!("Ensure {line} is set"),
     ];
@@ -596,7 +619,12 @@ fn cron_job(ctx: &FileCtx, rng: &mut Prng) -> Task {
         ("nightly backup", "/opt/scripts/backup.sh", "0", "2"),
         ("log rotation", "/opt/scripts/rotate-logs.sh", "30", "1"),
         ("metrics push", "/usr/local/bin/push-metrics", "*/5", "*"),
-        ("cleanup temp files", "find /tmp -mtime +7 -delete", "15", "3"),
+        (
+            "cleanup temp files",
+            "find /tmp -mtime +7 -delete",
+            "15",
+            "3",
+        ),
     ]);
     let templates = [
         format!("Schedule {job_name}"),
@@ -713,7 +741,11 @@ fn create_db_user(product: &Product, ctx: &FileCtx, rng: &mut Prng) -> Task {
     } else {
         new_task(
             name,
-            module_name("postgresql_user", "community.postgresql.postgresql_user", ctx),
+            module_name(
+                "postgresql_user",
+                "community.postgresql.postgresql_user",
+                ctx,
+            ),
             map(vec![
                 ("name", str_val(user)),
                 ("password", str_val("{{ vault_db_password }}")),
@@ -796,7 +828,8 @@ fn maybe_add_keywords(task: &mut Task, kind: TaskKind, ctx: &FileCtx, rng: &mut 
                     | TaskKind::EnableService
                     | TaskKind::DeployConfig
             ) {
-                task.keywords.insert("become".to_string(), Value::Bool(true));
+                task.keywords
+                    .insert("become".to_string(), Value::Bool(true));
             }
         }
         1 => {

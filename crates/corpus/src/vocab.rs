@@ -24,30 +24,170 @@ pub struct Product {
 
 /// The product catalogue the scenario generator draws from.
 pub static PRODUCTS: &[Product] = &[
-    Product { label: "nginx", deb_package: "nginx", rpm_package: "nginx", service: "nginx", port: 80, config_path: "/etc/nginx/nginx.conf" },
-    Product { label: "apache", deb_package: "apache2", rpm_package: "httpd", service: "httpd", port: 80, config_path: "/etc/httpd/conf/httpd.conf" },
-    Product { label: "haproxy", deb_package: "haproxy", rpm_package: "haproxy", service: "haproxy", port: 443, config_path: "/etc/haproxy/haproxy.cfg" },
-    Product { label: "postgresql", deb_package: "postgresql", rpm_package: "postgresql-server", service: "postgresql", port: 5432, config_path: "/etc/postgresql/postgresql.conf" },
-    Product { label: "mysql", deb_package: "mysql-server", rpm_package: "mysql-server", service: "mysqld", port: 3306, config_path: "/etc/my.cnf" },
-    Product { label: "redis", deb_package: "redis-server", rpm_package: "redis", service: "redis", port: 6379, config_path: "/etc/redis/redis.conf" },
-    Product { label: "docker", deb_package: "docker.io", rpm_package: "docker-ce", service: "docker", port: 0, config_path: "/etc/docker/daemon.json" },
-    Product { label: "ssh server", deb_package: "openssh-server", rpm_package: "openssh-server", service: "sshd", port: 22, config_path: "/etc/ssh/sshd_config" },
-    Product { label: "prometheus", deb_package: "prometheus", rpm_package: "prometheus", service: "prometheus", port: 9090, config_path: "/etc/prometheus/prometheus.yml" },
-    Product { label: "grafana", deb_package: "grafana", rpm_package: "grafana", service: "grafana-server", port: 3000, config_path: "/etc/grafana/grafana.ini" },
-    Product { label: "fail2ban", deb_package: "fail2ban", rpm_package: "fail2ban", service: "fail2ban", port: 0, config_path: "/etc/fail2ban/jail.local" },
-    Product { label: "chrony", deb_package: "chrony", rpm_package: "chrony", service: "chronyd", port: 0, config_path: "/etc/chrony/chrony.conf" },
-    Product { label: "memcached", deb_package: "memcached", rpm_package: "memcached", service: "memcached", port: 11211, config_path: "/etc/memcached.conf" },
-    Product { label: "rabbitmq", deb_package: "rabbitmq-server", rpm_package: "rabbitmq-server", service: "rabbitmq-server", port: 5672, config_path: "/etc/rabbitmq/rabbitmq.conf" },
-    Product { label: "elasticsearch", deb_package: "elasticsearch", rpm_package: "elasticsearch", service: "elasticsearch", port: 9200, config_path: "/etc/elasticsearch/elasticsearch.yml" },
-    Product { label: "jenkins", deb_package: "jenkins", rpm_package: "jenkins", service: "jenkins", port: 8080, config_path: "/etc/default/jenkins" },
-    Product { label: "node exporter", deb_package: "prometheus-node-exporter", rpm_package: "node_exporter", service: "node_exporter", port: 9100, config_path: "" },
-    Product { label: "keepalived", deb_package: "keepalived", rpm_package: "keepalived", service: "keepalived", port: 0, config_path: "/etc/keepalived/keepalived.conf" },
+    Product {
+        label: "nginx",
+        deb_package: "nginx",
+        rpm_package: "nginx",
+        service: "nginx",
+        port: 80,
+        config_path: "/etc/nginx/nginx.conf",
+    },
+    Product {
+        label: "apache",
+        deb_package: "apache2",
+        rpm_package: "httpd",
+        service: "httpd",
+        port: 80,
+        config_path: "/etc/httpd/conf/httpd.conf",
+    },
+    Product {
+        label: "haproxy",
+        deb_package: "haproxy",
+        rpm_package: "haproxy",
+        service: "haproxy",
+        port: 443,
+        config_path: "/etc/haproxy/haproxy.cfg",
+    },
+    Product {
+        label: "postgresql",
+        deb_package: "postgresql",
+        rpm_package: "postgresql-server",
+        service: "postgresql",
+        port: 5432,
+        config_path: "/etc/postgresql/postgresql.conf",
+    },
+    Product {
+        label: "mysql",
+        deb_package: "mysql-server",
+        rpm_package: "mysql-server",
+        service: "mysqld",
+        port: 3306,
+        config_path: "/etc/my.cnf",
+    },
+    Product {
+        label: "redis",
+        deb_package: "redis-server",
+        rpm_package: "redis",
+        service: "redis",
+        port: 6379,
+        config_path: "/etc/redis/redis.conf",
+    },
+    Product {
+        label: "docker",
+        deb_package: "docker.io",
+        rpm_package: "docker-ce",
+        service: "docker",
+        port: 0,
+        config_path: "/etc/docker/daemon.json",
+    },
+    Product {
+        label: "ssh server",
+        deb_package: "openssh-server",
+        rpm_package: "openssh-server",
+        service: "sshd",
+        port: 22,
+        config_path: "/etc/ssh/sshd_config",
+    },
+    Product {
+        label: "prometheus",
+        deb_package: "prometheus",
+        rpm_package: "prometheus",
+        service: "prometheus",
+        port: 9090,
+        config_path: "/etc/prometheus/prometheus.yml",
+    },
+    Product {
+        label: "grafana",
+        deb_package: "grafana",
+        rpm_package: "grafana",
+        service: "grafana-server",
+        port: 3000,
+        config_path: "/etc/grafana/grafana.ini",
+    },
+    Product {
+        label: "fail2ban",
+        deb_package: "fail2ban",
+        rpm_package: "fail2ban",
+        service: "fail2ban",
+        port: 0,
+        config_path: "/etc/fail2ban/jail.local",
+    },
+    Product {
+        label: "chrony",
+        deb_package: "chrony",
+        rpm_package: "chrony",
+        service: "chronyd",
+        port: 0,
+        config_path: "/etc/chrony/chrony.conf",
+    },
+    Product {
+        label: "memcached",
+        deb_package: "memcached",
+        rpm_package: "memcached",
+        service: "memcached",
+        port: 11211,
+        config_path: "/etc/memcached.conf",
+    },
+    Product {
+        label: "rabbitmq",
+        deb_package: "rabbitmq-server",
+        rpm_package: "rabbitmq-server",
+        service: "rabbitmq-server",
+        port: 5672,
+        config_path: "/etc/rabbitmq/rabbitmq.conf",
+    },
+    Product {
+        label: "elasticsearch",
+        deb_package: "elasticsearch",
+        rpm_package: "elasticsearch",
+        service: "elasticsearch",
+        port: 9200,
+        config_path: "/etc/elasticsearch/elasticsearch.yml",
+    },
+    Product {
+        label: "jenkins",
+        deb_package: "jenkins",
+        rpm_package: "jenkins",
+        service: "jenkins",
+        port: 8080,
+        config_path: "/etc/default/jenkins",
+    },
+    Product {
+        label: "node exporter",
+        deb_package: "prometheus-node-exporter",
+        rpm_package: "node_exporter",
+        service: "node_exporter",
+        port: 9100,
+        config_path: "",
+    },
+    Product {
+        label: "keepalived",
+        deb_package: "keepalived",
+        rpm_package: "keepalived",
+        service: "keepalived",
+        port: 0,
+        config_path: "/etc/keepalived/keepalived.conf",
+    },
 ];
 
 /// Plain utility packages (no associated service).
 pub static UTIL_PACKAGES: &[&str] = &[
-    "git", "curl", "wget", "vim", "htop", "unzip", "jq", "rsync", "tmux", "python3-pip",
-    "build-essential", "net-tools", "ca-certificates", "gnupg", "tree", "strace",
+    "git",
+    "curl",
+    "wget",
+    "vim",
+    "htop",
+    "unzip",
+    "jq",
+    "rsync",
+    "tmux",
+    "python3-pip",
+    "build-essential",
+    "net-tools",
+    "ca-certificates",
+    "gnupg",
+    "tree",
+    "strace",
 ];
 
 /// User account names.
@@ -60,8 +200,16 @@ pub static GROUPS: &[&str] = &["wheel", "docker", "sudo", "developers", "web", "
 
 /// Host group patterns for plays.
 pub static HOST_GROUPS: &[&str] = &[
-    "all", "webservers", "dbservers", "appservers", "loadbalancers", "monitoring", "workers",
-    "localhost", "staging", "production",
+    "all",
+    "webservers",
+    "dbservers",
+    "appservers",
+    "loadbalancers",
+    "monitoring",
+    "workers",
+    "localhost",
+    "staging",
+    "production",
 ];
 
 /// Repository URLs for git tasks.
@@ -74,16 +222,32 @@ pub static GIT_REPOS: &[&str] = &[
 
 /// Download URLs.
 pub static DOWNLOAD_URLS: &[(&str, &str)] = &[
-    ("https://releases.example.com/app/app-1.4.2.tar.gz", "/tmp/app.tar.gz"),
-    ("https://dl.example.org/tools/cli-2.0.1-linux-amd64.tar.gz", "/tmp/cli.tar.gz"),
+    (
+        "https://releases.example.com/app/app-1.4.2.tar.gz",
+        "/tmp/app.tar.gz",
+    ),
+    (
+        "https://dl.example.org/tools/cli-2.0.1-linux-amd64.tar.gz",
+        "/tmp/cli.tar.gz",
+    ),
     ("https://get.example.io/installer.sh", "/tmp/installer.sh"),
-    ("https://artifacts.example.com/agent/agent-latest.rpm", "/tmp/agent.rpm"),
+    (
+        "https://artifacts.example.com/agent/agent-latest.rpm",
+        "/tmp/agent.rpm",
+    ),
 ];
 
 /// Directory paths for file tasks.
 pub static DIRECTORIES: &[&str] = &[
-    "/opt/app", "/var/www/html", "/etc/app", "/var/log/app", "/srv/data", "/opt/scripts",
-    "/var/backups", "/usr/local/bin", "/home/deploy/releases",
+    "/opt/app",
+    "/var/www/html",
+    "/etc/app",
+    "/var/log/app",
+    "/srv/data",
+    "/opt/scripts",
+    "/var/backups",
+    "/usr/local/bin",
+    "/home/deploy/releases",
 ];
 
 /// Linux kernel sysctl keys.

@@ -31,7 +31,7 @@ pub mod tables;
 mod zoo;
 
 pub use experiments::{
-    run_decoding_ablation, run_table3, run_table4, run_table5, run_throughput, Row,
+    run_decoding_ablation, run_table3, run_table4, run_table5, run_throughput, Progress, Row,
     ThroughputResult, TypeRow,
 };
 pub use profile::Profile;

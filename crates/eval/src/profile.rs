@@ -133,9 +133,7 @@ impl Profile {
     /// the splits.
     pub fn corpus_spec(&self) -> CorpusSpec {
         let mut spec = CorpusSpec::scaled(self.seed, self.corpus_scale);
-        spec.galaxy_files = spec
-            .galaxy_files
-            .max(112_000 / self.corpus_scale.min(500));
+        spec.galaxy_files = spec.galaxy_files.max(112_000 / self.corpus_scale.min(500));
         spec
     }
 }

@@ -279,7 +279,10 @@ mod tests {
         let s = &samples[0];
         let raw = "  ansible.builtin.yum:\n    name: httpd\n    state: latest\n- name: Next task\n  ping: {}\n";
         let cut = postprocess(s, raw);
-        assert_eq!(cut, "  ansible.builtin.yum:\n    name: httpd\n    state: latest\n");
+        assert_eq!(
+            cut,
+            "  ansible.builtin.yum:\n    name: httpd\n    state: latest\n"
+        );
     }
 
     #[test]
@@ -381,8 +384,10 @@ mod tests {
         st.ansible_marker = true;
         let _ = evaluate(&capture, &refs, &st);
         let prompts = capture.0.lock().expect("lock");
-        let contextless: Vec<&String> =
-            prompts.iter().filter(|p| p.starts_with("Ansible\n")).collect();
+        let contextless: Vec<&String> = prompts
+            .iter()
+            .filter(|p| p.starts_with("Ansible\n"))
+            .collect();
         assert_eq!(contextless.len(), 1, "{prompts:?}");
     }
 }

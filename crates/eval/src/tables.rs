@@ -112,10 +112,20 @@ pub fn table5_text(rows: &[TypeRow]) -> String {
 /// Renders the throughput figure (§4.3).
 pub fn throughput_text(r: &ThroughputResult) -> String {
     format!(
-        "Generation throughput (single CPU stream, KV-cache greedy-path):\n  350M-class: {:>8.1} tokens/s\n  2.7B-class: {:>8.1} tokens/s\n  speedup:    {:>8.2}x  (paper: ~1.9x on one GPU)\n",
+        "Generation throughput (single CPU stream, KV-cache greedy-path):\n  \
+         decode  350M-class: {:>8.1} tokens/s\n  \
+         decode  2.7B-class: {:>8.1} tokens/s\n  \
+         decode speedup:     {:>8.2}x  (paper: ~1.9x on one GPU)\n  \
+         prefill 350M-class: {:>8.1} tokens/s (batched)\n  \
+         prefill 2.7B-class: {:>8.1} tokens/s (batched) vs {:.1} tokens/s (sequential)\n  \
+         prefill speedup:    {:>8.2}x  (batched vs step loop, 2.7B-class)\n",
         r.small_tps,
         r.large_tps,
-        r.speedup()
+        r.speedup(),
+        r.small_prefill_tps,
+        r.large_prefill_tps,
+        r.large_prefill_seq_tps,
+        r.prefill_speedup()
     )
 }
 
@@ -178,7 +188,12 @@ mod tests {
         let t = throughput_text(&crate::experiments::ThroughputResult {
             small_tps: 200.0,
             large_tps: 100.0,
+            small_prefill_tps: 900.0,
+            large_prefill_tps: 600.0,
+            large_prefill_seq_tps: 150.0,
         });
         assert!(t.contains("2.00x"));
+        assert!(t.contains("4.00x"), "prefill speedup column: {t}");
+        assert!(t.contains("600.0"));
     }
 }

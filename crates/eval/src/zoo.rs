@@ -7,7 +7,7 @@ use std::sync::Arc;
 use wisdom_corpus::{Corpus, PromptStyle, SplitSamples};
 use wisdom_model::{
     finetune_with_epochs, pack_documents, pretrain, FinetuneConfig, LmTextGenerator, ModelConfig,
-    PretrainConfig, RetrievalModel, SftSample, TransformerLm,
+    PretrainConfig, ProgressFn, RetrievalModel, SftSample, TransformerLm,
 };
 use wisdom_prng::Prng;
 use wisdom_tokenizer::BpeTokenizer;
@@ -256,8 +256,7 @@ impl Zoo {
                 "generic" => self.corpus.generic.iter().collect(),
                 other => panic!("unknown pool {other}"),
             };
-            let encoded: Vec<Vec<u32>> =
-                docs.iter().map(|d| self.tokenizer.encode(d)).collect();
+            let encoded: Vec<Vec<u32>> = docs.iter().map(|d| self.tokenizer.encode(d)).collect();
             self.encoded_pools.insert(key, encoded);
         }
         &self.encoded_pools[key]
@@ -298,7 +297,7 @@ impl Zoo {
     pub fn pretrained(
         &mut self,
         spec: &ZooModelSpec,
-        mut progress: Option<&mut dyn FnMut(usize, usize, f32)>,
+        mut progress: Option<ProgressFn<'_>>,
     ) -> TransformerLm {
         let key = Self::cache_key(spec);
         if let Some(m) = self.pretrained.get(&key) {
@@ -341,7 +340,7 @@ impl Zoo {
     pub fn fewshot_generator(
         &mut self,
         spec: &ZooModelSpec,
-        progress: Option<&mut dyn FnMut(usize, usize, f32)>,
+        progress: Option<ProgressFn<'_>>,
     ) -> LmTextGenerator {
         let model = self.pretrained(spec, progress);
         LmTextGenerator::new(
@@ -400,7 +399,7 @@ impl Zoo {
         ft_ctx_paper: usize,
         style: PromptStyle,
         data_fraction: f64,
-        mut progress: Option<&mut dyn FnMut(usize, usize, f32)>,
+        mut progress: Option<ProgressFn<'_>>,
     ) -> TransformerLm {
         let key = format!(
             "{}-{}-ctx{}-{:?}-{:.2}",
@@ -434,8 +433,7 @@ impl Zoo {
             .collect();
 
         // Validation subset for checkpoint selection by BLEU.
-        let val: Vec<wisdom_corpus::Sample> =
-            self.split.valid.iter().take(12).cloned().collect();
+        let val: Vec<wisdom_corpus::Sample> = self.split.valid.iter().take(12).cloned().collect();
         let tokenizer = Arc::clone(&self.tokenizer);
         let max_new = self.profile.max_new_tokens;
         let mut best: Option<(f64, TransformerLm)> = None;
@@ -476,7 +474,7 @@ impl Zoo {
         ft_ctx_paper: usize,
         style: PromptStyle,
         data_fraction: f64,
-        progress: Option<&mut dyn FnMut(usize, usize, f32)>,
+        progress: Option<ProgressFn<'_>>,
     ) -> LmTextGenerator {
         let model = self.finetuned(base, ft_ctx_paper, style, data_fraction, progress);
         LmTextGenerator::new(label, model, Arc::clone(&self.tokenizer))

@@ -17,9 +17,7 @@
 //!   `package`/`apt`/`dnf`/`yum`) receive a partial key score averaged with
 //!   the score of their arguments.
 
-use wisdom_ansible::{
-    is_task_keyword, normalize_document, Equivalence, ModuleRegistry,
-};
+use wisdom_ansible::{is_task_keyword, normalize_document, Equivalence, ModuleRegistry};
 use wisdom_yaml::{Mapping, Value};
 
 /// Partial key credit for equivalent-but-different modules.
@@ -89,15 +87,12 @@ fn play_score(target: &Mapping, pred: &Mapping) -> f64 {
         let Some(p_value) = pred.get(key) else {
             continue; // missing -> 0
         };
-        let value_score = if key == "tasks"
-            || key == "pre_tasks"
-            || key == "post_tasks"
-            || key == "handlers"
-        {
-            task_list_score(t_value, p_value)
-        } else {
-            value_score(t_value, p_value)
-        };
+        let value_score =
+            if key == "tasks" || key == "pre_tasks" || key == "post_tasks" || key == "handlers" {
+                task_list_score(t_value, p_value)
+            } else {
+                value_score(t_value, p_value)
+            };
         total += (1.0 + value_score) / 2.0;
     }
     if count == 0 {
@@ -144,17 +139,13 @@ fn task_score(target: &Mapping, pred: &Mapping) -> f64 {
             };
             match reg.same_or_equivalent(key, p_mod) {
                 Equivalence::Same => {
-                    let args = value_score(
-                        t_value,
-                        pred.get(p_mod).expect("module key from iteration"),
-                    );
+                    let args =
+                        value_score(t_value, pred.get(p_mod).expect("module key from iteration"));
                     total += (1.0 + args) / 2.0;
                 }
                 Equivalence::Equivalent => {
-                    let args = value_score(
-                        t_value,
-                        pred.get(p_mod).expect("module key from iteration"),
-                    );
+                    let args =
+                        value_score(t_value, pred.get(p_mod).expect("module key from iteration"));
                     total += (EQUIV_KEY_SCORE + args) / 2.0;
                 }
                 Equivalence::Different => {}
@@ -176,8 +167,9 @@ fn task_score(target: &Mapping, pred: &Mapping) -> f64 {
 fn value_score(target: &Value, pred: &Value) -> f64 {
     match (target, pred) {
         (Value::Map(t), Value::Map(p)) => {
+            // An empty target map places no constraints on the prediction.
             if t.is_empty() {
-                return if p.is_empty() { 1.0 } else { 1.0 };
+                return 1.0;
             }
             let mut total = 0.0;
             for (k, tv) in t.iter() {
@@ -301,7 +293,8 @@ mod tests {
 
     #[test]
     fn keywords_compared_too() {
-        let target = "- name: x\n  ansible.builtin.ping: {}\n  when: deploy_enabled\n  become: true\n";
+        let target =
+            "- name: x\n  ansible.builtin.ping: {}\n  when: deploy_enabled\n  become: true\n";
         let miss_kw = "- name: x\n  ansible.builtin.ping: {}\n  become: true\n";
         let s = ansible_aware(target, miss_kw);
         // 3 pairs; module 1.0, become 1.0, when 0 -> 2/3.
@@ -328,7 +321,8 @@ mod tests {
     #[test]
     fn playbook_task_lists_compared_positionally() {
         let target = "- name: P\n  hosts: all\n  tasks:\n    - name: a\n      ansible.builtin.ping: {}\n    - name: b\n      ansible.builtin.setup: {}\n";
-        let half = "- name: P\n  hosts: all\n  tasks:\n    - name: a\n      ansible.builtin.ping: {}\n";
+        let half =
+            "- name: P\n  hosts: all\n  tasks:\n    - name: a\n      ansible.builtin.ping: {}\n";
         let s = ansible_aware(target, half);
         // hosts 1.0; tasks: first task 1.0, second missing 0 -> 0.5 ->
         // pair (1+0.5)/2 = 0.75 -> (1 + 0.75)/2 = 0.875
@@ -338,7 +332,8 @@ mod tests {
     #[test]
     fn list_values_recursive() {
         let target = "- name: x\n  vyos.vyos.vyos_config:\n    lines:\n      - set system host-name vyos\n      - set service ssh\n";
-        let partial = "- name: x\n  vyos.vyos.vyos_config:\n    lines:\n      - set system host-name vyos\n";
+        let partial =
+            "- name: x\n  vyos.vyos.vyos_config:\n    lines:\n      - set system host-name vyos\n";
         let s = ansible_aware(target, partial);
         assert!(s > 50.0 && s < 100.0, "{s}");
     }

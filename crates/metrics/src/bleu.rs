@@ -200,10 +200,7 @@ mod tests {
     fn corpus_bleu_perfect_and_aggregate() {
         let pairs = vec![(GOLD, GOLD), (GOLD, GOLD)];
         assert!((corpus_bleu(pairs) - 100.0).abs() < 1.0);
-        let mixed = vec![
-            (GOLD, GOLD),
-            (GOLD, "ansible.builtin.user:\n  name: x\n"),
-        ];
+        let mixed = vec![(GOLD, GOLD), (GOLD, "ansible.builtin.user:\n  name: x\n")];
         let b = corpus_bleu(mixed);
         assert!(b > 10.0 && b < 100.0, "{b}");
     }

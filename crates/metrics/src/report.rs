@@ -174,9 +174,7 @@ mod tests {
 
     #[test]
     fn schema_correct_detects_bad_yaml() {
-        assert!(schema_correct(
-            "- name: x\n  ansible.builtin.ping: {}\n"
-        ));
+        assert!(schema_correct("- name: x\n  ansible.builtin.ping: {}\n"));
         assert!(!schema_correct("- name: x\n  nonexistent_module: {}\n"));
         assert!(!schema_correct("broken: ["));
     }

@@ -104,20 +104,18 @@ pub fn load_checkpoint(text: &str) -> Result<TransformerLm, LoadCheckpointError>
                 message: "missing name".to_string(),
             })?
             .to_string();
-        let rows: usize = parts
-            .next()
-            .and_then(|p| p.parse().ok())
-            .ok_or_else(|| LoadCheckpointError::BadTensor {
+        let rows: usize = parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| {
+            LoadCheckpointError::BadTensor {
                 line: lineno,
                 message: "missing rows".to_string(),
-            })?;
-        let cols: usize = parts
-            .next()
-            .and_then(|p| p.parse().ok())
-            .ok_or_else(|| LoadCheckpointError::BadTensor {
+            }
+        })?;
+        let cols: usize = parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| {
+            LoadCheckpointError::BadTensor {
                 line: lineno,
                 message: "missing cols".to_string(),
-            })?;
+            }
+        })?;
         let mut data = Vec::with_capacity(rows * cols);
         for p in parts {
             let bits = u32::from_str_radix(p, 16).map_err(|_| LoadCheckpointError::BadTensor {

@@ -89,7 +89,11 @@ pub struct LmTextGenerator {
 
 impl LmTextGenerator {
     /// Wraps a model and its tokenizer under a display name.
-    pub fn new(name: impl Into<String>, model: TransformerLm, tokenizer: Arc<BpeTokenizer>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        model: TransformerLm,
+        tokenizer: Arc<BpeTokenizer>,
+    ) -> Self {
         Self {
             name: name.into(),
             model,

@@ -37,5 +37,8 @@ pub use config::ModelConfig;
 pub use decode::{GenerationOptions, LmTextGenerator, Strategy, TextGenerator};
 pub use ngram::{NgramLm, NgramTextGenerator};
 pub use retrieval::RetrievalModel;
-pub use train::{finetune, finetune_with_epochs, pack_documents, pretrain, FinetuneConfig, PretrainConfig, SftSample};
-pub use transformer::TransformerLm;
+pub use train::{
+    finetune, finetune_with_epochs, pack_documents, pretrain, EpochFn, FinetuneConfig,
+    PretrainConfig, ProgressFn, SftSample,
+};
+pub use transformer::{KvCache, TransformerLm};

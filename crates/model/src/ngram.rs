@@ -75,7 +75,11 @@ impl NgramLm {
         let scores = self.next_scores(context);
         scores
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.0.cmp(&a.0))
+            })
             .map(|(t, _)| t)
     }
 
@@ -112,9 +116,8 @@ impl NgramLm {
                 Strategy::Greedy => self.predict(&ctx),
                 Strategy::TopK { k, .. } => {
                     let mut scores = self.next_scores(&ctx);
-                    scores.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    scores
+                        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                     scores.truncate(k.max(1));
                     if scores.is_empty() {
                         None
@@ -218,7 +221,9 @@ mod tests {
     fn untrained_predicts_none() {
         let lm = NgramLm::new(2, 10);
         assert_eq!(lm.predict(&[1]), None);
-        assert!(lm.generate(&[1], 0, &GenerationOptions::default()).is_empty());
+        assert!(lm
+            .generate(&[1], 0, &GenerationOptions::default())
+            .is_empty());
     }
 
     #[test]

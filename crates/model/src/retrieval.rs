@@ -181,7 +181,10 @@ mod tests {
     #[test]
     fn exact_leak_returns_verbatim_body() {
         let out = model().complete("- name: Install nginx\n", &GenerationOptions::default());
-        assert_eq!(out, "  ansible.builtin.apt:\n    name: nginx\n    state: present\n");
+        assert_eq!(
+            out,
+            "  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+        );
     }
 
     #[test]
@@ -207,10 +210,7 @@ mod tests {
         // Query name line nested inside a playbook (dash at indent 4).
         let prompt = "- hosts: all\n  tasks:\n    - name: Install nginx\n";
         let out = model().complete(prompt, &GenerationOptions::default());
-        assert!(
-            out.starts_with("      ansible.builtin.apt:"),
-            "got {out:?}"
-        );
+        assert!(out.starts_with("      ansible.builtin.apt:"), "got {out:?}");
     }
 
     #[test]

@@ -99,11 +99,17 @@ pub fn pack_documents(docs: &[Vec<u32>], sep: u32) -> Vec<u32> {
 ///
 /// The stream is cut into non-overlapping windows of `context_window + 1`
 /// tokens; windows are shuffled each epoch.
+/// Per-step progress callback: `(step, total_steps, loss)`.
+pub type ProgressFn<'a> = &'a mut dyn FnMut(usize, usize, f32);
+
+/// Per-epoch checkpoint callback: `(epoch, model)`.
+pub type EpochFn<'a> = &'a mut dyn FnMut(usize, &TransformerLm);
+
 pub fn pretrain(
     model: &mut TransformerLm,
     stream: &[u32],
     cfg: &PretrainConfig,
-    mut progress: Option<&mut dyn FnMut(usize, usize, f32)>,
+    mut progress: Option<ProgressFn<'_>>,
 ) -> Vec<f32> {
     let time = model.config().context_window;
     let window = time + 1;
@@ -162,7 +168,7 @@ pub fn finetune(
     eot: u32,
     pad: u32,
     cfg: &FinetuneConfig,
-    progress: Option<&mut dyn FnMut(usize, usize, f32)>,
+    progress: Option<ProgressFn<'_>>,
 ) -> Vec<f32> {
     finetune_with_epochs(model, samples, eot, pad, cfg, progress, None)
 }
@@ -176,8 +182,8 @@ pub fn finetune_with_epochs(
     eot: u32,
     pad: u32,
     cfg: &FinetuneConfig,
-    mut progress: Option<&mut dyn FnMut(usize, usize, f32)>,
-    mut on_epoch: Option<&mut dyn FnMut(usize, &TransformerLm)>,
+    mut progress: Option<ProgressFn<'_>>,
+    mut on_epoch: Option<EpochFn<'_>>,
 ) -> Vec<f32> {
     if samples.is_empty() {
         return Vec::new();

@@ -3,7 +3,7 @@
 //! path.
 
 use wisdom_prng::Prng;
-use wisdom_tensor::kernels::{dot, gelu, matmul, softmax_row};
+use wisdom_tensor::kernels::{dot, gelu, matmul, matmul_acc, softmax_row};
 use wisdom_tensor::{clip_scale, global_grad_norm, Adam, ParamTensor, Tape, TensorRef};
 
 use crate::config::ModelConfig;
@@ -161,8 +161,8 @@ impl TransformerLm {
         let mut names = vec!["tok_emb".to_string(), "pos_emb".to_string()];
         for l in 0..self.cfg.n_layers {
             for field in [
-                "ln1_g", "ln1_b", "wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo", "ln2_g",
-                "ln2_b", "w1", "b1", "w2", "b2",
+                "ln1_g", "ln1_b", "wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo", "ln2_g", "ln2_b",
+                "w1", "b1", "w2", "b2",
             ] {
                 names.push(format!("block{l}.{field}"));
             }
@@ -343,16 +343,149 @@ impl TransformerLm {
     }
 
     /// Logits for the token following `prompt` (prompt is left-truncated to
-    /// the context window). Inference path with a KV cache.
+    /// the context window). Inference path: one batched [`Self::prefill`]
+    /// pass over the whole window.
     pub fn next_token_logits(&self, prompt: &[u32]) -> Vec<f32> {
-        let mut cache = KvCache::new(self);
         let start = prompt.len().saturating_sub(self.cfg.context_window);
-        let window = &prompt[start..];
+        self.prefill(&prompt[start..]).1
+    }
+
+    /// Reference implementation of [`Self::next_token_logits`]: the same
+    /// truncated window pushed through [`Self::step`] one token at a time.
+    /// Kept public as the baseline the batched prefill is benchmarked and
+    /// cross-checked against.
+    pub fn next_token_logits_sequential(&self, prompt: &[u32]) -> Vec<f32> {
+        let start = prompt.len().saturating_sub(self.cfg.context_window);
+        self.prefill_sequential(&prompt[start..]).1
+    }
+
+    /// Sequential counterpart of [`Self::prefill`]: runs `window` through
+    /// [`Self::step`] token by token. Same `(cache, logits)` contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` exceeds the context window.
+    pub fn prefill_sequential(&self, window: &[u32]) -> (KvCache, Vec<f32>) {
+        let mut cache = KvCache::new(self);
         let mut logits = vec![0.0; self.cfg.vocab_size];
         for (pos, &tok) in window.iter().enumerate() {
             logits = self.step(tok, pos, &mut cache);
         }
-        logits
+        (cache, logits)
+    }
+
+    /// Runs the whole (pre-truncated) prompt `window` through the model in
+    /// one batched forward pass, returning the filled KV cache and the
+    /// next-token logits for the final position.
+    ///
+    /// This is the inference fast path: QKV and MLP projections are single
+    /// `T×d` matmuls instead of `T` matvecs, K/V land in the cache in one
+    /// `extend_from_slice` per layer, and the LM-head projection is computed
+    /// only for the last position. Results are bit-identical to
+    /// [`Self::prefill_sequential`] — both accumulate every output element
+    /// in the same order.
+    ///
+    /// An empty window yields an empty cache and all-zero logits (matching
+    /// the historical behavior of generation from an empty prompt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` exceeds the context window or contains an
+    /// out-of-vocabulary token.
+    pub fn prefill(&self, window: &[u32]) -> (KvCache, Vec<f32>) {
+        let t_len = window.len();
+        let d = self.cfg.d_model;
+        let heads = self.cfg.n_heads;
+        let hd = self.cfg.head_dim();
+        let ff = self.cfg.d_ff();
+        let vocab = self.cfg.vocab_size;
+        assert!(
+            t_len <= self.cfg.context_window,
+            "prefill window {t_len} exceeds context {}",
+            self.cfg.context_window
+        );
+        let mut cache = KvCache::new(self);
+        if t_len == 0 {
+            return (cache, vec![0.0; vocab]);
+        }
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Token + position embeddings for the whole window: T×d.
+        let mut x = vec![0.0f32; t_len * d];
+        for (t, &token) in window.iter().enumerate() {
+            let tok = token as usize;
+            assert!(tok < vocab, "token {tok} out of vocabulary");
+            let row = &mut x[t * d..(t + 1) * d];
+            for (i, xv) in row.iter_mut().enumerate() {
+                *xv = self.tok_emb.data[tok * d + i] + self.pos_emb.data[t * d + i];
+            }
+        }
+
+        let mut h = vec![0.0f32; t_len * d];
+        for (l, b) in self.blocks.iter().enumerate() {
+            // attn
+            layer_norm_rows(&x, &b.ln1_g.data, &b.ln1_b.data, t_len, d, &mut h);
+            let mut q = bias_rows(&b.bq.data, t_len);
+            matmul_acc(&h, &b.wq.data, t_len, d, d, &mut q);
+            let mut k = bias_rows(&b.bk.data, t_len);
+            matmul_acc(&h, &b.wk.data, t_len, d, d, &mut k);
+            let mut v = bias_rows(&b.bv.data, t_len);
+            matmul_acc(&h, &b.wv.data, t_len, d, d, &mut v);
+            cache.k[l].extend_from_slice(&k);
+            cache.v[l].extend_from_slice(&v);
+            // Causal attention: every query position attends to 0..=itself.
+            let mut att = vec![0.0f32; t_len * d];
+            for hi in 0..heads {
+                let mut scores = vec![0.0f32; t_len];
+                for tq in 0..t_len {
+                    let q_h = &q[tq * d + hi * hd..tq * d + (hi + 1) * hd];
+                    let scores = &mut scores[..=tq];
+                    for (t, s) in scores.iter_mut().enumerate() {
+                        let k_h = &k[t * d + hi * hd..t * d + (hi + 1) * hd];
+                        *s = dot(q_h, k_h) * scale;
+                    }
+                    softmax_row(scores);
+                    let out_h = &mut att[tq * d + hi * hd..tq * d + (hi + 1) * hd];
+                    for (t, &w) in scores.iter().enumerate() {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let v_h = &v[t * d + hi * hd..t * d + (hi + 1) * hd];
+                        for (o, &vv) in out_h.iter_mut().zip(v_h.iter()) {
+                            *o += w * vv;
+                        }
+                    }
+                }
+            }
+            let mut proj = bias_rows(&b.bo.data, t_len);
+            matmul_acc(&att, &b.wo.data, t_len, d, d, &mut proj);
+            for (xv, pv) in x.iter_mut().zip(proj.iter()) {
+                *xv += pv;
+            }
+            // mlp
+            layer_norm_rows(&x, &b.ln2_g.data, &b.ln2_b.data, t_len, d, &mut h);
+            let mut m = bias_rows(&b.b1.data, t_len);
+            matmul_acc(&h, &b.w1.data, t_len, d, ff, &mut m);
+            for mv in m.iter_mut() {
+                *mv = gelu(*mv);
+            }
+            let mut m2 = bias_rows(&b.b2.data, t_len);
+            matmul_acc(&m, &b.w2.data, t_len, ff, d, &mut m2);
+            for (xv, mv) in x.iter_mut().zip(m2.iter()) {
+                *xv += mv;
+            }
+        }
+        // LM head for the final position only: the earlier rows' logits are
+        // never consumed during prefill, so T-1 d×vocab projections are
+        // skipped.
+        let xf = layer_norm_row(
+            &x[(t_len - 1) * d..t_len * d],
+            &self.lnf_g.data,
+            &self.lnf_b.data,
+        );
+        let mut logits = vec![0.0f32; vocab];
+        matmul(&xf, &self.lm_head.data, 1, d, vocab, &mut logits);
+        (cache, logits)
     }
 
     /// Autoregressive generation. The prompt is left-truncated to fit the
@@ -368,13 +501,8 @@ impl TransformerLm {
         let reserve = opts.max_new_tokens.min(ctx / 2);
         let start = prompt.len().saturating_sub(ctx - reserve.max(1));
         let window = &prompt[start..];
-        let mut cache = KvCache::new(self);
-        let mut logits = vec![0.0; self.cfg.vocab_size];
-        let mut pos = 0;
-        for &tok in window {
-            logits = self.step(tok, pos, &mut cache);
-            pos += 1;
-        }
+        let (mut cache, mut logits) = self.prefill(window);
+        let mut pos = window.len();
         if let Strategy::Beam { width } = opts.strategy {
             return self.beam_generate(logits, cache, pos, stops, width.max(1), opts);
         }
@@ -452,7 +580,10 @@ impl TransformerLm {
             for (bi, tok, lp) in candidates {
                 let parent = &live[bi];
                 if stops.contains(&tok) {
-                    done.push((parent.tokens.clone(), lp / (parent.tokens.len().max(1) as f64)));
+                    done.push((
+                        parent.tokens.clone(),
+                        lp / (parent.tokens.len().max(1) as f64),
+                    ));
                     continue;
                 }
                 let mut tokens = parent.tokens.clone();
@@ -482,19 +613,23 @@ impl TransformerLm {
     }
 
     /// Runs one token through the model, appending to the cache, and returns
-    /// the next-token logits.
-    fn step(&self, token: u32, pos: usize, cache: &mut KvCache) -> Vec<f32> {
+    /// the next-token logits. This is the decode step used after
+    /// [`Self::prefill`]; the cache must already hold positions `0..pos`.
+    pub fn step(&self, token: u32, pos: usize, cache: &mut KvCache) -> Vec<f32> {
         let d = self.cfg.d_model;
         let heads = self.cfg.n_heads;
         let hd = self.cfg.head_dim();
         let scale = 1.0 / (hd as f32).sqrt();
         let tok = token as usize;
         assert!(tok < self.cfg.vocab_size, "token {tok} out of vocabulary");
-        assert!(pos < self.cfg.context_window, "position {pos} out of window");
+        assert!(
+            pos < self.cfg.context_window,
+            "position {pos} out of window"
+        );
 
         let mut x = vec![0.0f32; d];
-        for i in 0..d {
-            x[i] = self.tok_emb.data[tok * d + i] + self.pos_emb.data[pos * d + i];
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = self.tok_emb.data[tok * d + i] + self.pos_emb.data[pos * d + i];
         }
         for (l, b) in self.blocks.iter().enumerate() {
             // attn
@@ -549,21 +684,39 @@ impl TransformerLm {
         }
         let xf = layer_norm_row(&x, &self.lnf_g.data, &self.lnf_b.data);
         let mut logits = vec![0.0f32; self.cfg.vocab_size];
-        matmul(&xf, &self.lm_head.data, 1, d, self.cfg.vocab_size, &mut logits);
+        matmul(
+            &xf,
+            &self.lm_head.data,
+            1,
+            d,
+            self.cfg.vocab_size,
+            &mut logits,
+        );
         logits
     }
 }
 
 /// Per-layer key/value cache for incremental decoding.
-#[derive(Debug, Clone)]
-struct KvCache {
+///
+/// Created empty by [`KvCache::new`], filled in one shot by
+/// [`TransformerLm::prefill`], and appended to by [`TransformerLm::step`].
+#[derive(Debug)]
+pub struct KvCache {
     k: Vec<Vec<f32>>,
     v: Vec<Vec<f32>>,
+    /// Row width (`d_model`), for converting buffer lengths to positions.
+    d: usize,
+    /// Per-layer capacity in floats (`context_window * d_model`), restored
+    /// on every clone so neither decode nor beam branching reallocates.
+    cap: usize,
 }
 
 impl KvCache {
-    fn new(model: &TransformerLm) -> Self {
-        let cap = model.cfg.context_window * model.cfg.d_model;
+    /// An empty cache with every layer pre-reserved to hold a full context
+    /// window, so decoding never reallocates.
+    pub fn new(model: &TransformerLm) -> Self {
+        let d = model.cfg.d_model;
+        let cap = model.cfg.context_window * d;
         Self {
             k: (0..model.cfg.n_layers)
                 .map(|_| Vec::with_capacity(cap))
@@ -571,6 +724,44 @@ impl KvCache {
             v: (0..model.cfg.n_layers)
                 .map(|_| Vec::with_capacity(cap))
                 .collect(),
+            d,
+            cap,
+        }
+    }
+
+    /// Number of positions currently cached.
+    pub fn len(&self) -> usize {
+        self.k
+            .first()
+            .map_or(0, |layer| layer.len() / self.d.max(1))
+    }
+
+    /// Whether no positions are cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// `derive(Clone)` would shrink each layer to its length (`Vec::clone` does
+/// not preserve capacity), making every cloned beam re-grow its buffers
+/// during decode. Clone manually with the full reservation instead.
+impl Clone for KvCache {
+    fn clone(&self) -> Self {
+        let with_cap = |layers: &[Vec<f32>]| {
+            layers
+                .iter()
+                .map(|layer| {
+                    let mut c = Vec::with_capacity(self.cap.max(layer.len()));
+                    c.extend_from_slice(layer);
+                    c
+                })
+                .collect()
+        };
+        Self {
+            k: with_cap(&self.k),
+            v: with_cap(&self.v),
+            d: self.d,
+            cap: self.cap,
         }
     }
 }
@@ -588,6 +779,27 @@ fn matvec_acc(x: &[f32], w: &[f32], k: usize, n: usize, out: &mut [f32]) {
         for (o, &wv) in out.iter_mut().zip(w_row.iter()) {
             *o += xv * wv;
         }
+    }
+}
+
+/// `rows` copies of `bias` stacked into one row-major buffer — the
+/// accumulator initialization for a batched `X @ W + b` projection.
+fn bias_rows(bias: &[f32], rows: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(rows * bias.len());
+    for _ in 0..rows {
+        out.extend_from_slice(bias);
+    }
+    out
+}
+
+/// Applies [`layer_norm_row`] to each of `rows` rows of `x`, writing into
+/// `out` (same shape).
+fn layer_norm_rows(x: &[f32], gain: &[f32], bias: &[f32], rows: usize, d: usize, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), rows * d);
+    debug_assert_eq!(out.len(), rows * d);
+    for t in 0..rows {
+        let normed = layer_norm_row(&x[t * d..(t + 1) * d], gain, bias);
+        out[t * d..(t + 1) * d].copy_from_slice(&normed);
     }
 }
 
@@ -618,13 +830,14 @@ fn argmax(xs: &[f32]) -> u32 {
 fn sample_top_k(logits: &[f32], k: usize, temperature: f32, rng: &mut Prng) -> u32 {
     let k = k.max(1).min(logits.len());
     let mut idx: Vec<usize> = (0..logits.len()).collect();
-    idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        logits[b]
+            .partial_cmp(&logits[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     let t = temperature.max(1e-3);
-    let mut probs: Vec<f64> = idx
-        .iter()
-        .map(|&i| f64::from(logits[i] / t))
-        .collect();
+    let mut probs: Vec<f64> = idx.iter().map(|&i| f64::from(logits[i] / t)).collect();
     let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mut sum = 0.0;
     for p in probs.iter_mut() {
@@ -886,4 +1099,3 @@ mod tests {
         let _ = model.next_token_logits(&prompt);
     }
 }
-

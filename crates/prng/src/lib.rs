@@ -180,6 +180,15 @@ impl Prng {
         &items[self.range_usize(0, items.len())]
     }
 
+    /// Picks a uniformly random element of `items`, by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        *self.choice(items)
+    }
+
     /// Picks an index according to non-negative `weights`.
     ///
     /// # Panics

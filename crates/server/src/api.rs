@@ -130,10 +130,7 @@ fn completions(wisdom: &Wisdom, request: &Request) -> Response {
     let Some(prompt) = payload.get("prompt").and_then(Json::as_str) else {
         return Response::text(400, "missing required field 'prompt'");
     };
-    let context = payload
-        .get("context")
-        .and_then(Json::as_str)
-        .unwrap_or("");
+    let context = payload.get("context").and_then(Json::as_str).unwrap_or("");
     let suggestion = wisdom.complete(&CompletionRequest::new(context, prompt));
     let lint = suggestion
         .lint
@@ -211,7 +208,10 @@ mod tests {
         let w = tiny_wisdom();
         let good = route(
             &w,
-            &post("/v1/lint", r#"{"content":"- name: ok\n  ansible.builtin.ping: {}\n"}"#),
+            &post(
+                "/v1/lint",
+                r#"{"content":"- name: ok\n  ansible.builtin.ping: {}\n"}"#,
+            ),
         );
         assert_eq!(good.status, 200);
         let j = parse_json(&String::from_utf8(good.body).unwrap()).unwrap();
@@ -219,7 +219,10 @@ mod tests {
 
         let bad = route(
             &w,
-            &post("/v1/lint", r#"{"content":"- name: bad\n  not_a_module: {}\n"}"#),
+            &post(
+                "/v1/lint",
+                r#"{"content":"- name: bad\n  not_a_module: {}\n"}"#,
+            ),
         );
         let j = parse_json(&String::from_utf8(bad.body).unwrap()).unwrap();
         assert_eq!(j.get("schema_correct").and_then(Json::as_bool), Some(false));

@@ -119,7 +119,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseHttpError> {
         .read_line(&mut line)
         .map_err(|e| bad(&format!("io: {e}")))?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or_else(|| bad("missing method"))?.to_string();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
     let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
     let mut headers = HashMap::new();
     loop {

@@ -26,12 +26,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// String accessor.
@@ -349,10 +344,7 @@ mod tests {
     fn unicode_survives() {
         let j = Json::Str("héllo ☃".into());
         assert_eq!(parse_json(&j.to_text()).unwrap(), j);
-        assert_eq!(
-            parse_json("\"\\u00e9\"").unwrap(),
-            Json::Str("é".into())
-        );
+        assert_eq!(parse_json("\"\\u00e9\"").unwrap(), Json::Str("é".into()));
     }
 
     #[test]

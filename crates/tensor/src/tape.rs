@@ -290,7 +290,11 @@ impl Tape {
         assert_eq!(rows, batch * time, "attention rows");
         assert_eq!(self.shape(k), (rows, width), "k shape");
         assert_eq!(self.shape(v), (rows, width), "v shape");
-        assert_eq!(width % heads, 0, "width {width} not divisible by heads {heads}");
+        assert_eq!(
+            width % heads,
+            0,
+            "width {width} not divisible by heads {heads}"
+        );
         let hd = width / heads;
         let scale = 1.0 / (hd as f32).sqrt();
         let qd = &self.nodes[q.0].data;

@@ -203,7 +203,10 @@ impl BpeTokenizer {
 
     /// Decodes, stopping at (and excluding) the first `<|endoftext|>`.
     pub fn decode_until_eot(&self, ids: &[u32]) -> String {
-        let end = ids.iter().position(|&id| id == self.eot()).unwrap_or(ids.len());
+        let end = ids
+            .iter()
+            .position(|&id| id == self.eot())
+            .unwrap_or(ids.len());
         self.decode(&ids[..end])
     }
 
@@ -353,8 +356,7 @@ fn pre_tokenize(text: &str) -> Vec<&str> {
                 }
                 // GPT-2 style: the final space fuses with a following
                 // identifier, producing " name" tokens.
-                let fuse =
-                    j < n && chars[j - 1].1 == ' ' && classify(chars[j].1) == Class::Ident;
+                let fuse = j < n && chars[j - 1].1 == ' ' && classify(chars[j].1) == Class::Ident;
                 let space_end = if fuse { j - 1 } else { j };
                 if space_end > i {
                     words.push(&text[offset(i)..offset(space_end)]);
@@ -516,6 +518,10 @@ mod tests {
         // " name" (with the fused leading space) appears everywhere; it
         // should compress to very few tokens.
         assert!(tok.encode(" name").len() <= 2, "{:?}", tok.encode(" name"));
-        assert!(tok.encode(" state").len() <= 2, "{:?}", tok.encode(" state"));
+        assert!(
+            tok.encode(" state").len() <= 2,
+            "{:?}",
+            tok.encode(" state")
+        );
     }
 }

@@ -268,10 +268,7 @@ fn literal_block_ok(s: &str) -> bool {
 }
 
 fn plain_key_ok(key: &str) -> bool {
-    !key.is_empty()
-        && !needs_quoting(key)
-        && !key.contains(':')
-        && !key.contains('#')
+    !key.is_empty() && !needs_quoting(key) && !key.contains(':') && !key.contains('#')
 }
 
 /// Whether a single-line string must be quoted to survive re-parsing as the
@@ -289,8 +286,24 @@ fn needs_quoting(s: &str) -> bool {
     let first = s.chars().next().expect("non-empty");
     if matches!(
         first,
-        '-' | '?' | ':' | ',' | '[' | ']' | '{' | '}' | '#' | '&' | '*' | '!' | '|' | '>' | '\''
-            | '"' | '%' | '@' | '`'
+        '-' | '?'
+            | ':'
+            | ','
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '#'
+            | '&'
+            | '*'
+            | '!'
+            | '|'
+            | '>'
+            | '\''
+            | '"'
+            | '%'
+            | '@'
+            | '`'
     ) {
         // `-la` style flags and jinja `{{` are only safe when they don't
         // collide with structure; be conservative and quote anything that
@@ -390,7 +403,14 @@ mod tests {
 
     #[test]
     fn quoting_of_structure_collisions() {
-        for s in ["a: b", "x #y", "- item", "[not, flow]", "{{ var }}", "*star"] {
+        for s in [
+            "a: b",
+            "x #y",
+            "- item",
+            "[not, flow]",
+            "{{ var }}",
+            "*star",
+        ] {
             let v = map(&[("k", Value::Str(s.into()))]);
             let text = emit(&v);
             assert_eq!(parse(&text).unwrap(), v, "emitted: {text}");
@@ -429,10 +449,7 @@ mod tests {
 
     #[test]
     fn empty_collections_inline() {
-        let v = map(&[
-            ("s", Value::Seq(vec![])),
-            ("m", Value::Map(Mapping::new())),
-        ]);
+        let v = map(&[("s", Value::Seq(vec![])), ("m", Value::Map(Mapping::new()))]);
         assert_eq!(emit(&v), "s: []\nm: {}\n");
     }
 
@@ -465,7 +482,10 @@ mod tests {
 
     #[test]
     fn documents_stream() {
-        let docs = vec![map(&[("a", Value::Int(1))]), Value::Seq(vec![Value::Int(2)])];
+        let docs = vec![
+            map(&[("a", Value::Int(1))]),
+            Value::Seq(vec![Value::Int(2)]),
+        ];
         let text = emit_documents(&docs);
         let back = crate::parse_documents(&text).unwrap();
         assert_eq!(back, docs);

@@ -40,7 +40,11 @@ impl ParseYamlError {
 
 impl fmt::Display for ParseYamlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "yaml parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -45,10 +45,11 @@ pub(crate) fn strip_trailing_comment(body: &str) -> &str {
             b'\\' if in_double => {
                 i += 1; // skip escaped char
             }
-            b'#' if !in_single && !in_double => {
-                if i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t' {
-                    return body[..i].trim_end();
-                }
+            b'#' if !in_single
+                && !in_double
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') =>
+            {
+                return body[..i].trim_end();
             }
             _ => {}
         }

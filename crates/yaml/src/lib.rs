@@ -83,7 +83,10 @@ mod round_trip_tests {
         inner.insert("name".into(), Value::Str("httpd".into()));
         inner.insert("state".into(), Value::Str("latest".into()));
         let mut task = Mapping::new();
-        task.insert("name".into(), Value::Str("Ensure apache is installed".into()));
+        task.insert(
+            "name".into(),
+            Value::Str("Ensure apache is installed".into()),
+        );
         task.insert("ansible.builtin.yum".into(), Value::Map(inner));
         task.insert(
             "notify".into(),

@@ -96,11 +96,7 @@ impl Parser {
                 number,
             });
         }
-        Ok(Self {
-            lines,
-            raw,
-            pos: 0,
-        })
+        Ok(Self { lines, raw, pos: 0 })
     }
 
     fn peek(&self) -> Option<&SigLine> {
@@ -123,10 +119,7 @@ impl Parser {
     /// Skips significant lines whose source line number is <= `number`
     /// (after a block scalar body has been consumed verbatim).
     fn skip_through_line(&mut self, number: usize) {
-        while self
-            .peek()
-            .is_some_and(|l| l.number <= number)
-        {
+        while self.peek().is_some_and(|l| l.number <= number) {
             self.pos += 1;
         }
     }
@@ -506,15 +499,17 @@ fn split_key(content: &str, number: usize) -> Result<Option<(&str, &str)>, Parse
             b'\\' if in_double => i += 1,
             b'[' | b'{' if !in_single && !in_double => depth += 1,
             b']' | b'}' if !in_single && !in_double => depth -= 1,
-            b':' if !in_single && !in_double && depth == 0 => {
-                if i + 1 == bytes.len() || bytes[i + 1] == b' ' {
-                    let key = &content[..i];
-                    // A key cannot itself be a flow collection opener.
-                    if key.starts_with('[') || key.starts_with('{') {
-                        return Ok(None);
-                    }
-                    return Ok(Some((key, &content[i + 1..])));
+            b':' if !in_single
+                && !in_double
+                && depth == 0
+                && (i + 1 == bytes.len() || bytes[i + 1] == b' ') =>
+            {
+                let key = &content[..i];
+                // A key cannot itself be a flow collection opener.
+                if key.starts_with('[') || key.starts_with('{') {
+                    return Ok(None);
                 }
+                return Ok(Some((key, &content[i + 1..])));
             }
             _ => {}
         }
@@ -801,7 +796,10 @@ mod tests {
     fn nested_mapping() {
         let v = parse("apt:\n  name: nginx\n  state: latest\n").unwrap();
         let apt = map_get(&v, "apt");
-        assert_eq!(apt.as_map().unwrap().get("name").unwrap().as_str(), Some("nginx"));
+        assert_eq!(
+            apt.as_map().unwrap().get("name").unwrap().as_str(),
+            Some("nginx")
+        );
     }
 
     #[test]
@@ -809,7 +807,10 @@ mod tests {
         let v = parse("- name: a\n  cmd: ls\n- name: b\n").unwrap();
         let s = v.as_seq().unwrap();
         assert_eq!(s.len(), 2);
-        assert_eq!(s[0].as_map().unwrap().get("cmd").unwrap().as_str(), Some("ls"));
+        assert_eq!(
+            s[0].as_map().unwrap().get("cmd").unwrap().as_str(),
+            Some("ls")
+        );
         assert_eq!(s[1].as_map().unwrap().len(), 1);
     }
 
@@ -837,8 +838,15 @@ mod tests {
         assert_eq!(play.get("hosts").unwrap().as_str(), Some("servers"));
         let tasks = play.get("tasks").unwrap().as_seq().unwrap();
         assert_eq!(tasks.len(), 2);
-        let apt = tasks[0].as_map().unwrap().get("ansible.builtin.apt").unwrap();
-        assert_eq!(apt.as_map().unwrap().get("state").unwrap().as_str(), Some("present"));
+        let apt = tasks[0]
+            .as_map()
+            .unwrap()
+            .get("ansible.builtin.apt")
+            .unwrap();
+        assert_eq!(
+            apt.as_map().unwrap().get("state").unwrap().as_str(),
+            Some("present")
+        );
     }
 
     #[test]
@@ -869,7 +877,8 @@ mod tests {
 
     #[test]
     fn jinja_template_values() {
-        let v = parse("src: '{{ item.src }}'\ndest: /etc/{{ name }}.conf\nraw: {{ var }}\n").unwrap();
+        let v =
+            parse("src: '{{ item.src }}'\ndest: /etc/{{ name }}.conf\nraw: {{ var }}\n").unwrap();
         assert_eq!(map_get(&v, "src").as_str(), Some("{{ item.src }}"));
         assert_eq!(map_get(&v, "dest").as_str(), Some("/etc/{{ name }}.conf"));
         assert_eq!(map_get(&v, "raw").as_str(), Some("{{ var }}"));
@@ -898,7 +907,8 @@ mod tests {
 
     #[test]
     fn block_scalar_preserves_inner_structure() {
-        let v = parse("cmd: |\n  if [ -f /x ]; then\n    echo hi  # not a comment\n  fi\n").unwrap();
+        let v =
+            parse("cmd: |\n  if [ -f /x ]; then\n    echo hi  # not a comment\n  fi\n").unwrap();
         assert_eq!(
             map_get(&v, "cmd").as_str(),
             Some("if [ -f /x ]; then\n  echo hi  # not a comment\nfi\n")
@@ -968,7 +978,10 @@ mod tests {
     #[test]
     fn key_with_colon_no_space() {
         let v = parse("url: http://example.com:8080/x\n").unwrap();
-        assert_eq!(map_get(&v, "url").as_str(), Some("http://example.com:8080/x"));
+        assert_eq!(
+            map_get(&v, "url").as_str(),
+            Some("http://example.com:8080/x")
+        );
     }
 
     #[test]
@@ -1019,9 +1032,30 @@ mod tests {
     #[test]
     fn deeply_nested_structure() {
         let v = parse("a:\n  b:\n    c:\n      - d:\n          e: 1\n").unwrap();
-        let e = v.as_map().unwrap().get("a").unwrap().as_map().unwrap().get("b").unwrap()
-            .as_map().unwrap().get("c").unwrap().as_seq().unwrap()[0]
-            .as_map().unwrap().get("d").unwrap().as_map().unwrap().get("e").unwrap().as_int();
+        let e = v
+            .as_map()
+            .unwrap()
+            .get("a")
+            .unwrap()
+            .as_map()
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .as_map()
+            .unwrap()
+            .get("c")
+            .unwrap()
+            .as_seq()
+            .unwrap()[0]
+            .as_map()
+            .unwrap()
+            .get("d")
+            .unwrap()
+            .as_map()
+            .unwrap()
+            .get("e")
+            .unwrap()
+            .as_int();
         assert_eq!(e, Some(1));
     }
 

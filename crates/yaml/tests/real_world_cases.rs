@@ -7,7 +7,9 @@ use wisdom_yaml::{parse, parse_documents, Value};
 fn get<'a>(v: &'a Value, path: &[&str]) -> &'a Value {
     let mut cur = v;
     for key in path {
-        cur = cur.as_map().unwrap_or_else(|| panic!("not a map at {key}"))
+        cur = cur
+            .as_map()
+            .unwrap_or_else(|| panic!("not a map at {key}"))
             .get(key)
             .unwrap_or_else(|| panic!("missing key {key}"));
     }
@@ -80,7 +82,8 @@ fn deeply_mixed_nesting() {
 
 #[test]
 fn multi_document_k8s_manifests() {
-    let src = "---\napiVersion: v1\nkind: Service\n---\napiVersion: apps/v1\nkind: Deployment\n...\n";
+    let src =
+        "---\napiVersion: v1\nkind: Service\n---\napiVersion: apps/v1\nkind: Deployment\n...\n";
     let docs = parse_documents(src).unwrap();
     assert_eq!(docs.len(), 2);
     assert_eq!(get(&docs[1], &["kind"]).as_str(), Some("Deployment"));

@@ -15,7 +15,7 @@ use std::time::Instant;
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
     run_decoding_ablation, run_table3, run_table4, run_table5, run_throughput, tables, Profile,
-    Zoo,
+    Progress, Zoo,
 };
 
 fn main() {
@@ -27,7 +27,10 @@ fn main() {
         std::process::exit(2);
     };
     println!("# Ansible Wisdom reproduction — target={target} profile={profile_name}");
-    println!("# seed={} corpus_scale=1/{} ctx_scale=1/{}\n", profile.seed, profile.corpus_scale, profile.ctx_scale);
+    println!(
+        "# seed={} corpus_scale=1/{} ctx_scale=1/{}\n",
+        profile.seed, profile.corpus_scale, profile.ctx_scale
+    );
 
     let started = Instant::now();
     match target {
@@ -92,9 +95,11 @@ fn build_zoo(profile: Profile) -> Zoo {
     zoo
 }
 
-fn progress() -> Option<&'static mut dyn FnMut(&str, usize, usize)> {
+type ProgressCb = dyn FnMut(&str, usize, usize);
+
+fn progress() -> Progress<'static> {
     // Leaking one closure per process keeps the API simple for an example.
-    let cb: Box<dyn FnMut(&str, usize, usize)> = Box::new(|phase, _s, _t| {
+    let cb: Box<ProgressCb> = Box::new(|phase, _s, _t| {
         eprintln!("[{phase}]");
     });
     Some(Box::leak(cb))

@@ -10,26 +10,51 @@ use ansible_wisdom::eval::{postprocess, Profile, SizeClass, Zoo};
 use ansible_wisdom::model::{GenerationOptions, TextGenerator};
 
 fn main() {
-    let profile = Profile::by_name(&std::env::args().nth(1).unwrap_or_else(|| "test".into())).expect("profile: test|quick|paper");
+    let profile = Profile::by_name(&std::env::args().nth(1).unwrap_or_else(|| "test".into()))
+        .expect("profile: test|quick|paper");
     let mut zoo = Zoo::build(profile);
-    eprintln!("galaxy={} train={} test={}", zoo.corpus.galaxy.len(), zoo.split.train.len(), zoo.split.test.len());
+    eprintln!(
+        "galaxy={} train={} test={}",
+        zoo.corpus.galaxy.len(),
+        zoo.split.train.len(),
+        zoo.split.test.len()
+    );
     let spec = *ansible_wisdom::eval::spec("CodeGen-Multi", SizeClass::S350m).unwrap();
     let mut losses = vec![];
     let mut cb = |_s: usize, _t: usize, l: f32| losses.push(l);
-    let gen = zoo.finetuned_generator("cgm", &spec, 1024, PromptStyle::NameCompletion, 1.0, Some(&mut cb));
-    eprintln!("steps={} first={:?} last={:?}", losses.len(), losses.first(), losses.last());
+    let gen = zoo.finetuned_generator(
+        "cgm",
+        &spec,
+        1024,
+        PromptStyle::NameCompletion,
+        1.0,
+        Some(&mut cb),
+    );
+    eprintln!(
+        "steps={} first={:?} last={:?}",
+        losses.len(),
+        losses.first(),
+        losses.last()
+    );
     for (i, chunk) in losses.chunks(losses.len().div_ceil(12).max(1)).enumerate() {
         let mean: f32 = chunk.iter().sum::<f32>() / chunk.len() as f32;
         eprintln!("  loss[{}] = {:.3}", i, mean);
     }
-    let opts = GenerationOptions { max_new_tokens: profile.max_new_tokens, ..Default::default() };
+    let opts = GenerationOptions {
+        max_new_tokens: profile.max_new_tokens,
+        ..Default::default()
+    };
     for s in zoo.split.test.iter().take(5) {
         let prompt = s.prompt_text(PromptStyle::NameCompletion);
         let raw = gen.complete(&prompt, &opts);
         let post = postprocess(s, &raw);
         println!("=== type {:?} nl: {}", s.gen_type, s.nl);
         println!("--- expected:\n{}", s.expected);
-        println!("--- raw ({} chars):\n{:?}", raw.len(), &raw[..raw.len().min(400)]);
+        println!(
+            "--- raw ({} chars):\n{:?}",
+            raw.len(),
+            &raw[..raw.len().min(400)]
+        );
         println!("--- post:\n{}", post);
     }
 }

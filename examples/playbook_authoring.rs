@@ -20,7 +20,9 @@ fn main() {
     let wisdom = Wisdom::train(&config, None);
 
     // The playbook skeleton the user starts with.
-    let mut buffer = String::from("---\n- name: Setup web server\n  hosts: webservers\n  become: true\n  tasks:\n");
+    let mut buffer = String::from(
+        "---\n- name: Setup web server\n  hosts: webservers\n  become: true\n  tasks:\n",
+    );
     let intents = [
         "Install nginx",
         "Deploy nginx configuration",
@@ -59,7 +61,11 @@ fn main() {
             println!(
                 "final lint: {} finding(s){}",
                 violations.len(),
-                if violations.is_empty() { " — ready to run" } else { "" }
+                if violations.is_empty() {
+                    " — ready to run"
+                } else {
+                    ""
+                }
             );
             for v in violations.iter().take(5) {
                 println!("  - {v}");

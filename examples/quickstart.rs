@@ -22,7 +22,7 @@ fn main() {
             println!("  phase: {phase:?}");
             last_phase = Some(phase);
         }
-        if total > 0 && step % 50 == 0 {
+        if total > 0 && step.is_multiple_of(50) {
             println!("    step {step}/{total}");
         }
     };

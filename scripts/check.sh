@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo lint gate: formatting and clippy (warnings are errors).
+# Run from the repository root before sending a change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -4,9 +4,7 @@
 
 use ansible_wisdom::corpus::{Corpus, SplitSamples};
 use ansible_wisdom::eval::Profile;
-use ansible_wisdom::model::{
-    pretrain, ModelConfig, PretrainConfig, TransformerLm,
-};
+use ansible_wisdom::model::{pretrain, ModelConfig, PretrainConfig, TransformerLm};
 use ansible_wisdom::prng::Prng;
 use ansible_wisdom::tokenizer::BpeTokenizer;
 

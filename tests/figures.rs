@@ -48,7 +48,9 @@ fn figure2ab_yields_nl_to_pb_sample() {
     assert!(s.context.is_empty());
     // Expected output is lines 6-17 of the figure: everything after the
     // play's name line.
-    assert!(s.expected.contains("connection: ansible.netcommon.network_cli"));
+    assert!(s
+        .expected
+        .contains("connection: ansible.netcommon.network_cli"));
     assert!(s.expected.contains("vyos.vyos.vyos_config"));
     assert!(!s.expected.contains("Network Setup Playbook"));
 }

@@ -2,9 +2,7 @@
 //! the oracle and contamination sanity checks that pin the harness down.
 
 use ansible_wisdom::corpus::{Corpus, GenType, PromptStyle, Sample};
-use ansible_wisdom::eval::{
-    evaluate, EvalSettings, Oracle, Profile, SampleCap, SizeClass, Zoo,
-};
+use ansible_wisdom::eval::{evaluate, EvalSettings, Oracle, Profile, SampleCap, SizeClass, Zoo};
 use ansible_wisdom::model::{GenerationOptions, RetrievalModel, TextGenerator};
 
 fn test_profile() -> Profile {
@@ -130,14 +128,8 @@ fn finetuned_model_beats_or_matches_fewshot_on_bleu() {
     let refs1: Vec<&Sample> = refs.iter().collect();
     let base = evaluate(&fewshot, &refs1, &settings);
 
-    let tuned = zoo.finetuned_generator(
-        "tuned",
-        &spec,
-        1024,
-        PromptStyle::NameCompletion,
-        1.0,
-        None,
-    );
+    let tuned =
+        zoo.finetuned_generator("tuned", &spec, 1024, PromptStyle::NameCompletion, 1.0, None);
     let refs2: Vec<&Sample> = refs.iter().collect();
     let after = evaluate(&tuned, &refs2, &settings);
     assert!(

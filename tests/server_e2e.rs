@@ -34,14 +34,12 @@ fn completion_round_trip_over_http() {
     assert!(response.snippet.ends_with(&response.completion) || response.completion.is_empty());
 
     // With playbook context, the suggestion is nested.
-    let response = request_completion(
-        addr,
-        "---\n- hosts: web\n  tasks:\n",
-        "start nginx service",
-    )
-    .expect("completion");
+    let response = request_completion(addr, "---\n- hosts: web\n  tasks:\n", "start nginx service")
+        .expect("completion");
     assert!(
-        response.snippet.starts_with("    - name: start nginx service"),
+        response
+            .snippet
+            .starts_with("    - name: start nginx service"),
         "{}",
         response.snippet
     );

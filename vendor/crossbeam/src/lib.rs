@@ -1,0 +1,90 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses.
+//!
+//! The container building this repository has no access to crates.io, so the
+//! real `crossbeam` cannot be fetched. Scoped threads have been part of the
+//! standard library since Rust 1.63 (`std::thread::scope`); this shim exposes
+//! them under the `crossbeam::scope` API so callers keep the familiar
+//! `scope.spawn(|_| ...)` / `handle.join()` shape.
+
+use std::any::Any;
+use std::thread;
+
+/// A scope in which threads borrowing local data can be spawned.
+///
+/// Wraps [`std::thread::Scope`]; spawned closures receive a copy of the
+/// scope so nested spawns work like in crossbeam.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned inside a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload if it panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (crossbeam
+    /// style) so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+///
+/// All spawned threads are joined before this returns (the `std` scope
+/// guarantees it). Mirrors `crossbeam::scope`'s `Result` return so existing
+/// `.expect("crossbeam scope")` call sites compile unchanged; the error arm
+/// is never produced because unjoined panics propagate as panics, exactly
+/// like `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let total: u32 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| scope.spawn(move |_| part.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! The container building this repository cannot reach crates.io, so the real
+//! `proptest` cannot be fetched. This shim keeps the property-test sources
+//! compiling and *meaningful*: strategies generate seeded pseudo-random
+//! values (including a regex-subset string generator), `proptest!` runs the
+//! configured number of cases, and failures panic with the case seed so a
+//! run can be reproduced. What it does not do is shrink counterexamples.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+mod rng;
+
+pub use rng::TestRng;
+
+/// `proptest::collection` — collection strategies (only `vec` is needed).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a uniformly sampled length.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let hi = self.size.end.max(self.size.start + 1);
+            let len = rng.gen_range_usize(self.size.start, hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::arbitrary` — the [`Arbitrary`] trait behind [`any`].
+pub mod arbitrary {
+    use crate::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_u64() as i64
+        }
+    }
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_u64()
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_u64() as u32
+        }
+    }
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_u64() as usize
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_f64() * 2e9 - 1e9
+        }
+    }
+}
+
+/// Strategy producing any value of `T` (via [`arbitrary::Arbitrary`]).
+pub fn any<T: arbitrary::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// The prelude: everything the test files import with `use
+/// proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares seeded property tests. Mirrors proptest's surface: an optional
+/// `#![proptest_config(..)]` inner attribute, then test functions whose
+/// arguments are drawn from strategies with `pat in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strategy:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut __pt_rng = $crate::TestRng::seed_from_u64(seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &($strategy),
+                        &mut __pt_rng,
+                    );)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest {}: case {}/{} (seed {:#x}) failed: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            seed,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments on cases must be accepted like in real proptest.
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..5, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-2.0..2.0).contains(&f), "f={}", f);
+        }
+
+        #[test]
+        fn string_pattern_respects_class_and_len(s in "[a-z]{1,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{:?}", s);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            pairs in prop::collection::vec(("[a-z]{1,3}", 0u64..9), 0..5),
+        ) {
+            prop_assert!(pairs.len() < 5);
+            for (k, v) in &pairs {
+                prop_assert!(!k.is_empty() && *v < 9);
+            }
+        }
+
+        #[test]
+        fn oneof_map_and_recursive(v in super::tests::nested()) {
+            prop_assert!(depth(&v) <= 4, "depth {}", depth(&v));
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(x in 0u64..10) {
+            if x > 100 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+
+    /// A tiny recursive tree, mirroring the YAML round-trip test's shape.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Tree {
+        Leaf(i64),
+        Flag(bool),
+        Node(Vec<Tree>),
+    }
+
+    pub fn nested() -> BoxedStrategy<Tree> {
+        let leaf = prop_oneof![
+            any::<i64>().prop_map(Tree::Leaf),
+            any::<bool>().prop_map(Tree::Flag),
+        ];
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) | Tree::Flag(_) => 0,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        use crate::strategy::Strategy;
+        let s = "[a-zA-Z0-9_.: -]{1,12}";
+        let mut a = crate::TestRng::seed_from_u64(99);
+        let mut b = crate::TestRng::seed_from_u64(99);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

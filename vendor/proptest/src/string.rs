@@ -1,0 +1,271 @@
+//! Regex-subset string generation: the sub-language proptest string
+//! strategies are used with in this workspace.
+//!
+//! Supported syntax: literal characters, `\n`/`\t`/`\\` escapes, character
+//! classes `[...]` (with `a-z` ranges, escapes, and literal leading/trailing
+//! `-`), groups `(...)`, and counted repetition `{m,n}` / `{n}` on any atom.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Atom, (usize, usize))>),
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset (unterminated class or
+/// group, malformed repetition).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_sequence(&mut pattern.chars().collect::<Vec<_>>().as_slice());
+    let mut out = String::new();
+    emit_sequence(&atoms, rng, &mut out);
+    out
+}
+
+fn emit_sequence(atoms: &[(Atom, (usize, usize))], rng: &mut TestRng, out: &mut String) {
+    for (atom, (lo, hi)) in atoms {
+        let count = if lo == hi {
+            *lo
+        } else {
+            rng.gen_range_usize(*lo, hi + 1)
+        };
+        for _ in 0..count {
+            emit_atom(atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                .sum();
+            let mut pick = rng.gen_range_u64(0, total.max(1));
+            for (a, b) in ranges {
+                let span = (*b as u64) - (*a as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*a as u32 + pick as u32).unwrap_or(*a));
+                    break;
+                }
+                pick -= span;
+            }
+        }
+        Atom::Group(inner) => emit_sequence(inner, rng, out),
+    }
+}
+
+/// Parses a sequence of quantified atoms, consuming until end of input or an
+/// unmatched `)`.
+fn parse_sequence(input: &mut &[char]) -> Vec<(Atom, (usize, usize))> {
+    let mut out = Vec::new();
+    while let Some(&c) = input.first() {
+        let atom = match c {
+            ')' => break,
+            '(' => {
+                *input = &input[1..];
+                let inner = parse_sequence(input);
+                assert_eq!(input.first(), Some(&')'), "unterminated group");
+                *input = &input[1..];
+                Atom::Group(inner)
+            }
+            '[' => {
+                *input = &input[1..];
+                Atom::Class(parse_class(input))
+            }
+            '\\' => {
+                *input = &input[1..];
+                let esc = *input.first().expect("dangling escape");
+                *input = &input[1..];
+                Atom::Literal(unescape(esc))
+            }
+            _ => {
+                *input = &input[1..];
+                Atom::Literal(c)
+            }
+        };
+        let reps = parse_repetition(input);
+        out.push((atom, reps));
+    }
+    out
+}
+
+/// Parses the inside of `[...]` into inclusive character ranges.
+fn parse_class(input: &mut &[char]) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let &c = input.first().expect("unterminated character class");
+        *input = &input[1..];
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                return ranges;
+            }
+            '\\' => {
+                let &esc = input.first().expect("dangling escape in class");
+                *input = &input[1..];
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(unescape(esc));
+            }
+            '-' => {
+                // A dash is a range operator only between two chars;
+                // leading or trailing it is a literal.
+                match (pending.take(), input.first()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        let hi = if hi == '\\' {
+                            *input = &input[1..];
+                            let &esc = input.first().expect("dangling escape in range");
+                            *input = &input[1..];
+                            unescape(esc)
+                        } else {
+                            *input = &input[1..];
+                            hi
+                        };
+                        assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                        ranges.push((lo, hi));
+                    }
+                    (prev, _) => {
+                        if let Some(p) = prev {
+                            ranges.push((p, p));
+                        }
+                        pending = Some('-');
+                    }
+                }
+            }
+            _ => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+            }
+        }
+    }
+}
+
+/// Parses an optional `{m,n}` / `{n}` suffix; defaults to exactly one.
+fn parse_repetition(input: &mut &[char]) -> (usize, usize) {
+    if input.first() != Some(&'{') {
+        return (1, 1);
+    }
+    let close = input
+        .iter()
+        .position(|&c| c == '}')
+        .expect("unterminated repetition");
+    let body: String = input[1..close].iter().collect();
+    *input = &input[close + 1..];
+    match body.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().expect("repetition lower bound");
+            let hi = hi.trim().parse().expect("repetition upper bound");
+            assert!(lo <= hi, "inverted repetition {lo},{hi}");
+            (lo, hi)
+        }
+        None => {
+            let n = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut rng = TestRng::seed_from_u64(seed);
+        generate_from_pattern(pattern, &mut rng)
+    }
+
+    #[test]
+    fn class_with_ranges_and_len() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,6}", seed);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_space_to_tilde() {
+        for seed in 0..50 {
+            let s = gen("[ -~]{0,16}", seed);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_dash_and_specials_in_class() {
+        let pattern = "[a-zA-Z0-9_./ {}:#|>\\-]{0,24}";
+        let allowed = |c: char| c.is_ascii_alphanumeric() || "_./ {}:#|>-".contains(c);
+        for seed in 0..80 {
+            let s = gen(pattern, seed);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(allowed), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut saw_dash = false;
+        for seed in 0..300 {
+            let s = gen("[a-zA-Z0-9_.: -]{1,12}", seed);
+            assert!(!s.is_empty() && s.len() <= 12);
+            saw_dash |= s.contains('-');
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_.: -".contains(c)),
+                "{s:?}"
+            );
+        }
+        assert!(saw_dash, "dash must be generatable as a literal");
+    }
+
+    #[test]
+    fn group_with_newline_literal() {
+        for seed in 0..50 {
+            let s = gen("([a-z ]{0,8}\n){0,4}", seed);
+            assert!(s.lines().count() <= 4);
+            assert!(s.is_empty() || s.ends_with('\n'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_including_newline() {
+        let mut saw_newline = false;
+        for seed in 0..100 {
+            let s = gen("[ -~\n]{0,200}", seed);
+            assert!(s.len() <= 200);
+            saw_newline |= s.contains('\n');
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+        assert!(saw_newline);
+    }
+
+    #[test]
+    fn exact_repetition() {
+        assert_eq!(gen("x{3}", 1), "xxx");
+        assert_eq!(gen("ab", 1), "ab");
+    }
+}
