@@ -1,0 +1,74 @@
+//! Continuous-batching decode scaling: aggregate greedy tokens/second and
+//! per-request latency as the number of concurrently decoded sequences
+//! grows. Batch 1 is the solo `generate` loop every request paid before the
+//! scheduler existed; the acceptance bar is ≥2× aggregate throughput at
+//! batch 8 on the 2.7B-class config (see EXPERIMENTS.md for recorded runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wisdom_bench::bench_profile;
+use wisdom_eval::run_decode_batching;
+use wisdom_model::{generate_batch, DecodeRequest, GenerationOptions, ModelConfig, TransformerLm};
+use wisdom_prng::Prng;
+
+fn requests(model: &TransformerLm, n: usize, tokens: usize) -> Vec<DecodeRequest> {
+    let vocab = model.config().vocab_size as u32;
+    (0..n)
+        .map(|i| DecodeRequest {
+            // Distinct prompts, no stop tokens: every sequence runs its full
+            // budget so the element count below is exact.
+            prompt: (0..8u32)
+                .map(|j| (i as u32 * 13 + j * 31 + 3) % vocab)
+                .collect(),
+            stops: Vec::new(),
+            opts: GenerationOptions {
+                max_new_tokens: tokens,
+                ..Default::default()
+            },
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the scaling table once.
+    let profile = bench_profile();
+    let points = run_decode_batching(&profile, 48, &[1, 2, 4, 8]);
+    println!("\n{}", wisdom_eval::tables::decode_batching_text(&points));
+
+    let vocab = 600;
+    let ctx = 96;
+    let mut rng = Prng::seed_from_u64(9);
+    let models = [
+        (
+            "350M",
+            TransformerLm::new(ModelConfig::size_350m(vocab, ctx), &mut rng),
+        ),
+        (
+            "2.7B",
+            TransformerLm::new(ModelConfig::size_2_7b(vocab, ctx), &mut rng),
+        ),
+    ];
+
+    let tokens = 32usize;
+    for (label, model) in &models {
+        let name = format!("decode_batching/{label}_32_tokens");
+        let mut group = c.benchmark_group(&name);
+        for batch in [1usize, 2, 4, 8] {
+            // Aggregate tokens across the whole batch, so Criterion's
+            // elements/sec IS the aggregate decode throughput; per-request
+            // latency is the raw iteration time.
+            group.throughput(Throughput::Elements((batch * tokens) as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+                b.iter(|| black_box(generate_batch(model, requests(model, batch, tokens), batch)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

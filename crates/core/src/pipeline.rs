@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use wisdom_corpus::{Corpus, CorpusSpec, PromptStyle, SplitSamples};
 use wisdom_model::{
-    finetune, pack_documents, pretrain, FinetuneConfig, GenerationOptions, LmTextGenerator,
-    ModelConfig, PretrainConfig, SftSample, TextGenerator, TransformerLm,
+    finetune, pack_documents, pretrain, BatchConfig, BatchScheduler, FinetuneConfig,
+    GenerationOptions, ModelConfig, PretrainConfig, SftSample, SubmitError, TransformerLm,
 };
 use wisdom_prng::Prng;
 use wisdom_tokenizer::BpeTokenizer;
@@ -218,21 +218,61 @@ impl Wisdom {
         &self.model
     }
 
+    /// Decoding options for serving requests (greedy, per the paper's
+    /// evaluation setting).
+    fn generation_options(&self) -> GenerationOptions {
+        GenerationOptions {
+            max_new_tokens: self.config.max_new_tokens,
+            ..Default::default()
+        }
+    }
+
+    fn suggest(&self, request: &CompletionRequest, out: &[u32]) -> Suggestion {
+        Suggestion::from_raw(request, &self.tokenizer.decode(out))
+    }
+
     /// Completes a request: builds the name-completion prompt from the
     /// editor context and intent, generates greedily, truncates to the
     /// first task, and lints the result.
     pub fn complete(&self, request: &CompletionRequest) -> Suggestion {
-        let prompt = request.prompt_text();
-        let generator =
-            LmTextGenerator::new("wisdom", self.model.clone(), Arc::clone(&self.tokenizer));
-        let raw = generator.complete(
-            &prompt,
-            &GenerationOptions {
-                max_new_tokens: self.config.max_new_tokens,
-                ..Default::default()
-            },
-        );
-        Suggestion::from_raw(request, &raw)
+        let ids = self.tokenizer.encode(&request.prompt_text());
+        let stops = [self.tokenizer.eot(), self.tokenizer.sep()];
+        let out = self
+            .model
+            .generate(&ids, &stops, &self.generation_options());
+        self.suggest(request, &out)
+    }
+
+    /// Starts a continuous-batching decode scheduler over this assistant's
+    /// model (one worker multiplexing concurrent requests onto shared
+    /// batched forward passes; see [`BatchScheduler`]). The model weights
+    /// are cloned once into the scheduler, not per request.
+    pub fn scheduler(&self, cfg: BatchConfig) -> BatchScheduler {
+        BatchScheduler::spawn(Arc::new(self.model.clone()), cfg)
+    }
+
+    /// [`Wisdom::complete`] through a [`BatchScheduler`]: enqueues the
+    /// request and blocks for the result. The suggestion is identical to
+    /// the direct path (batched decode is bit-for-bit deterministic).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the scheduler's bounded queue is at
+    /// capacity (callers shed load, e.g. HTTP 503), [`SubmitError::ShutDown`]
+    /// after scheduler shutdown.
+    pub fn try_complete_batched(
+        &self,
+        request: &CompletionRequest,
+        scheduler: &BatchScheduler,
+    ) -> Result<Suggestion, SubmitError> {
+        let ids = self.tokenizer.encode(&request.prompt_text());
+        let stops = vec![self.tokenizer.eot(), self.tokenizer.sep()];
+        let pending = scheduler.submit(wisdom_model::DecodeRequest {
+            prompt: ids,
+            stops,
+            opts: self.generation_options(),
+        })?;
+        Ok(self.suggest(request, &pending.wait()))
     }
 
     /// Convenience wrapper: complete a task intent against an editor

@@ -101,25 +101,36 @@ fn run_all(
     samples: &[&Sample],
     settings: &EvalSettings,
 ) -> Vec<(GenType, SampleScores)> {
+    // Generation goes through `complete_batch` so transformer models share
+    // batched decode steps across samples; scoring stays chunk-parallel.
+    let prompts: Vec<String> = samples.iter().map(|s| build_prompt(s, settings)).collect();
+    let opts = GenerationOptions {
+        max_new_tokens: settings.max_new_tokens,
+        strategy: Strategy::Greedy,
+        seed: settings.seed,
+    };
+    let raw = model.complete_batch(&prompts, &opts);
+    assert_eq!(raw.len(), samples.len(), "one completion per sample");
+    let pairs: Vec<(&Sample, String)> = samples.iter().copied().zip(raw).collect();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(samples.len().max(1));
+        .min(pairs.len().max(1));
     if workers <= 1 {
-        return samples
+        return pairs
             .iter()
-            .map(|s| (s.gen_type, score_one(model, s, settings)))
+            .map(|(s, raw)| (s.gen_type, score_one(s, raw)))
             .collect();
     }
-    let chunk = samples.len().div_ceil(workers);
+    let chunk = pairs.len().div_ceil(workers);
     let mut results: Vec<Vec<(GenType, SampleScores)>> = Vec::new();
     crossbeam::scope(|scope| {
-        let handles: Vec<_> = samples
+        let handles: Vec<_> = pairs
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move |_| {
                     part.iter()
-                        .map(|s| (s.gen_type, score_one(model, s, settings)))
+                        .map(|(s, raw)| (s.gen_type, score_one(s, raw)))
                         .collect::<Vec<_>>()
                 })
             })
@@ -132,18 +143,16 @@ fn run_all(
     results.into_iter().flatten().collect()
 }
 
-fn score_one(model: &dyn TextGenerator, sample: &Sample, settings: &EvalSettings) -> SampleScores {
-    let mut prompt = sample.prompt_text(settings.style);
+fn build_prompt(sample: &Sample, settings: &EvalSettings) -> String {
+    let prompt = sample.prompt_text(settings.style);
     if settings.ansible_marker && sample.context.is_empty() {
-        prompt = format!("Ansible\n{prompt}");
+        return format!("Ansible\n{prompt}");
     }
-    let opts = GenerationOptions {
-        max_new_tokens: settings.max_new_tokens,
-        strategy: Strategy::Greedy,
-        seed: settings.seed,
-    };
-    let raw = model.complete(&prompt, &opts);
-    let processed = postprocess(sample, &raw);
+    prompt
+}
+
+fn score_one(sample: &Sample, raw: &str) -> SampleScores {
+    let processed = postprocess(sample, raw);
     score_sample(
         &sample.expected,
         &processed,

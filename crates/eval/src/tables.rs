@@ -1,6 +1,6 @@
 //! Plain-text renderers for the paper's tables.
 
-use crate::experiments::{Row, ThroughputResult, TypeRow};
+use crate::experiments::{BatchingPoint, Row, ThroughputResult, TypeRow};
 use crate::zoo::TABLE2;
 
 fn check(b: bool) -> &'static str {
@@ -129,6 +129,28 @@ pub fn throughput_text(r: &ThroughputResult) -> String {
     )
 }
 
+/// Renders the continuous-batching decode scaling curve.
+pub fn decode_batching_text(points: &[BatchingPoint]) -> String {
+    let mut out =
+        String::from("Continuous-batching decode: aggregate greedy tokens/s vs batch size\n");
+    out.push_str(&format!(
+        "{:<6} {:>16} {:>16} {:>10} {:>14}\n",
+        "Batch", "350M tok/s", "2.7B tok/s", "2.7B x", "2.7B ms/req"
+    ));
+    let base = points.first().map_or(1.0, |p| p.large_tps).max(1e-9);
+    for p in points {
+        out.push_str(&format!(
+            "{:<6} {:>16.1} {:>16.1} {:>9.2}x {:>14.1}\n",
+            p.batch,
+            p.small_tps,
+            p.large_tps,
+            p.large_tps / base,
+            p.large_latency_ms
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +217,26 @@ mod tests {
         assert!(t.contains("2.00x"));
         assert!(t.contains("4.00x"), "prefill speedup column: {t}");
         assert!(t.contains("600.0"));
+    }
+
+    #[test]
+    fn decode_batching_text_shows_scaling() {
+        let t = decode_batching_text(&[
+            crate::experiments::BatchingPoint {
+                batch: 1,
+                small_tps: 400.0,
+                large_tps: 100.0,
+                large_latency_ms: 50.0,
+            },
+            crate::experiments::BatchingPoint {
+                batch: 8,
+                small_tps: 1600.0,
+                large_tps: 250.0,
+                large_latency_ms: 160.0,
+            },
+        ]);
+        assert!(t.contains("2.50x"), "{t}");
+        assert!(t.contains("1600.0"), "{t}");
+        assert!(t.contains("160.0"), "{t}");
     }
 }

@@ -1,0 +1,622 @@
+//! Continuous-batching decode: many concurrent generation requests share
+//! one batched forward pass per token instead of running a matvec chain
+//! each.
+//!
+//! Three layers:
+//!
+//! * [`DecodeBatch`] — the engine. Holds the in-flight sequences (each with
+//!   its own KV cache), samples one token per sequence per round, and runs
+//!   [`TransformerLm::step_batch`] for every sequence that survived — so `B`
+//!   live requests cost one `B×d` blocked matmul per projection, not `B`
+//!   memory-bound matvecs.
+//! * [`generate_batch`] — synchronous fan-in over a fixed request list (the
+//!   evaluation harness path): admits up to `max_batch_size` sequences,
+//!   refills the batch as sequences retire, returns outputs in input order.
+//! * [`BatchScheduler`] — the serving path: a bounded submission queue in
+//!   front of one dedicated decode worker. Waiting requests are admitted
+//!   into the running batch *between* steps (continuous batching, not
+//!   static batching); a full queue is reported to the caller as
+//!   [`SubmitError::QueueFull`] so the server can shed load with a 503.
+//!
+//! Determinism: a sequence's trajectory depends only on its own logits,
+//! cache, and (for top-k) its own seeded rng. Because `step_batch` is
+//! bit-identical per row to `step` at any batch size, every request decoded
+//! through this module produces exactly the tokens
+//! [`TransformerLm::generate`] would produce for it alone, regardless of
+//! batch composition or admission order (`tests/batch_agreement.rs`).
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wisdom_prng::Prng;
+
+use crate::decode::{GenerationOptions, Strategy};
+use crate::transformer::{argmax, sample_top_k, KvCache, TransformerLm};
+
+/// One generation request at the token level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeRequest {
+    /// Prompt token ids (left-truncated to the context window like
+    /// [`TransformerLm::generate`]).
+    pub prompt: Vec<u32>,
+    /// Tokens that end generation without being emitted.
+    pub stops: Vec<u32>,
+    /// Budget, strategy, and sampling seed.
+    pub opts: GenerationOptions,
+}
+
+/// One in-flight sequence inside a [`DecodeBatch`].
+struct Seq {
+    /// Caller-chosen id returned with the finished output.
+    tag: usize,
+    cache: KvCache,
+    /// Logits the *next* token is chosen from.
+    logits: Vec<f32>,
+    /// Next decode position (number of cached tokens).
+    pos: usize,
+    out: Vec<u32>,
+    stops: Vec<u32>,
+    max_new: usize,
+    strategy: Strategy,
+    rng: Prng,
+    done: bool,
+}
+
+/// The continuous-batching decode engine: in-flight sequences with
+/// per-sequence KV caches, stepped together.
+pub struct DecodeBatch<'m> {
+    model: &'m TransformerLm,
+    seqs: Vec<Seq>,
+}
+
+impl<'m> DecodeBatch<'m> {
+    /// An empty batch over `model`.
+    pub fn new(model: &'m TransformerLm) -> Self {
+        Self {
+            model,
+            seqs: Vec::new(),
+        }
+    }
+
+    /// Number of sequences currently in flight.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether no sequences are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Admits a request into the batch: prefills its prompt window (one
+    /// batched forward pass) and registers the sequence for decoding. The
+    /// `tag` comes back from [`Self::step`] when the sequence finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a beam-search request — beams branch their caches and take
+    /// the solo [`TransformerLm::generate`] path instead.
+    pub fn admit(&mut self, tag: usize, req: DecodeRequest) {
+        assert!(
+            !matches!(req.opts.strategy, Strategy::Beam { .. }),
+            "beam requests take the direct generate path"
+        );
+        let window = self
+            .model
+            .generation_window(&req.prompt, req.opts.max_new_tokens);
+        let pos = window.len();
+        let (cache, logits) = self.model.prefill(window);
+        self.seqs.push(Seq {
+            tag,
+            cache,
+            logits,
+            pos,
+            out: Vec::new(),
+            stops: req.stops,
+            max_new: req.opts.max_new_tokens,
+            strategy: req.opts.strategy,
+            rng: Prng::seed_from_u64(req.opts.seed),
+            done: false,
+        });
+    }
+
+    /// One decode round: every live sequence picks its next token from its
+    /// current logits (greedy or seeded top-k, exactly like the solo loop),
+    /// sequences that hit a stop token / budget / the context edge retire,
+    /// and the survivors advance through one batched [`TransformerLm::step_batch`].
+    ///
+    /// Returns the sequences that finished this round as `(tag, tokens)`.
+    pub fn step(&mut self) -> Vec<(usize, Vec<u32>)> {
+        let ctx = self.model.config().context_window;
+        let model = self.model;
+        let mut stepping: Vec<&mut Seq> = Vec::new();
+        for seq in &mut self.seqs {
+            // Same conditions, in the same order, as the generate loop: the
+            // budget/window check gates sampling, a stop token retires the
+            // sequence before it is emitted.
+            if seq.out.len() >= seq.max_new || seq.pos >= ctx {
+                seq.done = true;
+                continue;
+            }
+            let next = match seq.strategy {
+                Strategy::Greedy => argmax(&seq.logits),
+                Strategy::TopK { k, temperature } => {
+                    sample_top_k(&seq.logits, k, temperature, &mut seq.rng)
+                }
+                Strategy::Beam { .. } => unreachable!("rejected at admit"),
+            };
+            if seq.stops.contains(&next) {
+                seq.done = true;
+                continue;
+            }
+            seq.out.push(next);
+            if seq.out.len() >= seq.max_new || seq.pos + 1 >= ctx {
+                // The solo loop would run one more step whose logits are
+                // never consumed; skipping it leaves the output identical.
+                seq.done = true;
+                continue;
+            }
+            stepping.push(seq);
+        }
+        if !stepping.is_empty() {
+            let tokens: Vec<u32> = stepping
+                .iter()
+                .map(|s| *s.out.last().expect("sampled token"))
+                .collect();
+            let positions: Vec<usize> = stepping.iter().map(|s| s.pos).collect();
+            let mut caches: Vec<&mut KvCache> = stepping.iter_mut().map(|s| &mut s.cache).collect();
+            let logits = model.step_batch(&tokens, &positions, &mut caches);
+            drop(caches);
+            for (seq, row) in stepping.iter_mut().zip(logits) {
+                seq.logits = row;
+                seq.pos += 1;
+            }
+        }
+        let mut finished = Vec::new();
+        self.seqs.retain_mut(|seq| {
+            if seq.done {
+                finished.push((seq.tag, std::mem::take(&mut seq.out)));
+                false
+            } else {
+                true
+            }
+        });
+        finished
+    }
+}
+
+/// Decodes every request through one continuously refilled batch of at most
+/// `max_batch_size` sequences, returning outputs in input order. Beam
+/// requests fall back to the solo path (their caches branch per beam).
+///
+/// Each output is bit-identical to `model.generate` run alone on that
+/// request.
+pub fn generate_batch(
+    model: &TransformerLm,
+    requests: Vec<DecodeRequest>,
+    max_batch_size: usize,
+) -> Vec<Vec<u32>> {
+    let cap = max_batch_size.max(1);
+    let mut results: Vec<Vec<u32>> = vec![Vec::new(); requests.len()];
+    let mut queue = requests.into_iter().enumerate();
+    let mut engine = DecodeBatch::new(model);
+    loop {
+        while engine.len() < cap {
+            let Some((tag, req)) = queue.next() else {
+                break;
+            };
+            if matches!(req.opts.strategy, Strategy::Beam { .. }) {
+                results[tag] = model.generate(&req.prompt, &req.stops, &req.opts);
+                continue;
+            }
+            engine.admit(tag, req);
+        }
+        if engine.is_empty() {
+            break;
+        }
+        for (tag, out) in engine.step() {
+            results[tag] = out;
+        }
+    }
+    results
+}
+
+/// Scheduler sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum sequences decoded together; waiting requests are admitted as
+    /// running ones retire.
+    pub max_batch_size: usize,
+    /// Bounded submission-queue depth; submissions beyond it fail with
+    /// [`SubmitError::QueueFull`].
+    pub queue_depth: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_size: 8,
+            queue_depth: 32,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — retry later (the server maps this to
+    /// `503` + `Retry-After`).
+    QueueFull,
+    /// The scheduler is shutting down.
+    ShutDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "decode queue is full"),
+            SubmitError::ShutDown => write!(f, "scheduler is shut down"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// A submitted request's pending result.
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Vec<u32>>,
+}
+
+impl Pending {
+    /// Blocks until the request finishes. Returns an empty output if the
+    /// scheduler shut down before decoding it.
+    pub fn wait(self) -> Vec<u32> {
+        self.rx.recv().unwrap_or_default()
+    }
+}
+
+type Job = (DecodeRequest, mpsc::Sender<Vec<u32>>);
+
+struct SchedulerState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+    /// Test hook: while set, the worker keeps stepping running sequences but
+    /// admits nothing, so queue/backpressure behavior is deterministic.
+    paused: bool,
+}
+
+struct Shared {
+    state: Mutex<SchedulerState>,
+    /// Signals the worker: job queued, pause toggled, or shutdown.
+    job_ready: Condvar,
+    /// Signals blocked producers: queue space freed.
+    space_free: Condvar,
+}
+
+/// A continuous-batching inference scheduler: one dedicated decode worker
+/// multiplexing every submitted request onto a shared [`DecodeBatch`].
+///
+/// Submission is non-blocking and bounded ([`Self::submit`]); handler
+/// threads park on the returned [`Pending`] and the worker fans results
+/// back over per-request channels. Dropping the scheduler stops the worker.
+pub struct BatchScheduler {
+    shared: Arc<Shared>,
+    model: Arc<TransformerLm>,
+    cfg: BatchConfig,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl BatchScheduler {
+    /// Starts the decode worker over `model`.
+    pub fn spawn(model: Arc<TransformerLm>, cfg: BatchConfig) -> Self {
+        let cfg = BatchConfig {
+            max_batch_size: cfg.max_batch_size.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedulerState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+                paused: false,
+            }),
+            job_ready: Condvar::new(),
+            space_free: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker_model = Arc::clone(&model);
+        let worker = std::thread::Builder::new()
+            .name("wisdom-decode".to_string())
+            .spawn(move || worker_loop(&worker_model, &worker_shared, cfg))
+            .expect("spawn decode worker");
+        Self {
+            shared,
+            model,
+            cfg,
+            worker: Some(worker),
+        }
+    }
+
+    /// The scheduler's sizing.
+    pub fn config(&self) -> BatchConfig {
+        self.cfg
+    }
+
+    /// Enqueues a request without blocking.
+    ///
+    /// Beam requests run to completion on the calling thread (the batched
+    /// engine multiplexes greedy/top-k only) and return an already-resolved
+    /// [`Pending`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShutDown`] after shutdown.
+    pub fn submit(&self, req: DecodeRequest) -> Result<Pending, SubmitError> {
+        if matches!(req.opts.strategy, Strategy::Beam { .. }) {
+            let out = self.model.generate(&req.prompt, &req.stops, &req.opts);
+            let (tx, rx) = mpsc::channel();
+            let _ = tx.send(out);
+            return Ok(Pending { rx });
+        }
+        let mut state = self.shared.state.lock().expect("scheduler lock");
+        if state.shutdown {
+            return Err(SubmitError::ShutDown);
+        }
+        if state.jobs.len() >= self.cfg.queue_depth {
+            return Err(SubmitError::QueueFull);
+        }
+        let (tx, rx) = mpsc::channel();
+        state.jobs.push_back((req, tx));
+        self.shared.job_ready.notify_one();
+        Ok(Pending { rx })
+    }
+
+    /// Blocking convenience wrapper: waits for queue space instead of
+    /// failing, then waits for the result. Output is bit-identical to
+    /// `model.generate(prompt, stops, opts)`.
+    pub fn generate(&self, prompt: &[u32], stops: &[u32], opts: &GenerationOptions) -> Vec<u32> {
+        loop {
+            let req = DecodeRequest {
+                prompt: prompt.to_vec(),
+                stops: stops.to_vec(),
+                opts: *opts,
+            };
+            match self.submit(req) {
+                Ok(pending) => return pending.wait(),
+                Err(SubmitError::ShutDown) => return Vec::new(),
+                Err(SubmitError::QueueFull) => {
+                    let state = self.shared.state.lock().expect("scheduler lock");
+                    if state.jobs.len() >= self.cfg.queue_depth && !state.shutdown {
+                        // Re-checked under the lock; a worker admission
+                        // between our failed submit and here just means we
+                        // retry immediately. Timeout guards a lost wakeup.
+                        let _ = self
+                            .shared
+                            .space_free
+                            .wait_timeout(state, Duration::from_millis(50))
+                            .expect("scheduler lock");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Test hook: pauses/resumes admission from the queue into the running
+    /// batch. While paused, submissions still queue (and overflow with
+    /// [`SubmitError::QueueFull`]) but nothing new starts decoding.
+    #[doc(hidden)]
+    pub fn set_admission_paused(&self, paused: bool) {
+        let mut state = self.shared.state.lock().expect("scheduler lock");
+        state.paused = paused;
+        self.shared.job_ready.notify_all();
+    }
+
+    /// Asks the worker to stop. Queued and in-flight requests resolve to
+    /// empty outputs; later submissions fail with [`SubmitError::ShutDown`].
+    pub fn shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("scheduler lock");
+        state.shutdown = true;
+        // Dropping the queued reply senders resolves their waiters with an
+        // empty output.
+        state.jobs.clear();
+        self.shared.job_ready.notify_all();
+        self.shared.space_free.notify_all();
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(model: &TransformerLm, shared: &Shared, cfg: BatchConfig) {
+    let mut engine = DecodeBatch::new(model);
+    let mut next_tag = 0usize;
+    let mut replies: HashMap<usize, mpsc::Sender<Vec<u32>>> = HashMap::new();
+    loop {
+        // Admission happens between decode steps: take whatever is waiting,
+        // up to the batch cap, without stalling running sequences.
+        let admitted: Vec<Job> = {
+            let mut state = shared.state.lock().expect("scheduler lock");
+            loop {
+                if state.shutdown {
+                    // Dropping the queued and in-flight reply senders
+                    // resolves every waiter with an empty output.
+                    state.jobs.clear();
+                    return;
+                }
+                if !engine.is_empty() || (!state.paused && !state.jobs.is_empty()) {
+                    break;
+                }
+                state = shared.job_ready.wait(state).expect("scheduler lock");
+            }
+            let mut taken = Vec::new();
+            if !state.paused {
+                while engine.len() + taken.len() < cfg.max_batch_size {
+                    let Some(job) = state.jobs.pop_front() else {
+                        break;
+                    };
+                    taken.push(job);
+                }
+                if !taken.is_empty() {
+                    shared.space_free.notify_all();
+                }
+            }
+            taken
+        };
+        // Prefill (the expensive part of admission) runs outside the lock.
+        for (req, tx) in admitted {
+            let tag = next_tag;
+            next_tag += 1;
+            replies.insert(tag, tx);
+            engine.admit(tag, req);
+        }
+        for (tag, out) in engine.step() {
+            if let Some(tx) = replies.remove(&tag) {
+                // A dropped receiver (abandoned request) is fine.
+                let _ = tx.send(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn tiny_model() -> TransformerLm {
+        let cfg = ModelConfig {
+            vocab_size: 20,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            context_window: 16,
+        };
+        let mut rng = Prng::seed_from_u64(7);
+        TransformerLm::new(cfg, &mut rng)
+    }
+
+    fn greedy(max_new: usize) -> GenerationOptions {
+        GenerationOptions {
+            max_new_tokens: max_new,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generate_batch_matches_solo_generate() {
+        let model = tiny_model();
+        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4], vec![5, 6, 7, 8, 9], vec![]];
+        let requests: Vec<DecodeRequest> = prompts
+            .iter()
+            .map(|p| DecodeRequest {
+                prompt: p.clone(),
+                stops: vec![0],
+                opts: greedy(6),
+            })
+            .collect();
+        let batched = generate_batch(&model, requests, 3);
+        for (p, got) in prompts.iter().zip(&batched) {
+            let solo = model.generate(p, &[0], &greedy(6));
+            assert_eq!(got, &solo, "prompt {p:?}");
+        }
+    }
+
+    #[test]
+    fn scheduler_round_trips_requests() {
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn(Arc::clone(&model), BatchConfig::default());
+        let out = sched.generate(&[1, 2, 3], &[0], &greedy(5));
+        let solo = model.generate(&[1, 2, 3], &[0], &greedy(5));
+        assert_eq!(out, solo);
+    }
+
+    #[test]
+    fn scheduler_backpressure_is_deterministic_when_paused() {
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn(
+            Arc::clone(&model),
+            BatchConfig {
+                max_batch_size: 2,
+                queue_depth: 2,
+            },
+        );
+        sched.set_admission_paused(true);
+        let req = || DecodeRequest {
+            prompt: vec![1, 2],
+            stops: vec![],
+            opts: greedy(3),
+        };
+        let a = sched.submit(req()).expect("queued 1");
+        let b = sched.submit(req()).expect("queued 2");
+        assert_eq!(sched.submit(req()).unwrap_err(), SubmitError::QueueFull);
+        sched.set_admission_paused(false);
+        let solo = model.generate(&[1, 2], &[], &greedy(3));
+        assert_eq!(a.wait(), solo);
+        assert_eq!(b.wait(), solo);
+    }
+
+    #[test]
+    fn scheduler_shutdown_resolves_waiters() {
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn(model, BatchConfig::default());
+        sched.set_admission_paused(true);
+        let pending = sched
+            .submit(DecodeRequest {
+                prompt: vec![1],
+                stops: vec![],
+                opts: greedy(4),
+            })
+            .expect("queued");
+        sched.shutdown();
+        assert_eq!(pending.wait(), Vec::<u32>::new());
+        assert_eq!(
+            sched
+                .submit(DecodeRequest {
+                    prompt: vec![1],
+                    stops: vec![],
+                    opts: greedy(4),
+                })
+                .unwrap_err(),
+            SubmitError::ShutDown
+        );
+    }
+
+    #[test]
+    fn beam_requests_take_the_direct_path() {
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn(Arc::clone(&model), BatchConfig::default());
+        let opts = GenerationOptions {
+            max_new_tokens: 4,
+            strategy: Strategy::Beam { width: 2 },
+            ..Default::default()
+        };
+        let pending = sched
+            .submit(DecodeRequest {
+                prompt: vec![1, 2],
+                stops: vec![0],
+                opts,
+            })
+            .expect("beam submit");
+        assert_eq!(pending.wait(), model.generate(&[1, 2], &[0], &opts));
+    }
+}

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use wisdom_tokenizer::BpeTokenizer;
 
+use crate::batch::{generate_batch, DecodeRequest};
 use crate::transformer::TransformerLm;
 
 /// Decoding strategy.
@@ -57,6 +58,40 @@ impl Default for GenerationOptions {
 pub trait TextGenerator: Send + Sync {
     /// Completes `prompt`, returning only the newly generated text.
     fn complete(&self, prompt: &str, opts: &GenerationOptions) -> String;
+
+    /// Completes many prompts, returning one completion per prompt in input
+    /// order. Each result is identical to [`Self::complete`] on that prompt.
+    ///
+    /// The default maps [`Self::complete`] over chunks on scoped threads;
+    /// [`LmTextGenerator`] overrides it with continuous-batching decode so
+    /// the batch shares forward passes instead of cores.
+    fn complete_batch(&self, prompts: &[String], opts: &GenerationOptions) -> Vec<String> {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(prompts.len().max(1));
+        if workers <= 1 {
+            return prompts.iter().map(|p| self.complete(p, opts)).collect();
+        }
+        let chunk = prompts.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(prompts.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = prompts
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|p| self.complete(p, opts))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("completion worker panicked"));
+            }
+        });
+        out
+    }
 
     /// Human-readable model name for reports.
     fn model_name(&self) -> String;
@@ -118,6 +153,25 @@ impl TextGenerator for LmTextGenerator {
         let stops = [self.tokenizer.eot(), self.tokenizer.sep()];
         let out = self.model.generate(&ids, &stops, opts);
         self.tokenizer.decode(&out)
+    }
+
+    /// Batched decode: all prompts share one continuously refilled
+    /// [`DecodeBatch`](crate::DecodeBatch) so B in-flight sequences cost one
+    /// B×d matmul per projection per token instead of B matvec chains.
+    fn complete_batch(&self, prompts: &[String], opts: &GenerationOptions) -> Vec<String> {
+        let stops = vec![self.tokenizer.eot(), self.tokenizer.sep()];
+        let requests: Vec<DecodeRequest> = prompts
+            .iter()
+            .map(|p| DecodeRequest {
+                prompt: self.tokenizer.encode(p),
+                stops: stops.clone(),
+                opts: *opts,
+            })
+            .collect();
+        generate_batch(&self.model, requests, 8)
+            .iter()
+            .map(|out| self.tokenizer.decode(out))
+            .collect()
     }
 
     fn model_name(&self) -> String {

@@ -24,6 +24,7 @@
 //! assert!(out.len() <= 4);
 //! ```
 
+mod batch;
 mod checkpoint;
 mod config;
 mod decode;
@@ -32,6 +33,9 @@ mod retrieval;
 mod train;
 mod transformer;
 
+pub use batch::{
+    generate_batch, BatchConfig, BatchScheduler, DecodeBatch, DecodeRequest, Pending, SubmitError,
+};
 pub use checkpoint::{load_checkpoint, save_checkpoint, LoadCheckpointError};
 pub use config::ModelConfig;
 pub use decode::{GenerationOptions, LmTextGenerator, Strategy, TextGenerator};

@@ -497,10 +497,7 @@ impl TransformerLm {
     /// the stop token).
     pub fn generate(&self, prompt: &[u32], stops: &[u32], opts: &GenerationOptions) -> Vec<u32> {
         let ctx = self.cfg.context_window;
-        // Reserve room to generate.
-        let reserve = opts.max_new_tokens.min(ctx / 2);
-        let start = prompt.len().saturating_sub(ctx - reserve.max(1));
-        let window = &prompt[start..];
+        let window = self.generation_window(prompt, opts.max_new_tokens);
         let (mut cache, mut logits) = self.prefill(window);
         let mut pos = window.len();
         if let Strategy::Beam { width } = opts.strategy {
@@ -524,6 +521,22 @@ impl TransformerLm {
             pos += 1;
         }
         out
+    }
+
+    /// The prompt window [`Self::generate`] actually prefills: left-truncated
+    /// so that `max_new_tokens` of decode room (capped at half the context)
+    /// remains. Shared with the continuous-batching engine so scheduled and
+    /// solo generation see byte-identical windows.
+    pub(crate) fn generation_window<'a>(
+        &self,
+        prompt: &'a [u32],
+        max_new_tokens: usize,
+    ) -> &'a [u32] {
+        let ctx = self.cfg.context_window;
+        // Reserve room to generate.
+        let reserve = max_new_tokens.min(ctx / 2);
+        let start = prompt.len().saturating_sub(ctx - reserve.max(1));
+        &prompt[start..]
     }
 
     /// Beam search continuation from a prefilled cache. Scores are
@@ -610,6 +623,118 @@ impl TransformerLm {
         }
         done.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         done.into_iter().map(|(t, _)| t).next().unwrap_or_default()
+    }
+
+    /// One decode step for a whole batch of independent sequences: row `i`
+    /// runs `tokens[i]` at `positions[i]` against `caches[i]`, and row `i` of
+    /// the result is that sequence's next-token logits.
+    ///
+    /// This is the continuous-batching hot path: the `B` current tokens are
+    /// stacked into a `B×d` activation matrix so the QKV/MLP/LM-head
+    /// projections run as one blocked matmul each instead of `B` matvec
+    /// chains. Attention stays per-sequence (each row attends only to its
+    /// own cache). Every output row is bit-identical to what [`Self::step`]
+    /// would produce for that sequence alone: the blocked kernels accumulate
+    /// each output element over the k dimension in index order regardless of
+    /// the row count, and rows never mix outside their own cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree, a token is out of vocabulary,
+    /// or a position is outside the context window.
+    pub fn step_batch(
+        &self,
+        tokens: &[u32],
+        positions: &[usize],
+        caches: &mut [&mut KvCache],
+    ) -> Vec<Vec<f32>> {
+        let bsz = tokens.len();
+        assert_eq!(positions.len(), bsz, "positions length");
+        assert_eq!(caches.len(), bsz, "caches length");
+        if bsz == 0 {
+            return Vec::new();
+        }
+        let d = self.cfg.d_model;
+        let heads = self.cfg.n_heads;
+        let hd = self.cfg.head_dim();
+        let ff = self.cfg.d_ff();
+        let vocab = self.cfg.vocab_size;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Stack token + position embeddings into a B×d activation matrix.
+        let mut x = vec![0.0f32; bsz * d];
+        for (r, (&token, &pos)) in tokens.iter().zip(positions.iter()).enumerate() {
+            let tok = token as usize;
+            assert!(tok < vocab, "token {tok} out of vocabulary");
+            assert!(
+                pos < self.cfg.context_window,
+                "position {pos} out of window"
+            );
+            let row = &mut x[r * d..(r + 1) * d];
+            for (i, xv) in row.iter_mut().enumerate() {
+                *xv = self.tok_emb.data[tok * d + i] + self.pos_emb.data[pos * d + i];
+            }
+        }
+
+        let mut h = vec![0.0f32; bsz * d];
+        for (l, b) in self.blocks.iter().enumerate() {
+            // attn: batched projections, per-sequence causal attention.
+            layer_norm_rows(&x, &b.ln1_g.data, &b.ln1_b.data, bsz, d, &mut h);
+            let mut q = bias_rows(&b.bq.data, bsz);
+            matmul_acc(&h, &b.wq.data, bsz, d, d, &mut q);
+            let mut k = bias_rows(&b.bk.data, bsz);
+            matmul_acc(&h, &b.wk.data, bsz, d, d, &mut k);
+            let mut v = bias_rows(&b.bv.data, bsz);
+            matmul_acc(&h, &b.wv.data, bsz, d, d, &mut v);
+            let mut att = vec![0.0f32; bsz * d];
+            for (r, cache) in caches.iter_mut().enumerate() {
+                cache.k[l].extend_from_slice(&k[r * d..(r + 1) * d]);
+                cache.v[l].extend_from_slice(&v[r * d..(r + 1) * d]);
+                let t_len = cache.k[l].len() / d;
+                let out_row = &mut att[r * d..(r + 1) * d];
+                for hi in 0..heads {
+                    let q_h = &q[r * d + hi * hd..r * d + (hi + 1) * hd];
+                    let mut scores = vec![0.0f32; t_len];
+                    for (t, s) in scores.iter_mut().enumerate() {
+                        let k_h = &cache.k[l][t * d + hi * hd..t * d + (hi + 1) * hd];
+                        *s = dot(q_h, k_h) * scale;
+                    }
+                    softmax_row(&mut scores);
+                    let out_h = &mut out_row[hi * hd..(hi + 1) * hd];
+                    for (t, &w) in scores.iter().enumerate() {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let v_h = &cache.v[l][t * d + hi * hd..t * d + (hi + 1) * hd];
+                        for (o, &vv) in out_h.iter_mut().zip(v_h.iter()) {
+                            *o += w * vv;
+                        }
+                    }
+                }
+            }
+            let mut proj = bias_rows(&b.bo.data, bsz);
+            matmul_acc(&att, &b.wo.data, bsz, d, d, &mut proj);
+            for (xv, pv) in x.iter_mut().zip(proj.iter()) {
+                *xv += pv;
+            }
+            // mlp: batched projections.
+            layer_norm_rows(&x, &b.ln2_g.data, &b.ln2_b.data, bsz, d, &mut h);
+            let mut m = bias_rows(&b.b1.data, bsz);
+            matmul_acc(&h, &b.w1.data, bsz, d, ff, &mut m);
+            for mv in m.iter_mut() {
+                *mv = gelu(*mv);
+            }
+            let mut m2 = bias_rows(&b.b2.data, bsz);
+            matmul_acc(&m, &b.w2.data, bsz, ff, d, &mut m2);
+            for (xv, mv) in x.iter_mut().zip(m2.iter()) {
+                *xv += mv;
+            }
+        }
+        let mut xf = vec![0.0f32; bsz * d];
+        layer_norm_rows(&x, &self.lnf_g.data, &self.lnf_b.data, bsz, d, &mut xf);
+        let mut logits = vec![0.0f32; bsz * vocab];
+        matmul(&xf, &self.lm_head.data, bsz, d, vocab, &mut logits);
+        logits.chunks(vocab).map(<[f32]>::to_vec).collect()
     }
 
     /// Runs one token through the model, appending to the cache, and returns
@@ -815,7 +940,7 @@ fn layer_norm_row(x: &[f32], gain: &[f32], bias: &[f32]) -> Vec<f32> {
         .collect()
 }
 
-fn argmax(xs: &[f32]) -> u32 {
+pub(crate) fn argmax(xs: &[f32]) -> u32 {
     let mut best = 0;
     let mut best_v = f32::NEG_INFINITY;
     for (i, &v) in xs.iter().enumerate() {
@@ -827,7 +952,7 @@ fn argmax(xs: &[f32]) -> u32 {
     best as u32
 }
 
-fn sample_top_k(logits: &[f32], k: usize, temperature: f32, rng: &mut Prng) -> u32 {
+pub(crate) fn sample_top_k(logits: &[f32], k: usize, temperature: f32, rng: &mut Prng) -> u32 {
     let k = k.max(1).min(logits.len());
     let mut idx: Vec<usize> = (0..logits.len()).collect();
     idx.sort_by(|&a, &b| {

@@ -7,21 +7,58 @@
 //!   `{"completion", "snippet", "schema_correct", "lint", "model"}`;
 //! * `GET /healthz` → `ok`.
 
-use std::net::{TcpListener, ToSocketAddrs};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
-use wisdom_core::{CompletionRequest, Wisdom};
+use wisdom_core::{BatchConfig, BatchScheduler, CompletionRequest, SubmitError, Wisdom};
 
-use crate::http::{read_request, Request, Response};
+use crate::http::{read_request, Request, Response, MAX_BODY_BYTES};
 use crate::json::{parse_json, Json};
 
+/// Server sizing and limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Connection-handler threads (fixed pool; a flood of connections
+    /// queues instead of exhausting threads).
+    pub worker_threads: usize,
+    /// Sequences decoded together by the batch scheduler. `1` disables the
+    /// scheduler and decodes directly on the handler thread.
+    pub max_batch_size: usize,
+    /// Bounded decode-queue depth; beyond it, completions get 503.
+    pub queue_depth: usize,
+    /// Request-body cap in bytes (over it: 413).
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout per connection.
+    pub io_timeout: Duration,
+    /// `Retry-After` seconds advertised on 503 responses.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            worker_threads: 8,
+            max_batch_size: 8,
+            queue_depth: 32,
+            max_body_bytes: MAX_BODY_BYTES,
+            io_timeout: Duration::from_secs(10),
+            retry_after_secs: 1,
+        }
+    }
+}
+
 /// The inference server: owns a trained [`Wisdom`] assistant and serves
-/// completion requests over HTTP.
+/// completion requests over HTTP. Connections are handled by a fixed
+/// worker pool; completions are multiplexed onto a continuous-batching
+/// [`BatchScheduler`] (unless `max_batch_size` is 1).
 pub struct WisdomServer {
     wisdom: Arc<Wisdom>,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+    scheduler: Option<Arc<BatchScheduler>>,
 }
 
 /// Handle for stopping a running server from another thread.
@@ -29,6 +66,7 @@ pub struct WisdomServer {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
+    scheduler: Option<Arc<BatchScheduler>>,
 }
 
 impl ServerHandle {
@@ -43,19 +81,50 @@ impl ServerHandle {
         // Wake the accept loop.
         let _ = std::net::TcpStream::connect(self.addr);
     }
+
+    /// Test hook: pause/resume admission from the decode queue into the
+    /// running batch, making queue-overflow (503) behavior deterministic.
+    #[doc(hidden)]
+    pub fn set_admission_paused(&self, paused: bool) {
+        if let Some(s) = &self.scheduler {
+            s.set_admission_paused(paused);
+        }
+    }
 }
 
 impl WisdomServer {
-    /// Binds to `addr` (use port 0 for an ephemeral port).
+    /// Binds to `addr` (use port 0 for an ephemeral port) with default
+    /// [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
     pub fn bind(wisdom: Arc<Wisdom>, addr: impl ToSocketAddrs) -> std::io::Result<WisdomServer> {
+        Self::bind_with(wisdom, addr, ServerConfig::default())
+    }
+
+    /// Binds with explicit sizing/limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind_with(
+        wisdom: Arc<Wisdom>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<WisdomServer> {
+        let scheduler = (config.max_batch_size > 1).then(|| {
+            Arc::new(wisdom.scheduler(BatchConfig {
+                max_batch_size: config.max_batch_size,
+                queue_depth: config.queue_depth,
+            }))
+        });
         Ok(WisdomServer {
             wisdom,
             listener: TcpListener::bind(addr)?,
             shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+            scheduler,
         })
     }
 
@@ -64,34 +133,84 @@ impl WisdomServer {
         ServerHandle {
             addr: self.listener.local_addr().expect("bound listener"),
             shutdown: Arc::clone(&self.shutdown),
+            scheduler: self.scheduler.clone(),
         }
     }
 
-    /// Serves until [`ServerHandle::stop`] is called. One thread per
-    /// connection (completions are CPU-bound and short).
+    /// Serves until [`ServerHandle::stop`] is called. Connections are
+    /// dispatched to a fixed pool of `worker_threads` handlers; in-flight
+    /// requests finish before `serve` returns.
     pub fn serve(self) {
-        for conn in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
+        let WisdomServer {
+            wisdom,
+            listener,
+            shutdown,
+            config,
+            scheduler,
+        } = self;
+        let workers = config.worker_threads.max(1);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let wisdom = &wisdom;
+                let scheduler = scheduler.as_deref();
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only while dequeuing.
+                    let conn = rx.lock().expect("worker queue lock").recv();
+                    let Ok(mut conn) = conn else { break };
+                    handle_connection(wisdom, scheduler, &config, &mut conn);
+                });
             }
-            let Ok(mut conn) = conn else { continue };
-            let wisdom = Arc::clone(&self.wisdom);
-            std::thread::spawn(move || {
-                let response = match read_request(&mut conn) {
-                    Ok(request) => route(&wisdom, &request),
-                    Err(e) => Response::text(400, e.to_string()),
-                };
-                let _ = response.write_to(&mut conn);
-            });
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                let _ = tx.send(conn);
+            }
+            // Disconnect the channel: workers drain queued connections and
+            // exit, then the scope joins them.
+            drop(tx);
+        });
+        if let Some(s) = &scheduler {
+            s.shutdown();
         }
     }
 }
 
-/// Routes one request.
+fn handle_connection(
+    wisdom: &Wisdom,
+    scheduler: Option<&BatchScheduler>,
+    config: &ServerConfig,
+    conn: &mut TcpStream,
+) {
+    let _ = conn.set_read_timeout(Some(config.io_timeout));
+    let _ = conn.set_write_timeout(Some(config.io_timeout));
+    let response = match read_request(conn, config.max_body_bytes) {
+        Ok(request) => route_with(wisdom, scheduler, config.retry_after_secs, &request),
+        Err(e) => Response::text(e.status, e.to_string()),
+    };
+    let _ = response.write_to(conn);
+}
+
+/// Routes one request on the direct (unbatched) decode path.
 pub fn route(wisdom: &Wisdom, request: &Request) -> Response {
+    route_with(wisdom, None, 1, request)
+}
+
+/// Routes one request; completions go through `scheduler` when given, and a
+/// full decode queue answers 503 with `Retry-After: retry_after_secs`.
+pub fn route_with(
+    wisdom: &Wisdom,
+    scheduler: Option<&BatchScheduler>,
+    retry_after_secs: u64,
+    request: &Request,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok"),
-        ("POST", "/v1/completions") => completions(wisdom, request),
+        ("POST", "/v1/completions") => completions(wisdom, scheduler, retry_after_secs, request),
         ("POST", "/v1/lint") => lint(request),
         ("POST", _) | ("GET", _) => Response::text(404, "unknown endpoint"),
         _ => Response::text(405, "method not allowed"),
@@ -122,7 +241,12 @@ fn lint(request: &Request) -> Response {
     )
 }
 
-fn completions(wisdom: &Wisdom, request: &Request) -> Response {
+fn completions(
+    wisdom: &Wisdom,
+    scheduler: Option<&BatchScheduler>,
+    retry_after_secs: u64,
+    request: &Request,
+) -> Response {
     let payload = match parse_json(&request.body_text()) {
         Ok(p) => p,
         Err(e) => return Response::text(400, e.to_string()),
@@ -131,7 +255,17 @@ fn completions(wisdom: &Wisdom, request: &Request) -> Response {
         return Response::text(400, "missing required field 'prompt'");
     };
     let context = payload.get("context").and_then(Json::as_str).unwrap_or("");
-    let suggestion = wisdom.complete(&CompletionRequest::new(context, prompt));
+    let completion_request = CompletionRequest::new(context, prompt);
+    let suggestion = match scheduler {
+        Some(s) => match wisdom.try_complete_batched(&completion_request, s) {
+            Ok(suggestion) => suggestion,
+            Err(e @ (SubmitError::QueueFull | SubmitError::ShutDown)) => {
+                return Response::text(503, e.to_string())
+                    .with_header("retry-after", retry_after_secs.to_string());
+            }
+        },
+        None => wisdom.complete(&completion_request),
+    };
     let lint = suggestion
         .lint
         .iter()

@@ -44,6 +44,9 @@ impl fmt::Display for ClientError {
 
 impl Error for ClientError {}
 
+/// Lower-cased `(name, value)` response headers.
+pub type ResponseHeaders = Vec<(String, String)>;
+
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
@@ -104,6 +107,21 @@ pub fn post(
     path: &str,
     body: &str,
 ) -> Result<(u16, String), ClientError> {
+    let (status, _headers, body) = post_raw(addr, path, body)?;
+    Ok((status, body))
+}
+
+/// Performs one `POST` and returns `(status, headers, body)` with the
+/// lower-cased response headers (so tests can check `retry-after` on 503s).
+///
+/// # Errors
+///
+/// Returns [`ClientError::Io`] on network failures.
+pub fn post_raw(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    body: &str,
+) -> Result<(u16, ResponseHeaders, String), ClientError> {
     let mut stream = TcpStream::connect(addr)?;
     write!(
         stream,
@@ -118,9 +136,15 @@ pub fn post(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::BadResponse("no status line".to_string()))?;
-    let payload = response
+    let (head, payload) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    Ok((status, payload))
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers, payload))
 }

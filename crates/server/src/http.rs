@@ -34,6 +34,8 @@ pub struct Response {
     pub status: u16,
     /// Content type header value.
     pub content_type: String,
+    /// Extra headers (name, value), written verbatim.
+    pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -44,6 +46,7 @@ impl Response {
         Response {
             status: 200,
             content_type: "application/json".to_string(),
+            headers: Vec::new(),
             body: text.into().into_bytes(),
         }
     }
@@ -53,8 +56,16 @@ impl Response {
         Response {
             status,
             content_type: "text/plain".to_string(),
+            headers: Vec::new(),
             body: text.into().into_bytes(),
         }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     fn reason(&self) -> &'static str {
@@ -63,6 +74,10 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
@@ -75,20 +90,30 @@ impl Response {
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
 }
 
-/// HTTP parse failure.
+/// Default request-body cap for [`read_request`] (1 MiB).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// HTTP parse failure, carrying the status code the server should answer
+/// with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseHttpError {
+    /// Status code to report (400, 408, 411, 413).
+    pub status: u16,
     /// Description.
     pub message: String,
 }
@@ -102,22 +127,42 @@ impl fmt::Display for ParseHttpError {
 impl Error for ParseHttpError {}
 
 fn bad(message: &str) -> ParseHttpError {
+    status_err(400, message)
+}
+
+fn status_err(status: u16, message: &str) -> ParseHttpError {
     ParseHttpError {
+        status,
         message: message.to_string(),
     }
 }
 
-/// Reads one request from a stream.
+fn io_err(e: &std::io::Error) -> ParseHttpError {
+    // A read/write timeout surfaces as WouldBlock (or TimedOut on some
+    // platforms); report it as such instead of a generic parse failure.
+    let timed_out = matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    );
+    if timed_out {
+        status_err(408, "timed out reading request")
+    } else {
+        bad(&format!("io: {e}"))
+    }
+}
+
+/// Reads one request from a stream, rejecting bodies over `max_body` bytes
+/// with a 413-status error. Callers should set socket read timeouts so a
+/// stalled client cannot pin the handler (see `WisdomServer`).
 ///
 /// # Errors
 ///
-/// Returns [`ParseHttpError`] on malformed requests or I/O failure.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseHttpError> {
+/// Returns [`ParseHttpError`] on malformed or oversized requests, missing
+/// `Content-Length` on a request with a body, or I/O failure/timeouts.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ParseHttpError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| bad(&format!("io: {e}")))?;
+    reader.read_line(&mut line).map_err(|e| io_err(&e))?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -127,9 +172,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseHttpError> {
     let mut headers = HashMap::new();
     loop {
         let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| bad(&format!("io: {e}")))?;
+        reader.read_line(&mut header).map_err(|e| io_err(&e))?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -138,19 +181,27 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseHttpError> {
             headers.insert(k.trim().to_lowercase(), v.trim().to_string());
         }
     }
-    let length: usize = headers
-        .get("content-length")
-        .map(|v| v.parse().map_err(|_| bad("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
-    if length > 16 * 1024 * 1024 {
-        return Err(bad("body too large"));
+    let length: usize = match headers.get("content-length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| status_err(411, "unparseable content-length"))?,
+        // Without a length we would have to read until EOF/timeout, which a
+        // slow client could drag out forever — require it on body-bearing
+        // methods instead of blocking.
+        None if matches!(method.as_str(), "POST" | "PUT" | "PATCH") => {
+            return Err(status_err(411, "missing content-length"));
+        }
+        None => 0,
+    };
+    if length > max_body {
+        return Err(status_err(
+            413,
+            &format!("body of {length} bytes exceeds the {max_body}-byte cap"),
+        ));
     }
     let mut body = vec![0u8; length];
     if length > 0 {
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| bad(&format!("io: {e}")))?;
+        reader.read_exact(&mut body).map_err(|e| io_err(&e))?;
     }
     Ok(Request {
         method,
@@ -171,7 +222,7 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let handle = std::thread::spawn(move || {
             let (mut conn, _) = listener.accept().unwrap();
-            let req = read_request(&mut conn).unwrap();
+            let req = read_request(&mut conn, MAX_BODY_BYTES).unwrap();
             Response::json("{\"ok\":true}").write_to(&mut conn).unwrap();
             req
         });
@@ -202,6 +253,93 @@ mod tests {
     #[test]
     fn response_status_lines() {
         assert_eq!(Response::text(404, "x").reason(), "Not Found");
+        assert_eq!(Response::text(413, "x").reason(), "Payload Too Large");
+        assert_eq!(Response::text(503, "x").reason(), "Service Unavailable");
         assert_eq!(Response::json("{}").status, 200);
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let mut out = Vec::new();
+        Response::text(503, "busy")
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable"));
+        assert!(text.contains("\r\nretry-after: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nbusy"), "{text}");
+    }
+
+    fn parse_error_for(raw: &str, max_body: usize) -> ParseHttpError {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(raw.as_bytes()).unwrap();
+            c.flush().unwrap();
+            c
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let err = read_request(&mut conn, max_body).unwrap_err();
+        drop(client.join().unwrap());
+        err
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413() {
+        let err = parse_error_for(
+            "POST /v1/completions HTTP/1.1\r\ncontent-length: 99999\r\n\r\n",
+            1024,
+        );
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn post_without_length_is_rejected_with_411() {
+        let err = parse_error_for("POST /v1/completions HTTP/1.1\r\n\r\n", 1024);
+        assert_eq!(err.status, 411);
+        let err = parse_error_for("POST /x HTTP/1.1\r\ncontent-length: soon\r\n\r\n", 1024);
+        assert_eq!(err.status, 411);
+    }
+
+    #[test]
+    fn get_without_length_still_parses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            c.flush().unwrap();
+            c
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn, 1024).unwrap();
+        drop(client.join().unwrap());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn stalled_body_times_out_with_408() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            // Promise a body, never send it.
+            c.write_all(b"POST /v1/completions HTTP/1.1\r\ncontent-length: 10\r\n\r\n")
+                .unwrap();
+            c.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            c
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .unwrap();
+        let err = read_request(&mut conn, 1024).unwrap_err();
+        drop(client.join().unwrap());
+        assert_eq!(err.status, 408);
     }
 }

@@ -29,7 +29,7 @@ mod client;
 mod http;
 mod json;
 
-pub use api::{route, ServerHandle, WisdomServer};
-pub use client::{post, request_completion, ClientError, CompletionResponse};
-pub use http::{read_request, ParseHttpError, Request, Response};
+pub use api::{route, route_with, ServerConfig, ServerHandle, WisdomServer};
+pub use client::{post, post_raw, request_completion, ClientError, CompletionResponse};
+pub use http::{read_request, ParseHttpError, Request, Response, MAX_BODY_BYTES};
 pub use json::{parse_json, Json, ParseJsonError};

@@ -7,15 +7,15 @@
 //! ```
 //!
 //! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
-//! `throughput`, `all`. Profiles: `test` (seconds), `fast`, `quick`
-//! (default), `paper`.
+//! `throughput`, `batching`, `all`. Profiles: `test` (seconds), `fast`,
+//! `quick` (default), `paper`.
 
 use std::time::Instant;
 
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
-    run_decoding_ablation, run_table3, run_table4, run_table5, run_throughput, tables, Profile,
-    Progress, Zoo,
+    run_decode_batching, run_decoding_ablation, run_table3, run_table4, run_table5, run_throughput,
+    tables, Profile, Progress, Zoo,
 };
 
 fn main() {
@@ -59,6 +59,7 @@ fn main() {
             }
         }
         "throughput" => throughput(&profile),
+        "batching" => batching(&profile),
         "all" => {
             table1(&profile);
             println!();
@@ -119,4 +120,9 @@ fn table1(profile: &Profile) {
 fn throughput(profile: &Profile) {
     let r = run_throughput(profile, 96);
     print!("{}", tables::throughput_text(&r));
+}
+
+fn batching(profile: &Profile) {
+    let points = run_decode_batching(profile, 64, &[1, 2, 4, 8]);
+    print!("{}", tables::decode_batching_text(&points));
 }

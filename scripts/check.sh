@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Repo lint gate: formatting and clippy (warnings are errors).
-# Run from the repository root before sending a change.
+# Repo lint gate: formatting, clippy (warnings are errors), and a compile
+# pass over every test and bench target so bench-only breakage is caught
+# without running criterion. Run from the repository root before sending a
+# change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace --no-run
+cargo bench --workspace --no-run

@@ -1,18 +1,28 @@
 //! Full-socket integration test of the inference service: trains a tiny
 //! assistant, serves it over HTTP, and drives it like the editor plugin.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use ansible_wisdom::core::{Wisdom, WisdomConfig};
-use ansible_wisdom::server::{post, request_completion, WisdomServer};
+use ansible_wisdom::server::{post, post_raw, request_completion, ServerConfig, WisdomServer};
 
-fn spawn_server() -> (ansible_wisdom::server::ServerHandle, std::net::SocketAddr) {
-    let wisdom = Arc::new(Wisdom::train(&WisdomConfig::tiny(), None));
-    let server = WisdomServer::bind(wisdom, "127.0.0.1:0").expect("bind");
+fn tiny_wisdom() -> Arc<Wisdom> {
+    static WISDOM: OnceLock<Arc<Wisdom>> = OnceLock::new();
+    Arc::clone(WISDOM.get_or_init(|| Arc::new(Wisdom::train(&WisdomConfig::tiny(), None))))
+}
+
+fn spawn_server_with(
+    config: ServerConfig,
+) -> (ansible_wisdom::server::ServerHandle, std::net::SocketAddr) {
+    let server = WisdomServer::bind_with(tiny_wisdom(), "127.0.0.1:0", config).expect("bind");
     let handle = server.handle();
     let addr = handle.addr();
     std::thread::spawn(move || server.serve());
     (handle, addr)
+}
+
+fn spawn_server() -> (ansible_wisdom::server::ServerHandle, std::net::SocketAddr) {
+    spawn_server_with(ServerConfig::default())
 }
 
 #[test]
@@ -62,5 +72,117 @@ fn completion_round_trip_over_http() {
         assert!(r.snippet.starts_with("- name: create user"));
     }
 
+    handle.stop();
+}
+
+#[test]
+fn concurrent_load_is_batched_and_deterministic() {
+    // ≥8 parallel clients through the continuous-batching scheduler: every
+    // request gets the completion the direct (unbatched) path would return.
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        worker_threads: 12,
+        max_batch_size: 4,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    });
+    let wisdom = tiny_wisdom();
+    let mut threads = Vec::new();
+    for i in 0..10 {
+        threads.push(std::thread::spawn(move || {
+            let prompt = format!("install package number{i}");
+            (
+                prompt.clone(),
+                request_completion(addr, "", &prompt).expect("completion"),
+            )
+        }));
+    }
+    for t in threads {
+        let (prompt, got) = t.join().expect("client thread");
+        let direct = wisdom.complete_task("", &prompt);
+        assert_eq!(got.snippet, direct.snippet, "prompt {prompt:?}");
+        assert_eq!(got.completion, direct.body, "prompt {prompt:?}");
+    }
+    handle.stop();
+}
+
+#[test]
+fn queue_overflow_returns_503_with_retry_after() {
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        worker_threads: 8,
+        max_batch_size: 2,
+        queue_depth: 2,
+        retry_after_secs: 3,
+        ..ServerConfig::default()
+    });
+    // Freeze admission: submissions pile up in the bounded queue, so
+    // exactly `queue_depth` of the clients below park and the rest are
+    // shed with 503 — no timing dependence.
+    handle.set_admission_paused(true);
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut threads = Vec::new();
+    for _ in 0..6 {
+        let tx = tx.clone();
+        threads.push(std::thread::spawn(move || {
+            let result =
+                post_raw(addr, "/v1/completions", r#"{"prompt":"install nginx"}"#).expect("post");
+            tx.send(result.0).expect("send status");
+            result
+        }));
+    }
+    drop(tx);
+    // 4 of 6 must be rejected immediately (2 fit in the queue). Unpause
+    // only once all rejections are in, then the parked 2 decode normally.
+    let mut rejected = 0;
+    while rejected < 4 {
+        let status = rx.recv().expect("a client finished");
+        assert_eq!(status, 503, "only overflowing clients finish while paused");
+        rejected += 1;
+    }
+    handle.set_admission_paused(false);
+
+    let mut ok = 0;
+    let mut shed = 0;
+    for t in threads {
+        let (status, headers, body) = t.join().expect("client thread");
+        match status {
+            200 => {
+                assert!(body.contains("completion"), "{body}");
+                ok += 1;
+            }
+            503 => {
+                let retry = headers
+                    .iter()
+                    .find(|(k, _)| k == "retry-after")
+                    .map(|(_, v)| v.as_str());
+                assert_eq!(retry, Some("3"), "503 must advertise Retry-After");
+                shed += 1;
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!((ok, shed), (2, 4));
+    handle.stop();
+}
+
+#[test]
+fn oversized_request_body_is_rejected_with_413() {
+    use std::io::{Read, Write};
+    let (handle, addr) = spawn_server();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    // Claim a body far over the 1 MiB cap; the server must answer 413
+    // without waiting for the bytes.
+    write!(
+        stream,
+        "POST /v1/completions HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n"
+    )
+    .expect("write");
+    stream.flush().expect("flush");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.1 413"),
+        "expected 413, got: {response}"
+    );
     handle.stop();
 }
