@@ -1,0 +1,77 @@
+//! Radix prefix KV cache: cold full-window prefill vs warm prefill that
+//! splices the cached shared prefix and computes only the suffix. The
+//! acceptance bar is ≥2× warm-over-cold at a 75% shared prefix on the
+//! 2.7B-class config (see EXPERIMENTS.md for recorded runs).
+
+use std::cell::Cell;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wisdom_bench::bench_profile;
+use wisdom_eval::run_prefix_cache;
+use wisdom_model::{ModelConfig, PrefixKvCache, TransformerLm};
+use wisdom_prng::Prng;
+
+/// Family member `tag`: `shared` common tokens plus a tag-distinct suffix,
+/// so warm lookups hit exactly the shared prefix and never a sibling tail.
+fn window(model: &TransformerLm, shared: usize, tag: u32) -> Vec<u32> {
+    let ctx = model.config().context_window;
+    let vocab = model.config().vocab_size as u32;
+    let mut w: Vec<u32> = (0..shared as u32).map(|i| (i * 31 + 3) % vocab).collect();
+    w.extend((0..(ctx - shared) as u32).map(|j| (tag * 97 + j * 13 + 5) % vocab));
+    w
+}
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the cold-vs-warm table once.
+    let profile = bench_profile();
+    let points = run_prefix_cache(&profile, &[0.25, 0.5, 0.75, 0.9375]);
+    println!("\n{}", wisdom_eval::tables::prefix_cache_text(&points));
+
+    let vocab = 600;
+    let ctx = 96;
+    let mut rng = Prng::seed_from_u64(9);
+    let models = [
+        (
+            "350M",
+            TransformerLm::new(ModelConfig::size_350m(vocab, ctx), &mut rng),
+        ),
+        (
+            "2.7B",
+            TransformerLm::new(ModelConfig::size_2_7b(vocab, ctx), &mut rng),
+        ),
+    ];
+
+    for (label, model) in &models {
+        let name = format!("prefix_cache/{label}");
+        let mut group = c.benchmark_group(&name);
+        // The whole window counts as processed either way: elements/sec is
+        // end-to-end prefill throughput, warm or cold.
+        group.throughput(Throughput::Elements(ctx as u64));
+        group.bench_function("cold", |b| {
+            b.iter(|| black_box(model.prefill(&window(model, 72, 0))))
+        });
+        for shared in [24usize, 48, 72, 90] {
+            let cache = PrefixKvCache::default();
+            let _ = cache.prefill(model, &window(model, shared, 1_000_000));
+            // A fresh suffix per iteration keeps the hit length at exactly
+            // `shared`; re-using one window would let the second iteration
+            // hit its own tail and measure a near-total cache hit instead.
+            let tag = Cell::new(0u32);
+            group.bench_with_input(BenchmarkId::new("warm", shared), &shared, |b, &shared| {
+                b.iter(|| {
+                    tag.set(tag.get() + 1);
+                    black_box(cache.prefill(model, &window(model, shared, tag.get())))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

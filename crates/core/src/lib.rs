@@ -24,7 +24,9 @@ mod suggestion;
 pub use pipeline::{TrainPhase, Wisdom, WisdomConfig};
 pub use service::CompletionRequest;
 pub use suggestion::Suggestion;
-pub use wisdom_model::{BatchConfig, BatchScheduler, SubmitError};
+pub use wisdom_model::{
+    BatchConfig, BatchScheduler, PrefixCacheStats, SchedulerStats, SubmitError,
+};
 
 /// Lints a whole document (playbook or task file, auto-detected) with the
 /// strict Schema Correct checker — the service-level entry point used by

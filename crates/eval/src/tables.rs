@@ -1,6 +1,6 @@
 //! Plain-text renderers for the paper's tables.
 
-use crate::experiments::{BatchingPoint, Row, ThroughputResult, TypeRow};
+use crate::experiments::{BatchingPoint, PrefixCachePoint, Row, ThroughputResult, TypeRow};
 use crate::zoo::TABLE2;
 
 fn check(b: bool) -> &'static str {
@@ -151,6 +151,35 @@ pub fn decode_batching_text(points: &[BatchingPoint]) -> String {
     out
 }
 
+/// Renders the prefix-cache cold-vs-warm prefill table.
+pub fn prefix_cache_text(points: &[PrefixCachePoint]) -> String {
+    let mut out =
+        String::from("Radix prefix KV cache: full-window prefill, cold vs warm (suffix-only)\n");
+    out.push_str(&format!(
+        "{:<14} {:>13} {:>13} {:>8} {:>13} {:>13} {:>8}\n",
+        "Shared",
+        "350M cold ms",
+        "350M warm ms",
+        "350M x",
+        "2.7B cold ms",
+        "2.7B warm ms",
+        "2.7B x"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<14} {:>13.1} {:>13.1} {:>7.2}x {:>13.1} {:>13.1} {:>7.2}x\n",
+            format!("{}/{} tok", p.shared, p.total),
+            p.small_cold_ms,
+            p.small_warm_ms,
+            p.small_speedup(),
+            p.large_cold_ms,
+            p.large_warm_ms,
+            p.large_speedup()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +267,20 @@ mod tests {
         assert!(t.contains("2.50x"), "{t}");
         assert!(t.contains("1600.0"), "{t}");
         assert!(t.contains("160.0"), "{t}");
+    }
+
+    #[test]
+    fn prefix_cache_text_shows_speedups() {
+        let t = prefix_cache_text(&[crate::experiments::PrefixCachePoint {
+            shared: 96,
+            total: 128,
+            small_cold_ms: 80.0,
+            small_warm_ms: 40.0,
+            large_cold_ms: 400.0,
+            large_warm_ms: 100.0,
+        }]);
+        assert!(t.contains("96/128 tok"), "{t}");
+        assert!(t.contains("2.00x"), "{t}");
+        assert!(t.contains("4.00x"), "{t}");
     }
 }

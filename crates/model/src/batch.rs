@@ -28,6 +28,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -36,6 +37,7 @@ use std::time::Duration;
 use wisdom_prng::Prng;
 
 use crate::decode::{GenerationOptions, Strategy};
+use crate::prefix_cache::{PrefixCacheStats, PrefixKvCache, PrefixPin};
 use crate::transformer::{argmax, sample_top_k, KvCache, TransformerLm};
 
 /// One generation request at the token level.
@@ -65,6 +67,9 @@ struct Seq {
     strategy: Strategy,
     rng: Prng,
     done: bool,
+    /// Pins the prefix-cache segments backing this sequence's prompt until
+    /// it retires, so eviction can't drop shared state mid-decode.
+    _pin: PrefixPin,
 }
 
 /// The continuous-batching decode engine: in-flight sequences with
@@ -72,6 +77,8 @@ struct Seq {
 pub struct DecodeBatch<'m> {
     model: &'m TransformerLm,
     seqs: Vec<Seq>,
+    /// Shared prefix KV cache consulted/populated at admission (optional).
+    prefix_cache: Option<Arc<PrefixKvCache>>,
 }
 
 impl<'m> DecodeBatch<'m> {
@@ -80,6 +87,19 @@ impl<'m> DecodeBatch<'m> {
         Self {
             model,
             seqs: Vec::new(),
+            prefix_cache: None,
+        }
+    }
+
+    /// An empty batch whose admissions reuse (and feed) `cache`: prompt
+    /// windows prefill only the suffix past the longest cached prefix.
+    /// Outputs stay bit-identical to [`Self::new`] — cached K/V rows are
+    /// exact copies of what a cold prefill computes at those positions.
+    pub fn with_prefix_cache(model: &'m TransformerLm, cache: Arc<PrefixKvCache>) -> Self {
+        Self {
+            model,
+            seqs: Vec::new(),
+            prefix_cache: Some(cache),
         }
     }
 
@@ -110,7 +130,13 @@ impl<'m> DecodeBatch<'m> {
             .model
             .generation_window(&req.prompt, req.opts.max_new_tokens);
         let pos = window.len();
-        let (cache, logits) = self.model.prefill(window);
+        let (cache, logits, pin) = match &self.prefix_cache {
+            Some(pc) => pc.prefill(self.model, window),
+            None => {
+                let (cache, logits) = self.model.prefill(window);
+                (cache, logits, PrefixPin::default())
+            }
+        };
         self.seqs.push(Seq {
             tag,
             cache,
@@ -122,6 +148,7 @@ impl<'m> DecodeBatch<'m> {
             strategy: req.opts.strategy,
             rng: Prng::seed_from_u64(req.opts.seed),
             done: false,
+            _pin: pin,
         });
     }
 
@@ -201,10 +228,25 @@ pub fn generate_batch(
     requests: Vec<DecodeRequest>,
     max_batch_size: usize,
 ) -> Vec<Vec<u32>> {
+    generate_batch_with(model, requests, max_batch_size, None)
+}
+
+/// [`generate_batch`] with an optional shared [`PrefixKvCache`]: admissions
+/// consult/populate it, so requests with shared prompt prefixes only
+/// prefill their unique suffixes. Outputs are unchanged bit-for-bit.
+pub fn generate_batch_with(
+    model: &TransformerLm,
+    requests: Vec<DecodeRequest>,
+    max_batch_size: usize,
+    prefix_cache: Option<Arc<PrefixKvCache>>,
+) -> Vec<Vec<u32>> {
     let cap = max_batch_size.max(1);
     let mut results: Vec<Vec<u32>> = vec![Vec::new(); requests.len()];
     let mut queue = requests.into_iter().enumerate();
-    let mut engine = DecodeBatch::new(model);
+    let mut engine = match prefix_cache {
+        Some(cache) => DecodeBatch::with_prefix_cache(model, cache),
+        None => DecodeBatch::new(model),
+    };
     loop {
         while engine.len() < cap {
             let Some((tag, req)) = queue.next() else {
@@ -235,6 +277,9 @@ pub struct BatchConfig {
     /// Bounded submission-queue depth; submissions beyond it fail with
     /// [`SubmitError::QueueFull`].
     pub queue_depth: usize,
+    /// Byte budget for the shared prefix KV cache consulted at admission;
+    /// `0` disables prefix reuse entirely.
+    pub prefix_cache_bytes: usize,
 }
 
 impl Default for BatchConfig {
@@ -242,6 +287,7 @@ impl Default for BatchConfig {
         Self {
             max_batch_size: 8,
             queue_depth: 32,
+            prefix_cache_bytes: 64 << 20,
         }
     }
 }
@@ -297,6 +343,20 @@ struct Shared {
     job_ready: Condvar,
     /// Signals blocked producers: queue space freed.
     space_free: Condvar,
+    /// Sequences currently decoding, published by the worker after each
+    /// admission/step round (read lock-free by [`BatchScheduler::stats`]).
+    in_flight: AtomicUsize,
+}
+
+/// A point-in-time snapshot of scheduler load, served by `GET /v1/stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Requests waiting in the bounded submission queue.
+    pub queue_depth: usize,
+    /// Sequences currently being decoded together.
+    pub in_flight: usize,
+    /// Prefix-cache counters, when a cache is enabled.
+    pub prefix_cache: Option<PrefixCacheStats>,
 }
 
 /// A continuous-batching inference scheduler: one dedicated decode worker
@@ -309,16 +369,22 @@ pub struct BatchScheduler {
     shared: Arc<Shared>,
     model: Arc<TransformerLm>,
     cfg: BatchConfig,
+    prefix_cache: Option<Arc<PrefixKvCache>>,
     worker: Option<JoinHandle<()>>,
 }
 
 impl BatchScheduler {
-    /// Starts the decode worker over `model`.
+    /// Starts the decode worker over `model`. A nonzero
+    /// [`BatchConfig::prefix_cache_bytes`] enables a shared prefix KV cache
+    /// that admissions consult and populate.
     pub fn spawn(model: Arc<TransformerLm>, cfg: BatchConfig) -> Self {
         let cfg = BatchConfig {
             max_batch_size: cfg.max_batch_size.max(1),
             queue_depth: cfg.queue_depth.max(1),
+            prefix_cache_bytes: cfg.prefix_cache_bytes,
         };
+        let prefix_cache = (cfg.prefix_cache_bytes > 0)
+            .then(|| Arc::new(PrefixKvCache::with_budget(cfg.prefix_cache_bytes)));
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedulerState {
                 jobs: VecDeque::new(),
@@ -327,17 +393,20 @@ impl BatchScheduler {
             }),
             job_ready: Condvar::new(),
             space_free: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let worker_model = Arc::clone(&model);
+        let worker_cache = prefix_cache.clone();
         let worker = std::thread::Builder::new()
             .name("wisdom-decode".to_string())
-            .spawn(move || worker_loop(&worker_model, &worker_shared, cfg))
+            .spawn(move || worker_loop(&worker_model, &worker_shared, cfg, worker_cache))
             .expect("spawn decode worker");
         Self {
             shared,
             model,
             cfg,
+            prefix_cache,
             worker: Some(worker),
         }
     }
@@ -345,6 +414,25 @@ impl BatchScheduler {
     /// The scheduler's sizing.
     pub fn config(&self) -> BatchConfig {
         self.cfg
+    }
+
+    /// The shared prefix KV cache, when enabled.
+    pub fn prefix_cache(&self) -> Option<&Arc<PrefixKvCache>> {
+        self.prefix_cache.as_ref()
+    }
+
+    /// Current load: queued requests, in-flight batch size, and the prefix
+    /// cache's counters.
+    pub fn stats(&self) -> SchedulerStats {
+        let queue_depth = {
+            let state = self.shared.state.lock().expect("scheduler lock");
+            state.jobs.len()
+        };
+        SchedulerStats {
+            queue_depth,
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            prefix_cache: self.prefix_cache.as_deref().map(PrefixKvCache::stats),
+        }
     }
 
     /// Enqueues a request without blocking.
@@ -447,8 +535,16 @@ impl fmt::Debug for BatchScheduler {
     }
 }
 
-fn worker_loop(model: &TransformerLm, shared: &Shared, cfg: BatchConfig) {
-    let mut engine = DecodeBatch::new(model);
+fn worker_loop(
+    model: &TransformerLm,
+    shared: &Shared,
+    cfg: BatchConfig,
+    prefix_cache: Option<Arc<PrefixKvCache>>,
+) {
+    let mut engine = match prefix_cache {
+        Some(cache) => DecodeBatch::with_prefix_cache(model, cache),
+        None => DecodeBatch::new(model),
+    };
     let mut next_tag = 0usize;
     let mut replies: HashMap<usize, mpsc::Sender<Vec<u32>>> = HashMap::new();
     loop {
@@ -489,12 +585,14 @@ fn worker_loop(model: &TransformerLm, shared: &Shared, cfg: BatchConfig) {
             replies.insert(tag, tx);
             engine.admit(tag, req);
         }
+        shared.in_flight.store(engine.len(), Ordering::Relaxed);
         for (tag, out) in engine.step() {
             if let Some(tx) = replies.remove(&tag) {
                 // A dropped receiver (abandoned request) is fine.
                 let _ = tx.send(out);
             }
         }
+        shared.in_flight.store(engine.len(), Ordering::Relaxed);
     }
 }
 
@@ -558,6 +656,7 @@ mod tests {
             BatchConfig {
                 max_batch_size: 2,
                 queue_depth: 2,
+                ..BatchConfig::default()
             },
         );
         sched.set_admission_paused(true);
@@ -599,6 +698,36 @@ mod tests {
                 .unwrap_err(),
             SubmitError::ShutDown
         );
+    }
+
+    #[test]
+    fn scheduler_reports_stats_and_prefix_hits() {
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn(Arc::clone(&model), BatchConfig::default());
+        let idle = sched.stats();
+        assert_eq!((idle.queue_depth, idle.in_flight), (0, 0));
+        let cache_stats = idle.prefix_cache.expect("cache enabled by default");
+        assert_eq!(cache_stats.hits + cache_stats.misses, 0);
+
+        // The same prompt twice: the second admission must hit the cache,
+        // and the output must still match the solo path exactly.
+        let solo = model.generate(&[1, 2, 3, 4, 5], &[0], &greedy(4));
+        assert_eq!(sched.generate(&[1, 2, 3, 4, 5], &[0], &greedy(4)), solo);
+        assert_eq!(sched.generate(&[1, 2, 3, 4, 5], &[0], &greedy(4)), solo);
+        let s = sched.stats().prefix_cache.expect("cache enabled");
+        assert!(s.hits >= 1, "repeat prompt must hit: {s:?}");
+        assert!(s.bytes > 0 && s.bytes <= s.budget_bytes);
+
+        // Disabling the budget disables the cache.
+        let plain = BatchScheduler::spawn(
+            model,
+            BatchConfig {
+                prefix_cache_bytes: 0,
+                ..BatchConfig::default()
+            },
+        );
+        assert!(plain.stats().prefix_cache.is_none());
+        assert!(plain.prefix_cache().is_none());
     }
 
     #[test]

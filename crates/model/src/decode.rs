@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use wisdom_tokenizer::BpeTokenizer;
 
-use crate::batch::{generate_batch, DecodeRequest};
+use crate::batch::{generate_batch_with, DecodeRequest};
+use crate::prefix_cache::PrefixKvCache;
 use crate::transformer::TransformerLm;
 
 /// Decoding strategy.
@@ -158,6 +159,9 @@ impl TextGenerator for LmTextGenerator {
     /// Batched decode: all prompts share one continuously refilled
     /// [`DecodeBatch`](crate::DecodeBatch) so B in-flight sequences cost one
     /// B×d matmul per projection per token instead of B matvec chains.
+    /// Admissions share a [`PrefixKvCache`], so the shared contexts the
+    /// evaluation harness replays (PB+NL→T, T+NL→T prompt scaffolds) only
+    /// pay prefill for their unique suffixes.
     fn complete_batch(&self, prompts: &[String], opts: &GenerationOptions) -> Vec<String> {
         let stops = vec![self.tokenizer.eot(), self.tokenizer.sep()];
         let requests: Vec<DecodeRequest> = prompts
@@ -168,7 +172,8 @@ impl TextGenerator for LmTextGenerator {
                 opts: *opts,
             })
             .collect();
-        generate_batch(&self.model, requests, 8)
+        let prefix_cache = Arc::new(PrefixKvCache::default());
+        generate_batch_with(&self.model, requests, 8, Some(prefix_cache))
             .iter()
             .map(|out| self.tokenizer.decode(out))
             .collect()

@@ -29,17 +29,22 @@ mod checkpoint;
 mod config;
 mod decode;
 mod ngram;
+mod prefix_cache;
 mod retrieval;
 mod train;
 mod transformer;
 
 pub use batch::{
-    generate_batch, BatchConfig, BatchScheduler, DecodeBatch, DecodeRequest, Pending, SubmitError,
+    generate_batch, generate_batch_with, BatchConfig, BatchScheduler, DecodeBatch, DecodeRequest,
+    Pending, SchedulerStats, SubmitError,
 };
 pub use checkpoint::{load_checkpoint, save_checkpoint, LoadCheckpointError};
 pub use config::ModelConfig;
 pub use decode::{GenerationOptions, LmTextGenerator, Strategy, TextGenerator};
 pub use ngram::{NgramLm, NgramTextGenerator};
+pub use prefix_cache::{
+    CachedPrefix, PrefixCacheConfig, PrefixCacheStats, PrefixKvCache, PrefixPin,
+};
 pub use retrieval::RetrievalModel;
 pub use train::{
     finetune, finetune_with_epochs, pack_documents, pretrain, EpochFn, FinetuneConfig,

@@ -1,0 +1,712 @@
+//! Radix-tree prefix KV cache: copy-on-write reuse of prompt KV state
+//! across requests.
+//!
+//! Every Wisdom prompt is built from a shared scaffold — the
+//! `- name: <NL>` completion format plus, for the context-carrying
+//! generation types, a playbook/task context repeated verbatim across many
+//! requests. Re-prefilling those shared prefixes is pure waste: a K/V row
+//! at position `t` depends only on tokens `0..=t`, so two prompts that
+//! share a prefix share the prefix's K/V rows *exactly*.
+//!
+//! [`PrefixKvCache`] exploits that with a radix tree (compressed trie)
+//! keyed by token sequences. Each edge owns an immutable [`Segment`]: the
+//! edge's token run plus the per-layer K/V rows those positions produced.
+//! [`PrefixKvCache::lookup`] walks the tree and returns the longest cached
+//! prefix of an incoming window; [`PrefixKvCache::prefill`] splices those
+//! rows into a fresh [`KvCache`] and runs
+//! [`TransformerLm::prefill_continue`] over the *suffix only*.
+//!
+//! Copy-on-write discipline: segments are shared as `Arc<Segment>` and
+//! never mutated — splicing copies rows out into the request's private
+//! cache, and decode appends only to that private cache, so concurrent
+//! readers and later evictions can never corrupt an in-flight sequence.
+//!
+//! Eviction is byte-budget LRU, leaf-first (an inner node's rows are a
+//! prefix of its children's, so leaves always go first), and
+//! refcount-aware: a segment whose `Arc` is also held outside the tree —
+//! by a [`CachedPrefix`] being spliced or a [`PrefixPin`] owned by an
+//! in-flight sequence — is pinned and skipped. When everything over
+//! budget is pinned, eviction stops rather than stall admission; the
+//! budget is re-enforced on the next insert.
+//!
+//! Position-exactness: cached rows bake in their absolute position (the
+//! model adds `pos_emb` rows by index), and prefill always starts at
+//! position 0 of the *left-truncated* generation window. Keying the tree
+//! by that window means a prompt longer than the context window is
+//! automatically re-keyed by its truncated tail — a truncated window never
+//! matches the untruncated prefix of a shorter prompt byte-for-byte unless
+//! the token runs (and therefore the positions) really are identical.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::transformer::{KvCache, TransformerLm};
+
+/// Sizing for a [`PrefixKvCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheConfig {
+    /// Byte budget for tree-owned K/V segments; eviction keeps the total at
+    /// or under this (except for bytes pinned by in-flight sequences).
+    pub max_bytes: usize,
+}
+
+impl Default for PrefixCacheConfig {
+    fn default() -> Self {
+        Self {
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Counters surfaced through `GET /v1/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Lookups that matched at least one cached token.
+    pub hits: u64,
+    /// Lookups that matched nothing.
+    pub misses: u64,
+    /// Total prompt tokens served from cache instead of recomputed.
+    pub hit_tokens: u64,
+    /// Segments discarded by LRU eviction.
+    pub evicted_segments: u64,
+    /// Bytes currently owned by the tree.
+    pub bytes: usize,
+    /// Segments currently in the tree.
+    pub segments: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+}
+
+/// One radix-tree edge's payload: an immutable token run and the per-layer
+/// K/V rows those positions produced. Shared via `Arc`, never mutated.
+#[derive(Debug)]
+struct Segment {
+    tokens: Vec<u32>,
+    /// Row width (`d_model`).
+    d: usize,
+    /// Per-layer keys, `tokens.len() * d` floats each.
+    k: Vec<Vec<f32>>,
+    /// Per-layer values, same shape as `k`.
+    v: Vec<Vec<f32>>,
+}
+
+impl Segment {
+    fn rows(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Heap bytes owned by this segment (tokens + K/V floats).
+    fn bytes(&self) -> usize {
+        let floats: usize = self.k.iter().chain(self.v.iter()).map(Vec::len).sum();
+        floats * std::mem::size_of::<f32>() + self.tokens.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Rows `from..to` of `cache`, labeled with the matching `tokens` run.
+    fn from_cache(cache: &KvCache, tokens: &[u32], from: usize, to: usize) -> Segment {
+        let d = cache.d;
+        let slice = |layers: &[Vec<f32>]| -> Vec<Vec<f32>> {
+            layers
+                .iter()
+                .map(|layer| layer[from * d..to * d].to_vec())
+                .collect()
+        };
+        Segment {
+            tokens: tokens.to_vec(),
+            d,
+            k: slice(&cache.k),
+            v: slice(&cache.v),
+        }
+    }
+
+    /// Rows `from..to` of this segment as a new segment.
+    fn slice(&self, from: usize, to: usize) -> Segment {
+        let d = self.d;
+        let slice = |layers: &[Vec<f32>]| -> Vec<Vec<f32>> {
+            layers
+                .iter()
+                .map(|layer| layer[from * d..to * d].to_vec())
+                .collect()
+        };
+        Segment {
+            tokens: self.tokens[from..to].to_vec(),
+            d,
+            k: slice(&self.k),
+            v: slice(&self.v),
+        }
+    }
+}
+
+/// The longest cached prefix of a looked-up window: a run of segments (the
+/// last possibly used only partially) totalling [`CachedPrefix::len`]
+/// tokens. Holding this pins the segments against eviction.
+pub struct CachedPrefix {
+    /// `(segment, rows used)` along the tree path.
+    segments: Vec<(Arc<Segment>, usize)>,
+    len: usize,
+}
+
+impl CachedPrefix {
+    /// Number of prompt tokens this prefix covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the prefix covers no tokens (lookup never returns this).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the cached rows into `cache` (which must be empty): the
+    /// copy-on-write read side. The tree's segments stay untouched; the
+    /// request's decode appends only to its private `cache`.
+    pub(crate) fn splice_into(&self, cache: &mut KvCache) {
+        debug_assert!(cache.is_empty(), "splice target must be fresh");
+        for (seg, rows) in &self.segments {
+            debug_assert_eq!(seg.k.len(), cache.k.len(), "layer count");
+            let d = seg.d;
+            for (dst, src) in cache.k.iter_mut().zip(seg.k.iter()) {
+                dst.extend_from_slice(&src[..rows * d]);
+            }
+            for (dst, src) in cache.v.iter_mut().zip(seg.v.iter()) {
+                dst.extend_from_slice(&src[..rows * d]);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CachedPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachedPrefix")
+            .field("len", &self.len)
+            .field("segments", &self.segments.len())
+            .finish()
+    }
+}
+
+/// Pins the tree segments backing one in-flight sequence: while this is
+/// alive, eviction skips them (their `Arc` refcount exceeds the tree's own
+/// reference). Dropping the pin — when the sequence retires — releases the
+/// segments and re-runs eviction, so bytes parked over budget by pinned
+/// admissions are reclaimed as soon as the pins go away.
+#[derive(Default)]
+pub struct PrefixPin {
+    segments: Vec<Arc<Segment>>,
+    /// Back-reference for the drop-time eviction pass; `None` for the empty
+    /// pin of a cache-less admission.
+    core: Option<Weak<Core>>,
+}
+
+impl Drop for PrefixPin {
+    fn drop(&mut self) {
+        if self.segments.is_empty() {
+            return;
+        }
+        // Release the refcounts *before* evicting, so the segments this pin
+        // protected become candidates.
+        self.segments.clear();
+        if let Some(core) = self.core.take().and_then(|w| w.upgrade()) {
+            let mut inner = core.inner.lock().expect("prefix cache lock");
+            inner.evict_to_budget(core.max_bytes);
+        }
+    }
+}
+
+impl fmt::Debug for PrefixPin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PrefixPin")
+            .field("segments", &self.segments.len())
+            .finish()
+    }
+}
+
+/// Slab index of a live radix-tree node.
+type NodeId = usize;
+
+const ROOT: NodeId = 0;
+
+struct Node {
+    seg: Arc<Segment>,
+    parent: NodeId,
+    /// Child edges keyed by their first token (edges of one node never
+    /// share a first token, so one lookup step is one map probe).
+    children: BTreeMap<u32, NodeId>,
+    /// Logical LRU clock value of the last lookup/insert touching this
+    /// node's path.
+    last_used: u64,
+}
+
+struct Inner {
+    /// Slab of nodes; `None` entries are free slots. `nodes[ROOT]` is the
+    /// empty-segment root and is never evicted.
+    nodes: Vec<Option<Node>>,
+    free: Vec<NodeId>,
+    /// Bytes owned by tree segments (pinned copies held by readers after a
+    /// split/evict are the readers' responsibility, not the tree's).
+    bytes: usize,
+    /// Logical LRU clock, bumped per lookup/insert.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    hit_tokens: u64,
+    evicted_segments: u64,
+}
+
+impl Inner {
+    fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id].as_mut().expect("live node")
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = Some(node);
+            id
+        } else {
+            self.nodes.push(Some(node));
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Splits `id`'s edge after `at` rows: `id` keeps the upper `at` rows
+    /// and gains a single child holding the remainder (and `id`'s former
+    /// children). Readers holding the old `Arc<Segment>` keep a valid
+    /// (now untracked) copy — copy-on-write at the tree-structure level.
+    fn split(&mut self, id: NodeId, at: usize) {
+        let node = self.node(id);
+        debug_assert!(0 < at && at < node.seg.rows(), "split strictly inside");
+        let upper = Arc::new(node.seg.slice(0, at));
+        let lower = Arc::new(node.seg.slice(at, node.seg.rows()));
+        self.bytes += upper.bytes() + lower.bytes();
+        self.bytes -= self.node(id).seg.bytes();
+        let node = self.node_mut(id);
+        let lower_first = lower.tokens[0];
+        let lower_children = std::mem::take(&mut node.children);
+        let last_used = node.last_used;
+        node.seg = upper;
+        let lower_id = self.alloc(Node {
+            seg: lower,
+            parent: id,
+            children: lower_children,
+            last_used,
+        });
+        let moved: Vec<NodeId> = self.node(lower_id).children.values().copied().collect();
+        for child in moved {
+            self.node_mut(child).parent = lower_id;
+        }
+        self.node_mut(id).children.insert(lower_first, lower_id);
+    }
+
+    /// Evicts least-recently-used unpinned leaves until `bytes <= budget`
+    /// or nothing evictable remains (everything left is pinned).
+    fn evict_to_budget(&mut self, budget: usize) {
+        while self.bytes > budget {
+            let victim = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(id, slot)| {
+                    let node = slot.as_ref()?;
+                    if id == ROOT || !node.children.is_empty() {
+                        return None;
+                    }
+                    // A refcount above 1 means a CachedPrefix or PrefixPin
+                    // (an in-flight sequence) also holds this segment.
+                    if Arc::strong_count(&node.seg) > 1 {
+                        return None;
+                    }
+                    Some((node.last_used, id))
+                })
+                .min();
+            let Some((_, id)) = victim else { break };
+            let node = self.nodes[id].take().expect("victim is live");
+            self.free.push(id);
+            self.bytes -= node.seg.bytes();
+            self.evicted_segments += 1;
+            let first = node.seg.tokens[0];
+            self.node_mut(node.parent).children.remove(&first);
+        }
+    }
+}
+
+/// The lock-guarded tree plus its budget, shared between the cache handle
+/// and the weak back-references held by pins.
+struct Core {
+    inner: Mutex<Inner>,
+    max_bytes: usize,
+}
+
+/// A shared, byte-bounded radix-tree cache of prompt-prefix KV state.
+///
+/// Thread-safe: one mutex guards the tree (admission is effectively
+/// single-threaded through the scheduler worker; the lock exists so the
+/// stats endpoint and tests can read concurrently).
+pub struct PrefixKvCache {
+    core: Arc<Core>,
+}
+
+impl fmt::Debug for PrefixKvCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PrefixKvCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for PrefixKvCache {
+    fn default() -> Self {
+        Self::new(PrefixCacheConfig::default())
+    }
+}
+
+impl PrefixKvCache {
+    /// An empty cache with the given sizing.
+    pub fn new(cfg: PrefixCacheConfig) -> Self {
+        let root = Node {
+            seg: Arc::new(Segment {
+                tokens: Vec::new(),
+                d: 0,
+                k: Vec::new(),
+                v: Vec::new(),
+            }),
+            parent: ROOT,
+            children: BTreeMap::new(),
+            last_used: 0,
+        };
+        Self {
+            core: Arc::new(Core {
+                inner: Mutex::new(Inner {
+                    nodes: vec![Some(root)],
+                    free: Vec::new(),
+                    bytes: 0,
+                    tick: 0,
+                    hits: 0,
+                    misses: 0,
+                    hit_tokens: 0,
+                    evicted_segments: 0,
+                }),
+                max_bytes: cfg.max_bytes.max(1),
+            }),
+        }
+    }
+
+    /// An empty cache bounded to `max_bytes` of K/V segments.
+    pub fn with_budget(max_bytes: usize) -> Self {
+        Self::new(PrefixCacheConfig { max_bytes })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PrefixCacheStats {
+        let inner = self.core.inner.lock().expect("prefix cache lock");
+        PrefixCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            hit_tokens: inner.hit_tokens,
+            evicted_segments: inner.evicted_segments,
+            bytes: inner.bytes,
+            segments: inner.nodes.iter().flatten().count() - 1,
+            budget_bytes: self.core.max_bytes,
+        }
+    }
+
+    /// The longest cached prefix of `window`, at most `max_tokens` long
+    /// (callers cap at `window.len() - 1` so the final position — whose
+    /// logits are not cached — is always recomputed). Returns `None` on a
+    /// zero-length match; counts a hit or miss either way.
+    pub fn lookup(&self, window: &[u32], max_tokens: usize) -> Option<CachedPrefix> {
+        let mut inner = self.core.inner.lock().expect("prefix cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let budget = max_tokens.min(window.len());
+        let mut node_id = ROOT;
+        let mut matched = 0usize;
+        let mut segments: Vec<(Arc<Segment>, usize)> = Vec::new();
+        while matched < budget {
+            let Some(&child) = inner.node(node_id).children.get(&window[matched]) else {
+                break;
+            };
+            let node = inner.node_mut(child);
+            node.last_used = tick;
+            let seg = Arc::clone(&node.seg);
+            let rest = &window[matched..];
+            let take = seg
+                .tokens
+                .iter()
+                .zip(rest.iter())
+                .take_while(|(a, b)| a == b)
+                .count()
+                .min(budget - matched);
+            debug_assert!(take >= 1, "child keyed by first token");
+            matched += take;
+            let whole = take == seg.rows();
+            segments.push((seg, take));
+            if !whole {
+                break;
+            }
+            node_id = child;
+        }
+        if matched == 0 {
+            inner.misses += 1;
+            return None;
+        }
+        inner.hits += 1;
+        inner.hit_tokens += matched as u64;
+        Some(CachedPrefix {
+            segments,
+            len: matched,
+        })
+    }
+
+    /// Records `window`'s K/V rows (taken from `cache`, which must hold at
+    /// least `window.len()` positions) in the tree, sharing existing
+    /// segments and splitting edges where the window diverges mid-edge.
+    /// Returns a [`PrefixPin`] holding every segment on the window's path —
+    /// the caller keeps it alive for the sequence's lifetime so eviction
+    /// cannot drop state backing an in-flight decode. Evicts down to the
+    /// byte budget before returning.
+    pub fn insert(&self, window: &[u32], cache: &KvCache) -> PrefixPin {
+        debug_assert!(cache.len() >= window.len(), "cache covers the window");
+        let mut pin = PrefixPin {
+            segments: Vec::new(),
+            core: Some(Arc::downgrade(&self.core)),
+        };
+        if window.is_empty() {
+            return pin;
+        }
+        let mut inner = self.core.inner.lock().expect("prefix cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut node_id = ROOT;
+        let mut matched = 0usize;
+        while matched < window.len() {
+            match inner.node(node_id).children.get(&window[matched]).copied() {
+                None => {
+                    // New leaf for the whole remainder.
+                    let seg = Arc::new(Segment::from_cache(
+                        cache,
+                        &window[matched..],
+                        matched,
+                        window.len(),
+                    ));
+                    inner.bytes += seg.bytes();
+                    pin.segments.push(Arc::clone(&seg));
+                    let first = window[matched];
+                    let leaf = inner.alloc(Node {
+                        seg,
+                        parent: node_id,
+                        children: BTreeMap::new(),
+                        last_used: tick,
+                    });
+                    inner.node_mut(node_id).children.insert(first, leaf);
+                    matched = window.len();
+                }
+                Some(child) => {
+                    let node = inner.node_mut(child);
+                    node.last_used = tick;
+                    let rest = &window[matched..];
+                    let lcp = node
+                        .seg
+                        .tokens
+                        .iter()
+                        .zip(rest.iter())
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    if lcp < node.seg.rows() && matched + lcp < window.len() {
+                        // Diverges mid-edge with more window to attach:
+                        // split so the shared part becomes its own node.
+                        inner.split(child, lcp);
+                    }
+                    let node = inner.node(child);
+                    pin.segments.push(Arc::clone(&node.seg));
+                    matched += lcp.min(node.seg.rows());
+                    if matched == window.len() || lcp == 0 {
+                        // Fully consumed (possibly mid-edge: the edge's
+                        // extra rows extend beyond the window, no split
+                        // needed) — or an impossible zero match, guarded
+                        // against looping.
+                        debug_assert!(lcp > 0, "child keyed by first token");
+                        break;
+                    }
+                    node_id = child;
+                }
+            }
+        }
+        inner.evict_to_budget(self.core.max_bytes);
+        pin
+    }
+
+    /// Cache-accelerated prefill: splices the longest cached prefix of
+    /// `window` into a fresh [`KvCache`], runs
+    /// [`TransformerLm::prefill_continue`] over the remaining suffix only,
+    /// and records the full window back into the tree.
+    ///
+    /// Returns `(cache, final-position logits, pin)`. The caller holds the
+    /// pin for the sequence's lifetime. Output is bit-identical to
+    /// `model.prefill(window)` for any cache state: cached rows are exact
+    /// copies of what the full pass would have produced at those positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` exceeds the model's context window or contains an
+    /// out-of-vocabulary token (as [`TransformerLm::prefill`] would).
+    pub fn prefill(&self, model: &TransformerLm, window: &[u32]) -> (KvCache, Vec<f32>, PrefixPin) {
+        if window.is_empty() {
+            let (cache, logits) = model.prefill(window);
+            return (cache, logits, PrefixPin::default());
+        }
+        // The final position's logits are not cached, so always leave at
+        // least one suffix token for the live pass to evaluate.
+        let hit = self.lookup(window, window.len() - 1);
+        let mut cache = KvCache::new(model);
+        let matched = hit.as_ref().map_or(0, CachedPrefix::len);
+        if let Some(prefix) = &hit {
+            prefix.splice_into(&mut cache);
+        }
+        let logits = model.prefill_continue(&window[matched..], &mut cache);
+        drop(hit);
+        let pin = self.insert(window, &cache);
+        (cache, logits, pin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use wisdom_prng::Prng;
+
+    fn tiny_model() -> TransformerLm {
+        let cfg = ModelConfig {
+            vocab_size: 20,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            context_window: 16,
+        };
+        let mut rng = Prng::seed_from_u64(7);
+        TransformerLm::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn lookup_on_empty_cache_misses() {
+        let cache = PrefixKvCache::default();
+        assert!(cache.lookup(&[1, 2, 3], 2).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.segments, 0);
+    }
+
+    #[test]
+    fn insert_then_lookup_shares_prefix() {
+        let model = tiny_model();
+        let cache = PrefixKvCache::default();
+        let window = [1u32, 2, 3, 4, 5];
+        let (kv, _) = model.prefill(&window);
+        let _pin = cache.insert(&window, &kv);
+        assert_eq!(cache.stats().segments, 1);
+
+        // Full prefix of a longer window.
+        let hit = cache.lookup(&[1, 2, 3, 4, 5, 6, 7], 6).expect("hit");
+        assert_eq!(hit.len(), 5);
+        // Partial (mid-edge) prefix.
+        let hit = cache.lookup(&[1, 2, 3, 9], 3).expect("hit");
+        assert_eq!(hit.len(), 3);
+        // Diverging first token misses.
+        assert!(cache.lookup(&[2, 2, 3], 2).is_none());
+    }
+
+    #[test]
+    fn insert_splits_edges_and_preserves_rows() {
+        let model = tiny_model();
+        let cache = PrefixKvCache::default();
+        let a = [1u32, 2, 3, 4, 5, 6];
+        let b = [1u32, 2, 3, 9, 9];
+        let (kv_a, _) = model.prefill(&a);
+        let (kv_b, _) = model.prefill(&b);
+        let _pa = cache.insert(&a, &kv_a);
+        let _pb = cache.insert(&b, &kv_b);
+        // Shared [1,2,3] node plus two divergent tails.
+        assert_eq!(cache.stats().segments, 3);
+        // Both windows still fully resolvable, and spliced rows match the
+        // cold prefill bit-for-bit.
+        for (w, kv) in [(&a[..], &kv_a), (&b[..], &kv_b)] {
+            let hit = cache.lookup(w, w.len()).expect("hit");
+            assert_eq!(hit.len(), w.len());
+            let mut spliced = KvCache::new(&model);
+            hit.splice_into(&mut spliced);
+            assert_eq!(spliced.len(), w.len());
+            for l in 0..spliced.k.len() {
+                let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&spliced.k[l]), bits(&kv.k[l]), "layer {l} keys");
+                assert_eq!(bits(&spliced.v[l]), bits(&kv.v[l]), "layer {l} values");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_skips_pinned() {
+        let model = tiny_model();
+        let (kv, _) = model.prefill(&[1, 2, 3, 4]);
+        let one_window = Segment::from_cache(&kv, &[1, 2, 3, 4], 0, 4).bytes();
+        // Budget fits roughly two windows.
+        let cache = PrefixKvCache::with_budget(2 * one_window + one_window / 2);
+
+        // Hold a pin on the first window; it must survive any pressure.
+        let (_kv1, _lg1, pin) = cache.prefill(&model, &[1, 2, 3, 4]);
+        for start in 10u32..16 {
+            let w = [start, start + 1, 2, 3];
+            let (kv, _) = model.prefill(&w);
+            drop(cache.insert(&w, &kv));
+        }
+        let s = cache.stats();
+        assert!(s.evicted_segments > 0, "pressure must evict: {s:?}");
+        assert!(
+            s.bytes <= 2 * one_window + one_window / 2,
+            "over budget: {s:?}"
+        );
+        let hit = cache.lookup(&[1, 2, 3, 4, 5], 4).expect("pinned survives");
+        assert_eq!(hit.len(), 4);
+        drop(pin);
+
+        // Unpinned now: enough pressure evicts it too.
+        for start in 10u32..16 {
+            let w = [start, start + 1, 2, 3, 4, 5];
+            let (kv, _) = model.prefill(&w);
+            drop(cache.insert(&w, &kv));
+        }
+        assert!(cache.stats().bytes <= 2 * one_window + one_window / 2);
+    }
+
+    #[test]
+    fn prefill_via_cache_is_bit_identical() {
+        let model = tiny_model();
+        let cache = PrefixKvCache::default();
+        let windows: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4, 5, 6],
+            vec![1, 2, 3, 4, 9, 9],
+            vec![1, 2, 3],
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            vec![],
+            vec![4],
+        ];
+        for round in 0..2 {
+            for w in &windows {
+                let (kv_cold, lg_cold) = model.prefill(w);
+                let (kv_warm, lg_warm, _pin) = cache.prefill(&model, w);
+                let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&lg_cold), bits(&lg_warm), "round {round} window {w:?}");
+                assert_eq!(kv_cold.len(), kv_warm.len());
+                for l in 0..kv_cold.k.len() {
+                    assert_eq!(bits(&kv_cold.k[l]), bits(&kv_warm.k[l]));
+                    assert_eq!(bits(&kv_cold.v[l]), bits(&kv_warm.v[l]));
+                }
+            }
+        }
+        let s = cache.stats();
+        assert!(s.hits > 0, "second round must hit: {s:?}");
+    }
+}

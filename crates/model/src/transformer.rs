@@ -393,7 +393,38 @@ impl TransformerLm {
     /// Panics if `window` exceeds the context window or contains an
     /// out-of-vocabulary token.
     pub fn prefill(&self, window: &[u32]) -> (KvCache, Vec<f32>) {
-        let t_len = window.len();
+        let mut cache = KvCache::new(self);
+        if window.is_empty() {
+            return (cache, vec![0.0; self.cfg.vocab_size]);
+        }
+        let logits = self.prefill_continue(window, &mut cache);
+        (cache, logits)
+    }
+
+    /// Runs `suffix` through the batched prefill pass *on top of* an already
+    /// populated cache: row `r` of the suffix is processed at absolute
+    /// position `cache.len() + r`, its K/V rows are appended to `cache`, and
+    /// the returned logits are for the final suffix position.
+    ///
+    /// This is the prefix-cache fast path: when the leading tokens of a
+    /// prompt window were spliced from
+    /// [`PrefixKvCache`](crate::PrefixKvCache), only the remaining suffix
+    /// pays for QKV/MLP projections. Because a K/V row at position `t`
+    /// depends only on tokens `0..=t` — and the blocked kernels accumulate
+    /// every output element over k in index order, independent of the row
+    /// count of the matmul — the result is bit-identical to running
+    /// [`Self::prefill`] over the full window (`prefill` itself is the
+    /// `cache.len() == 0` case of this function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache.len() + suffix.len()` exceeds the context window or
+    /// a token is out of vocabulary. An empty suffix returns all-zero
+    /// logits (no new position was evaluated).
+    pub fn prefill_continue(&self, suffix: &[u32], cache: &mut KvCache) -> Vec<f32> {
+        let start = cache.len();
+        let s_len = suffix.len();
+        let t_len = start + s_len;
         let d = self.cfg.d_model;
         let heads = self.cfg.n_heads;
         let hd = self.cfg.head_dim();
@@ -404,88 +435,93 @@ impl TransformerLm {
             "prefill window {t_len} exceeds context {}",
             self.cfg.context_window
         );
-        let mut cache = KvCache::new(self);
-        if t_len == 0 {
-            return (cache, vec![0.0; vocab]);
+        if s_len == 0 {
+            return vec![0.0; vocab];
         }
         let scale = 1.0 / (hd as f32).sqrt();
 
-        // Token + position embeddings for the whole window: T×d.
-        let mut x = vec![0.0f32; t_len * d];
-        for (t, &token) in window.iter().enumerate() {
+        // Token + position embeddings for the suffix rows: S×d, at absolute
+        // positions `start..start + s_len`.
+        let mut x = vec![0.0f32; s_len * d];
+        for (r, &token) in suffix.iter().enumerate() {
             let tok = token as usize;
             assert!(tok < vocab, "token {tok} out of vocabulary");
-            let row = &mut x[t * d..(t + 1) * d];
+            let pos = start + r;
+            let row = &mut x[r * d..(r + 1) * d];
             for (i, xv) in row.iter_mut().enumerate() {
-                *xv = self.tok_emb.data[tok * d + i] + self.pos_emb.data[t * d + i];
+                *xv = self.tok_emb.data[tok * d + i] + self.pos_emb.data[pos * d + i];
             }
         }
 
-        let mut h = vec![0.0f32; t_len * d];
+        let mut h = vec![0.0f32; s_len * d];
         for (l, b) in self.blocks.iter().enumerate() {
             // attn
-            layer_norm_rows(&x, &b.ln1_g.data, &b.ln1_b.data, t_len, d, &mut h);
-            let mut q = bias_rows(&b.bq.data, t_len);
-            matmul_acc(&h, &b.wq.data, t_len, d, d, &mut q);
-            let mut k = bias_rows(&b.bk.data, t_len);
-            matmul_acc(&h, &b.wk.data, t_len, d, d, &mut k);
-            let mut v = bias_rows(&b.bv.data, t_len);
-            matmul_acc(&h, &b.wv.data, t_len, d, d, &mut v);
+            layer_norm_rows(&x, &b.ln1_g.data, &b.ln1_b.data, s_len, d, &mut h);
+            let mut q = bias_rows(&b.bq.data, s_len);
+            matmul_acc(&h, &b.wq.data, s_len, d, d, &mut q);
+            let mut k = bias_rows(&b.bk.data, s_len);
+            matmul_acc(&h, &b.wk.data, s_len, d, d, &mut k);
+            let mut v = bias_rows(&b.bv.data, s_len);
+            matmul_acc(&h, &b.wv.data, s_len, d, d, &mut v);
             cache.k[l].extend_from_slice(&k);
             cache.v[l].extend_from_slice(&v);
-            // Causal attention: every query position attends to 0..=itself.
-            let mut att = vec![0.0f32; t_len * d];
+            // Causal attention: suffix position `start + r` attends to every
+            // cached position 0..=start+r (spliced prefix rows included).
+            let keys = &cache.k[l];
+            let vals = &cache.v[l];
+            let mut att = vec![0.0f32; s_len * d];
             for hi in 0..heads {
                 let mut scores = vec![0.0f32; t_len];
-                for tq in 0..t_len {
-                    let q_h = &q[tq * d + hi * hd..tq * d + (hi + 1) * hd];
+                for r in 0..s_len {
+                    let tq = start + r;
+                    let q_h = &q[r * d + hi * hd..r * d + (hi + 1) * hd];
                     let scores = &mut scores[..=tq];
                     for (t, s) in scores.iter_mut().enumerate() {
-                        let k_h = &k[t * d + hi * hd..t * d + (hi + 1) * hd];
+                        let k_h = &keys[t * d + hi * hd..t * d + (hi + 1) * hd];
                         *s = dot(q_h, k_h) * scale;
                     }
                     softmax_row(scores);
-                    let out_h = &mut att[tq * d + hi * hd..tq * d + (hi + 1) * hd];
+                    let out_h = &mut att[r * d + hi * hd..r * d + (hi + 1) * hd];
                     for (t, &w) in scores.iter().enumerate() {
                         if w == 0.0 {
                             continue;
                         }
-                        let v_h = &v[t * d + hi * hd..t * d + (hi + 1) * hd];
+                        let v_h = &vals[t * d + hi * hd..t * d + (hi + 1) * hd];
                         for (o, &vv) in out_h.iter_mut().zip(v_h.iter()) {
                             *o += w * vv;
                         }
                     }
                 }
             }
-            let mut proj = bias_rows(&b.bo.data, t_len);
-            matmul_acc(&att, &b.wo.data, t_len, d, d, &mut proj);
+            let mut proj = bias_rows(&b.bo.data, s_len);
+            matmul_acc(&att, &b.wo.data, s_len, d, d, &mut proj);
             for (xv, pv) in x.iter_mut().zip(proj.iter()) {
                 *xv += pv;
             }
             // mlp
-            layer_norm_rows(&x, &b.ln2_g.data, &b.ln2_b.data, t_len, d, &mut h);
-            let mut m = bias_rows(&b.b1.data, t_len);
-            matmul_acc(&h, &b.w1.data, t_len, d, ff, &mut m);
+            layer_norm_rows(&x, &b.ln2_g.data, &b.ln2_b.data, s_len, d, &mut h);
+            let mut m = bias_rows(&b.b1.data, s_len);
+            matmul_acc(&h, &b.w1.data, s_len, d, ff, &mut m);
             for mv in m.iter_mut() {
                 *mv = gelu(*mv);
             }
-            let mut m2 = bias_rows(&b.b2.data, t_len);
-            matmul_acc(&m, &b.w2.data, t_len, ff, d, &mut m2);
+            let mut m2 = bias_rows(&b.b2.data, s_len);
+            matmul_acc(&m, &b.w2.data, s_len, ff, d, &mut m2);
             for (xv, mv) in x.iter_mut().zip(m2.iter()) {
                 *xv += mv;
             }
         }
         // LM head for the final position only: the earlier rows' logits are
-        // never consumed during prefill, so T-1 d×vocab projections are
+        // never consumed during prefill, so S-1 d×vocab projections are
         // skipped.
         let xf = layer_norm_row(
-            &x[(t_len - 1) * d..t_len * d],
+            &x[(s_len - 1) * d..s_len * d],
             &self.lnf_g.data,
             &self.lnf_b.data,
         );
         let mut logits = vec![0.0f32; vocab];
         matmul(&xf, &self.lm_head.data, 1, d, vocab, &mut logits);
-        (cache, logits)
+        logits
     }
 
     /// Autoregressive generation. The prompt is left-truncated to fit the
@@ -827,10 +863,10 @@ impl TransformerLm {
 /// [`TransformerLm::prefill`], and appended to by [`TransformerLm::step`].
 #[derive(Debug)]
 pub struct KvCache {
-    k: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
+    pub(crate) k: Vec<Vec<f32>>,
+    pub(crate) v: Vec<Vec<f32>>,
     /// Row width (`d_model`), for converting buffer lengths to positions.
-    d: usize,
+    pub(crate) d: usize,
     /// Per-layer capacity in floats (`context_window * d_model`), restored
     /// on every clone so neither decode nor beam branching reallocates.
     cap: usize,

@@ -150,6 +150,7 @@ fn scheduler_under_concurrent_submissions_matches_solo() {
         BatchConfig {
             max_batch_size: 4,
             queue_depth: 32,
+            ..BatchConfig::default()
         },
     );
     std::thread::scope(|scope| {

@@ -5,6 +5,8 @@
 //!
 //! * `POST /v1/completions` with `{"prompt": "...", "context": "..."}` →
 //!   `{"completion", "snippet", "schema_correct", "lint", "model"}`;
+//! * `GET /v1/stats` → queue depth, in-flight batch size, and prefix-cache
+//!   counters as JSON;
 //! * `GET /healthz` → `ok`.
 
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -12,7 +14,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use wisdom_core::{BatchConfig, BatchScheduler, CompletionRequest, SubmitError, Wisdom};
+use wisdom_core::{
+    BatchConfig, BatchScheduler, CompletionRequest, SchedulerStats, SubmitError, Wisdom,
+};
 
 use crate::http::{read_request, Request, Response, MAX_BODY_BYTES};
 use crate::json::{parse_json, Json};
@@ -34,6 +38,9 @@ pub struct ServerConfig {
     pub io_timeout: Duration,
     /// `Retry-After` seconds advertised on 503 responses.
     pub retry_after_secs: u64,
+    /// Byte budget for the scheduler's shared prefix KV cache; `0` disables
+    /// prompt-prefix reuse across requests.
+    pub prefix_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +52,7 @@ impl Default for ServerConfig {
             max_body_bytes: MAX_BODY_BYTES,
             io_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
+            prefix_cache_bytes: 64 << 20,
         }
     }
 }
@@ -117,6 +125,7 @@ impl WisdomServer {
             Arc::new(wisdom.scheduler(BatchConfig {
                 max_batch_size: config.max_batch_size,
                 queue_depth: config.queue_depth,
+                prefix_cache_bytes: config.prefix_cache_bytes,
             }))
         });
         Ok(WisdomServer {
@@ -210,11 +219,48 @@ pub fn route_with(
 ) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok"),
+        ("GET", "/v1/stats") => stats(scheduler),
         ("POST", "/v1/completions") => completions(wisdom, scheduler, retry_after_secs, request),
         ("POST", "/v1/lint") => lint(request),
         ("POST", _) | ("GET", _) => Response::text(404, "unknown endpoint"),
         _ => Response::text(405, "method not allowed"),
     }
+}
+
+/// Serving/load counters for dashboards and tests: scheduler queue depth
+/// and in-flight batch size plus the prefix KV cache's hit/miss/evicted/
+/// bytes counters. On the direct (scheduler-less) path everything reads as
+/// idle/disabled.
+fn stats(scheduler: Option<&BatchScheduler>) -> Response {
+    let snapshot = scheduler.map_or_else(SchedulerStats::default, BatchScheduler::stats);
+    let (max_batch_size, queue_capacity) = scheduler.map_or((1, 0), |s| {
+        (s.config().max_batch_size, s.config().queue_depth)
+    });
+    let num = |n: usize| Json::Num(n as f64);
+    let count = |n: u64| Json::Num(n as f64);
+    let pc = snapshot.prefix_cache.unwrap_or_default();
+    Response::json(
+        Json::obj(vec![
+            ("queue_depth", num(snapshot.queue_depth)),
+            ("in_flight", num(snapshot.in_flight)),
+            ("max_batch_size", num(max_batch_size)),
+            ("queue_capacity", num(queue_capacity)),
+            (
+                "prefix_cache",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(snapshot.prefix_cache.is_some())),
+                    ("hits", count(pc.hits)),
+                    ("misses", count(pc.misses)),
+                    ("hit_tokens", count(pc.hit_tokens)),
+                    ("evicted_segments", count(pc.evicted_segments)),
+                    ("bytes", num(pc.bytes)),
+                    ("segments", num(pc.segments)),
+                    ("budget_bytes", num(pc.budget_bytes)),
+                ]),
+            ),
+        ])
+        .to_text(),
+    )
 }
 
 /// Lint-as-a-service: `{"content": "<yaml>"}` → schema findings. The same
@@ -361,6 +407,27 @@ mod tests {
         let j = parse_json(&String::from_utf8(bad.body).unwrap()).unwrap();
         assert_eq!(j.get("schema_correct").and_then(Json::as_bool), Some(false));
         assert!(matches!(j.get("findings"), Some(Json::Arr(items)) if !items.is_empty()));
+    }
+
+    #[test]
+    fn stats_endpoint_reports_idle_direct_path() {
+        let w = tiny_wisdom();
+        let r = route(
+            &w,
+            &Request {
+                method: "GET".to_string(),
+                path: "/v1/stats".to_string(),
+                headers: HashMap::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(r.status, 200);
+        let j = parse_json(&String::from_utf8(r.body).unwrap()).unwrap();
+        assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(j.get("in_flight").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(j.get("max_batch_size").and_then(Json::as_f64), Some(1.0));
+        let pc = j.get("prefix_cache").expect("prefix_cache object");
+        assert_eq!(pc.get("enabled").and_then(Json::as_bool), Some(false));
     }
 
     #[test]

@@ -111,6 +111,18 @@ pub fn post(
     Ok((status, body))
 }
 
+/// Performs one `GET` and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Returns [`ClientError::Io`] on network failures.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> Result<(u16, String), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nhost: localhost\r\n\r\n")?;
+    stream.flush()?;
+    read_response(&mut stream).map(|(status, _headers, body)| (status, body))
+}
+
 /// Performs one `POST` and returns `(status, headers, body)` with the
 /// lower-cased response headers (so tests can check `retry-after` on 503s).
 ///
@@ -129,6 +141,12 @@ pub fn post_raw(
         body.len()
     )?;
     stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Reads a full HTTP response off `stream` and splits it into status,
+/// lower-cased headers, and body.
+fn read_response(stream: &mut TcpStream) -> Result<(u16, ResponseHeaders, String), ClientError> {
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
     let status: u16 = response

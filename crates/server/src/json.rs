@@ -37,6 +37,14 @@ impl Json {
         }
     }
 
+    /// Number accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Bool accessor.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -30,6 +30,6 @@ mod http;
 mod json;
 
 pub use api::{route, route_with, ServerConfig, ServerHandle, WisdomServer};
-pub use client::{post, post_raw, request_completion, ClientError, CompletionResponse};
+pub use client::{get, post, post_raw, request_completion, ClientError, CompletionResponse};
 pub use http::{read_request, ParseHttpError, Request, Response, MAX_BODY_BYTES};
 pub use json::{parse_json, Json, ParseJsonError};

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Repo lint gate: formatting, clippy (warnings are errors), and a compile
-# pass over every test and bench target so bench-only breakage is caught
-# without running criterion. Run from the repository root before sending a
-# change.
+# Repo lint gate: formatting, clippy (warnings are errors), a compile pass
+# over every test and bench target so bench-only breakage is caught without
+# running criterion, and the fast decode-agreement suites (the bit-for-bit
+# guarantees behind prefill, batching, and the prefix KV cache). Run from
+# the repository root before sending a change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +11,7 @@ cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace --no-run
 cargo bench --workspace --no-run
+cargo test -q -p wisdom-model \
+  --test prefill_agreement \
+  --test batch_agreement \
+  --test prefix_cache_agreement

@@ -4,7 +4,9 @@
 use std::sync::{Arc, OnceLock};
 
 use ansible_wisdom::core::{Wisdom, WisdomConfig};
-use ansible_wisdom::server::{post, post_raw, request_completion, ServerConfig, WisdomServer};
+use ansible_wisdom::server::{
+    get, parse_json, post, post_raw, request_completion, Json, ServerConfig, WisdomServer,
+};
 
 fn tiny_wisdom() -> Arc<Wisdom> {
     static WISDOM: OnceLock<Arc<Wisdom>> = OnceLock::new();
@@ -102,6 +104,41 @@ fn concurrent_load_is_batched_and_deterministic() {
         assert_eq!(got.snippet, direct.snippet, "prompt {prompt:?}");
         assert_eq!(got.completion, direct.body, "prompt {prompt:?}");
     }
+    handle.stop();
+}
+
+#[test]
+fn stats_endpoint_reports_prefix_cache_hits() {
+    // Two identical completions through the batched path share their whole
+    // prompt window, so the second must hit the radix prefix cache — and
+    // /v1/stats must say so.
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        worker_threads: 4,
+        max_batch_size: 4,
+        queue_depth: 16,
+        ..ServerConfig::default()
+    });
+    for _ in 0..2 {
+        request_completion(addr, "", "install nginx").expect("completion");
+    }
+    let (status, body) = get(addr, "/v1/stats").expect("get stats");
+    assert_eq!(status, 200, "{body}");
+    let j = parse_json(&body).expect("stats json");
+    assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(j.get("max_batch_size").and_then(Json::as_f64), Some(4.0));
+    let pc = j.get("prefix_cache").expect("prefix_cache object");
+    assert_eq!(pc.get("enabled").and_then(Json::as_bool), Some(true));
+    let hits = pc.get("hits").and_then(Json::as_f64).expect("hits");
+    assert!(
+        hits >= 1.0,
+        "repeat prompt must hit the prefix cache: {body}"
+    );
+    let bytes = pc.get("bytes").and_then(Json::as_f64).expect("bytes");
+    let budget = pc
+        .get("budget_bytes")
+        .and_then(Json::as_f64)
+        .expect("budget");
+    assert!(bytes <= budget, "cache over budget: {body}");
     handle.stop();
 }
 
