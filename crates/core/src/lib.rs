@@ -25,7 +25,8 @@ pub use pipeline::{TrainPhase, Wisdom, WisdomConfig};
 pub use service::CompletionRequest;
 pub use suggestion::Suggestion;
 pub use wisdom_model::{
-    BatchConfig, BatchScheduler, PrefixCacheStats, SchedulerStats, SubmitError,
+    BatchConfig, BatchScheduler, BatchTelemetry, PrefixCacheStats, PrefixCacheTelemetry,
+    SchedulerStats, SubmitError,
 };
 
 /// Lints a whole document (playbook or task file, auto-detected) with the

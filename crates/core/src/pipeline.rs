@@ -248,7 +248,18 @@ impl Wisdom {
     /// batched forward passes; see [`BatchScheduler`]). The model weights
     /// are cloned once into the scheduler, not per request.
     pub fn scheduler(&self, cfg: BatchConfig) -> BatchScheduler {
-        BatchScheduler::spawn(Arc::new(self.model.clone()), cfg)
+        self.scheduler_with(cfg, None)
+    }
+
+    /// [`Wisdom::scheduler`] with metric handles: the scheduler records
+    /// queue wait, TTFT, per-round decode latency, occupancy, and
+    /// admitted/completed/shed/wakeup counts into `telemetry`.
+    pub fn scheduler_with(
+        &self,
+        cfg: BatchConfig,
+        telemetry: Option<wisdom_model::BatchTelemetry>,
+    ) -> BatchScheduler {
+        BatchScheduler::spawn_with(Arc::new(self.model.clone()), cfg, telemetry)
     }
 
     /// [`Wisdom::complete`] through a [`BatchScheduler`]: enqueues the

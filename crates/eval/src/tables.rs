@@ -1,6 +1,8 @@
 //! Plain-text renderers for the paper's tables.
 
-use crate::experiments::{BatchingPoint, PrefixCachePoint, Row, ThroughputResult, TypeRow};
+use crate::experiments::{
+    BatchingPoint, PrefixCachePoint, Row, TelemetryOverhead, ThroughputResult, TypeRow,
+};
 use crate::zoo::TABLE2;
 
 fn check(b: bool) -> &'static str {
@@ -149,6 +151,24 @@ pub fn decode_batching_text(points: &[BatchingPoint]) -> String {
         ));
     }
     out
+}
+
+/// Renders the telemetry-overhead comparison.
+pub fn telemetry_text(r: &TelemetryOverhead) -> String {
+    format!(
+        "Telemetry overhead (batched greedy decode, {} seqs thru batch {} x {} tokens, 350M-class):\n  \
+         plain        : {:>8.1} tokens/s\n  \
+         instrumented : {:>8.1} tokens/s\n  \
+         overhead     : {:>8.2}%  (target: <1%)\n  \
+         identical out: {}\n",
+        r.batch * 4,
+        r.batch,
+        r.tokens,
+        r.plain_tps,
+        r.instrumented_tps,
+        r.overhead() * 100.0,
+        r.identical_output
+    )
 }
 
 /// Renders the prefix-cache cold-vs-warm prefill table.

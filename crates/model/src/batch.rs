@@ -28,16 +28,17 @@
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wisdom_prng::Prng;
 
 use crate::decode::{GenerationOptions, Strategy};
 use crate::prefix_cache::{PrefixCacheStats, PrefixKvCache, PrefixPin};
+use crate::telemetry::BatchTelemetry;
 use crate::transformer::{argmax, sample_top_k, KvCache, TransformerLm};
 
 /// One generation request at the token level.
@@ -67,6 +68,11 @@ struct Seq {
     strategy: Strategy,
     rng: Prng,
     done: bool,
+    /// When the request entered the system (submission time via the
+    /// scheduler, admission time otherwise) — the TTFT origin.
+    started: Instant,
+    /// Whether the first generated token has been recorded for TTFT.
+    first_token_seen: bool,
     /// Pins the prefix-cache segments backing this sequence's prompt until
     /// it retires, so eviction can't drop shared state mid-decode.
     _pin: PrefixPin,
@@ -79,6 +85,8 @@ pub struct DecodeBatch<'m> {
     seqs: Vec<Seq>,
     /// Shared prefix KV cache consulted/populated at admission (optional).
     prefix_cache: Option<Arc<PrefixKvCache>>,
+    /// Metric handles; `None` keeps the hot path entirely uninstrumented.
+    telemetry: Option<BatchTelemetry>,
 }
 
 impl<'m> DecodeBatch<'m> {
@@ -88,6 +96,7 @@ impl<'m> DecodeBatch<'m> {
             model,
             seqs: Vec::new(),
             prefix_cache: None,
+            telemetry: None,
         }
     }
 
@@ -100,7 +109,14 @@ impl<'m> DecodeBatch<'m> {
             model,
             seqs: Vec::new(),
             prefix_cache: Some(cache),
+            telemetry: None,
         }
+    }
+
+    /// Attaches metric handles: admissions, decode rounds, and retirements
+    /// are recorded from here on. Generated tokens are unaffected.
+    pub fn set_telemetry(&mut self, telemetry: BatchTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Number of sequences currently in flight.
@@ -122,10 +138,24 @@ impl<'m> DecodeBatch<'m> {
     /// Panics on a beam-search request — beams branch their caches and take
     /// the solo [`TransformerLm::generate`] path instead.
     pub fn admit(&mut self, tag: usize, req: DecodeRequest) {
+        self.admit_at(tag, req, None);
+    }
+
+    /// [`Self::admit`] with the request's submission time: queue wait is
+    /// recorded at admission, and TTFT is measured from `submitted` instead
+    /// of from the start of prefill.
+    pub fn admit_at(&mut self, tag: usize, req: DecodeRequest, submitted: Option<Instant>) {
         assert!(
             !matches!(req.opts.strategy, Strategy::Beam { .. }),
             "beam requests take the direct generate path"
         );
+        let started = submitted.unwrap_or_else(Instant::now);
+        if let Some(t) = &self.telemetry {
+            if let Some(at) = submitted {
+                t.queue_wait.observe(at.elapsed().as_secs_f64());
+            }
+            t.admitted.inc();
+        }
         let window = self
             .model
             .generation_window(&req.prompt, req.opts.max_new_tokens);
@@ -148,8 +178,13 @@ impl<'m> DecodeBatch<'m> {
             strategy: req.opts.strategy,
             rng: Prng::seed_from_u64(req.opts.seed),
             done: false,
+            started,
+            first_token_seen: false,
             _pin: pin,
         });
+        if let Some(t) = &self.telemetry {
+            t.batch_occupancy.set(self.seqs.len() as f64);
+        }
     }
 
     /// One decode round: every live sequence picks its next token from its
@@ -161,6 +196,7 @@ impl<'m> DecodeBatch<'m> {
     pub fn step(&mut self) -> Vec<(usize, Vec<u32>)> {
         let ctx = self.model.config().context_window;
         let model = self.model;
+        let telemetry = self.telemetry.as_ref();
         let mut stepping: Vec<&mut Seq> = Vec::new();
         for seq in &mut self.seqs {
             // Same conditions, in the same order, as the generate loop: the
@@ -182,6 +218,12 @@ impl<'m> DecodeBatch<'m> {
                 continue;
             }
             seq.out.push(next);
+            if let Some(t) = telemetry {
+                if !seq.first_token_seen {
+                    seq.first_token_seen = true;
+                    t.ttft.observe(seq.started.elapsed().as_secs_f64());
+                }
+            }
             if seq.out.len() >= seq.max_new || seq.pos + 1 >= ctx {
                 // The solo loop would run one more step whose logits are
                 // never consumed; skipping it leaves the output identical.
@@ -191,6 +233,7 @@ impl<'m> DecodeBatch<'m> {
             stepping.push(seq);
         }
         if !stepping.is_empty() {
+            let round_start = telemetry.map(|_| Instant::now());
             let tokens: Vec<u32> = stepping
                 .iter()
                 .map(|s| *s.out.last().expect("sampled token"))
@@ -203,6 +246,9 @@ impl<'m> DecodeBatch<'m> {
                 seq.logits = row;
                 seq.pos += 1;
             }
+            if let (Some(t), Some(at)) = (telemetry, round_start) {
+                t.token_latency.observe(at.elapsed().as_secs_f64());
+            }
         }
         let mut finished = Vec::new();
         self.seqs.retain_mut(|seq| {
@@ -213,6 +259,10 @@ impl<'m> DecodeBatch<'m> {
                 true
             }
         });
+        if let Some(t) = telemetry {
+            t.completed.add(finished.len() as u64);
+            t.batch_occupancy.set(self.seqs.len() as f64);
+        }
         finished
     }
 }
@@ -240,6 +290,36 @@ pub fn generate_batch_with(
     max_batch_size: usize,
     prefix_cache: Option<Arc<PrefixKvCache>>,
 ) -> Vec<Vec<u32>> {
+    generate_batch_inner(model, requests, max_batch_size, prefix_cache, None)
+}
+
+/// [`generate_batch_with`] recording into `telemetry`: every admission,
+/// decode round, and retirement hits the metric handles. Outputs are
+/// unchanged bit-for-bit — this is the measured arm of the `-- telemetry`
+/// overhead experiment in `wisdom-eval`.
+pub fn generate_batch_instrumented(
+    model: &TransformerLm,
+    requests: Vec<DecodeRequest>,
+    max_batch_size: usize,
+    prefix_cache: Option<Arc<PrefixKvCache>>,
+    telemetry: BatchTelemetry,
+) -> Vec<Vec<u32>> {
+    generate_batch_inner(
+        model,
+        requests,
+        max_batch_size,
+        prefix_cache,
+        Some(telemetry),
+    )
+}
+
+fn generate_batch_inner(
+    model: &TransformerLm,
+    requests: Vec<DecodeRequest>,
+    max_batch_size: usize,
+    prefix_cache: Option<Arc<PrefixKvCache>>,
+    telemetry: Option<BatchTelemetry>,
+) -> Vec<Vec<u32>> {
     let cap = max_batch_size.max(1);
     let mut results: Vec<Vec<u32>> = vec![Vec::new(); requests.len()];
     let mut queue = requests.into_iter().enumerate();
@@ -247,6 +327,9 @@ pub fn generate_batch_with(
         Some(cache) => DecodeBatch::with_prefix_cache(model, cache),
         None => DecodeBatch::new(model),
     };
+    if let Some(t) = telemetry {
+        engine.set_telemetry(t);
+    }
     loop {
         while engine.len() < cap {
             let Some((tag, req)) = queue.next() else {
@@ -327,7 +410,7 @@ impl Pending {
     }
 }
 
-type Job = (DecodeRequest, mpsc::Sender<Vec<u32>>);
+type Job = (DecodeRequest, mpsc::Sender<Vec<u32>>, Instant);
 
 struct SchedulerState {
     jobs: VecDeque<Job>,
@@ -346,6 +429,12 @@ struct Shared {
     /// Sequences currently decoding, published by the worker after each
     /// admission/step round (read lock-free by [`BatchScheduler::stats`]).
     in_flight: AtomicUsize,
+    /// Times the worker's condvar wait returned — each one is a wakeup out
+    /// of idle (submission, pause toggle, or shutdown), not a poll tick.
+    wakeups: AtomicU64,
+    /// Set by the worker thread once its decode loop is running; readiness
+    /// probes (`GET /readyz`) read this without touching the model.
+    worker_ready: AtomicBool,
 }
 
 /// A point-in-time snapshot of scheduler load, served by `GET /v1/stats`.
@@ -355,6 +444,8 @@ pub struct SchedulerStats {
     pub queue_depth: usize,
     /// Sequences currently being decoded together.
     pub in_flight: usize,
+    /// Decode-worker condvar wakeups since spawn (idle exits, not polls).
+    pub wakeups: u64,
     /// Prefix-cache counters, when a cache is enabled.
     pub prefix_cache: Option<PrefixCacheStats>,
 }
@@ -370,6 +461,7 @@ pub struct BatchScheduler {
     model: Arc<TransformerLm>,
     cfg: BatchConfig,
     prefix_cache: Option<Arc<PrefixKvCache>>,
+    telemetry: Option<BatchTelemetry>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -378,6 +470,17 @@ impl BatchScheduler {
     /// [`BatchConfig::prefix_cache_bytes`] enables a shared prefix KV cache
     /// that admissions consult and populate.
     pub fn spawn(model: Arc<TransformerLm>, cfg: BatchConfig) -> Self {
+        Self::spawn_with(model, cfg, None)
+    }
+
+    /// [`Self::spawn`] with metric handles: the worker and the submission
+    /// path record queue wait, TTFT, per-round decode latency, occupancy,
+    /// and admitted/completed/shed/wakeup counts into `telemetry`.
+    pub fn spawn_with(
+        model: Arc<TransformerLm>,
+        cfg: BatchConfig,
+        telemetry: Option<BatchTelemetry>,
+    ) -> Self {
         let cfg = BatchConfig {
             max_batch_size: cfg.max_batch_size.max(1),
             queue_depth: cfg.queue_depth.max(1),
@@ -394,19 +497,31 @@ impl BatchScheduler {
             job_ready: Condvar::new(),
             space_free: Condvar::new(),
             in_flight: AtomicUsize::new(0),
+            wakeups: AtomicU64::new(0),
+            worker_ready: AtomicBool::new(false),
         });
         let worker_shared = Arc::clone(&shared);
         let worker_model = Arc::clone(&model);
         let worker_cache = prefix_cache.clone();
+        let worker_telemetry = telemetry.clone();
         let worker = std::thread::Builder::new()
             .name("wisdom-decode".to_string())
-            .spawn(move || worker_loop(&worker_model, &worker_shared, cfg, worker_cache))
+            .spawn(move || {
+                worker_loop(
+                    &worker_model,
+                    &worker_shared,
+                    cfg,
+                    worker_cache,
+                    worker_telemetry,
+                )
+            })
             .expect("spawn decode worker");
         Self {
             shared,
             model,
             cfg,
             prefix_cache,
+            telemetry,
             worker: Some(worker),
         }
     }
@@ -431,8 +546,16 @@ impl BatchScheduler {
         SchedulerStats {
             queue_depth,
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
             prefix_cache: self.prefix_cache.as_deref().map(PrefixKvCache::stats),
         }
+    }
+
+    /// Whether the decode worker's loop is up and serving. False only in
+    /// the startup window between `spawn` and the worker's first iteration
+    /// (readiness probes return 503 until then).
+    pub fn worker_ready(&self) -> bool {
+        self.shared.worker_ready.load(Ordering::Acquire)
     }
 
     /// Enqueues a request without blocking.
@@ -457,10 +580,16 @@ impl BatchScheduler {
             return Err(SubmitError::ShutDown);
         }
         if state.jobs.len() >= self.cfg.queue_depth {
+            if let Some(t) = &self.telemetry {
+                t.shed.inc();
+            }
             return Err(SubmitError::QueueFull);
         }
         let (tx, rx) = mpsc::channel();
-        state.jobs.push_back((req, tx));
+        state.jobs.push_back((req, tx, Instant::now()));
+        if let Some(t) = &self.telemetry {
+            t.queue_depth.set(state.jobs.len() as f64);
+        }
         self.shared.job_ready.notify_one();
         Ok(Pending { rx })
     }
@@ -540,16 +669,24 @@ fn worker_loop(
     shared: &Shared,
     cfg: BatchConfig,
     prefix_cache: Option<Arc<PrefixKvCache>>,
+    telemetry: Option<BatchTelemetry>,
 ) {
     let mut engine = match prefix_cache {
         Some(cache) => DecodeBatch::with_prefix_cache(model, cache),
         None => DecodeBatch::new(model),
     };
+    if let Some(t) = &telemetry {
+        engine.set_telemetry(t.clone());
+    }
     let mut next_tag = 0usize;
     let mut replies: HashMap<usize, mpsc::Sender<Vec<u32>>> = HashMap::new();
+    shared.worker_ready.store(true, Ordering::Release);
     loop {
         // Admission happens between decode steps: take whatever is waiting,
-        // up to the batch cap, without stalling running sequences.
+        // up to the batch cap, without stalling running sequences. The idle
+        // wait is purely event-driven — submit/pause/shutdown notify the
+        // condvar, so an empty scheduler burns no CPU and every wait exit
+        // is a counted wakeup, not a poll tick.
         let admitted: Vec<Job> = {
             let mut state = shared.state.lock().expect("scheduler lock");
             loop {
@@ -563,6 +700,10 @@ fn worker_loop(
                     break;
                 }
                 state = shared.job_ready.wait(state).expect("scheduler lock");
+                shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &telemetry {
+                    t.wakeups.inc();
+                }
             }
             let mut taken = Vec::new();
             if !state.paused {
@@ -575,15 +716,18 @@ fn worker_loop(
                 if !taken.is_empty() {
                     shared.space_free.notify_all();
                 }
+                if let Some(t) = &telemetry {
+                    t.queue_depth.set(state.jobs.len() as f64);
+                }
             }
             taken
         };
         // Prefill (the expensive part of admission) runs outside the lock.
-        for (req, tx) in admitted {
+        for (req, tx, submitted) in admitted {
             let tag = next_tag;
             next_tag += 1;
             replies.insert(tag, tx);
-            engine.admit(tag, req);
+            engine.admit_at(tag, req, Some(submitted));
         }
         shared.in_flight.store(engine.len(), Ordering::Relaxed);
         for (tag, out) in engine.step() {
@@ -728,6 +872,77 @@ mod tests {
         );
         assert!(plain.stats().prefix_cache.is_none());
         assert!(plain.prefix_cache().is_none());
+    }
+
+    #[test]
+    fn scheduler_telemetry_records_requests_wakeups_and_sheds() {
+        let registry = wisdom_telemetry::Registry::new();
+        let telemetry = BatchTelemetry::register(&registry);
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn_with(
+            Arc::clone(&model),
+            BatchConfig {
+                max_batch_size: 2,
+                queue_depth: 1,
+                ..BatchConfig::default()
+            },
+            Some(telemetry.clone()),
+        );
+        // The ready flag flips once the worker loop is up.
+        while !sched.worker_ready() {
+            std::thread::yield_now();
+        }
+
+        let solo = model.generate(&[1, 2, 3], &[0], &greedy(5));
+        assert_eq!(sched.generate(&[1, 2, 3], &[0], &greedy(5)), solo);
+        assert_eq!(telemetry.admitted.get(), 1);
+        assert_eq!(telemetry.completed.get(), 1);
+        assert_eq!(telemetry.queue_wait.snapshot().count(), 1);
+        assert_eq!(telemetry.ttft.snapshot().count(), 1);
+        assert!(telemetry.token_latency.snapshot().count() >= 1);
+        // The idle exit that picked the job up is a counted wakeup, in both
+        // the lock-free stats field and the registry counter.
+        let stats = sched.stats();
+        assert!(stats.wakeups >= 1, "{stats:?}");
+        assert_eq!(telemetry.wakeups.get(), stats.wakeups);
+
+        // A full queue is a shed, visible as a counter.
+        sched.set_admission_paused(true);
+        let req = || DecodeRequest {
+            prompt: vec![1, 2],
+            stops: vec![],
+            opts: greedy(2),
+        };
+        let queued = sched.submit(req()).expect("fills the queue");
+        assert_eq!(sched.submit(req()).unwrap_err(), SubmitError::QueueFull);
+        assert_eq!(telemetry.shed.get(), 1);
+        sched.set_admission_paused(false);
+        queued.wait();
+        assert_eq!(telemetry.admitted.get(), 2);
+    }
+
+    #[test]
+    fn instrumented_generate_batch_matches_plain() {
+        let registry = wisdom_telemetry::Registry::new();
+        let telemetry = BatchTelemetry::register(&registry);
+        let model = tiny_model();
+        let req = |p: &[u32]| DecodeRequest {
+            prompt: p.to_vec(),
+            stops: vec![0],
+            opts: greedy(5),
+        };
+        let requests = vec![req(&[1, 2, 3]), req(&[4, 5]), req(&[6])];
+        let plain = generate_batch(&model, requests.clone(), 2);
+        let instrumented =
+            generate_batch_instrumented(&model, requests, 2, None, telemetry.clone());
+        assert_eq!(plain, instrumented, "telemetry must not change tokens");
+        assert_eq!(telemetry.admitted.get(), 3);
+        assert_eq!(telemetry.completed.get(), 3);
+        // No scheduler in this path: TTFT is still recorded (from admission)
+        // but queue wait is not.
+        assert_eq!(telemetry.ttft.snapshot().count(), 3);
+        assert_eq!(telemetry.queue_wait.snapshot().count(), 0);
+        assert!((telemetry.batch_occupancy.get() - 0.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, Weak};
 
+use crate::telemetry::PrefixCacheTelemetry;
 use crate::transformer::{KvCache, TransformerLm};
 
 /// Sizing for a [`PrefixKvCache`].
@@ -208,6 +209,7 @@ impl Drop for PrefixPin {
         if let Some(core) = self.core.take().and_then(|w| w.upgrade()) {
             let mut inner = core.inner.lock().expect("prefix cache lock");
             inner.evict_to_budget(core.max_bytes);
+            inner.publish_gauges();
         }
     }
 }
@@ -250,6 +252,9 @@ struct Inner {
     misses: u64,
     hit_tokens: u64,
     evicted_segments: u64,
+    /// Registry handles mirroring the counters above; updated at the same
+    /// sites, under the same lock. `None` until the server attaches them.
+    telemetry: Option<PrefixCacheTelemetry>,
 }
 
 impl Inner {
@@ -326,9 +331,36 @@ impl Inner {
             self.free.push(id);
             self.bytes -= node.seg.bytes();
             self.evicted_segments += 1;
+            if let Some(t) = &self.telemetry {
+                t.evicted_segments.inc();
+            }
             let first = node.seg.tokens[0];
             self.node_mut(node.parent).children.remove(&first);
         }
+    }
+
+    /// Republishes the tree-shape gauges (bytes, segment count, pinned
+    /// bytes) into the registry handles. Called under the cache lock after
+    /// any mutation that can change them.
+    fn publish_gauges(&self) {
+        let Some(t) = &self.telemetry else { return };
+        t.bytes.set(self.bytes as f64);
+        let mut segments = 0usize;
+        let mut pinned = 0usize;
+        for (id, slot) in self.nodes.iter().enumerate() {
+            let Some(node) = slot else { continue };
+            if id == ROOT {
+                continue;
+            }
+            segments += 1;
+            // A refcount above the tree's own means a CachedPrefix or an
+            // in-flight sequence's PrefixPin also holds the segment.
+            if Arc::strong_count(&node.seg) > 1 {
+                pinned += node.seg.bytes();
+            }
+        }
+        t.segments.set(segments as f64);
+        t.pinned_bytes.set(pinned as f64);
     }
 }
 
@@ -387,6 +419,7 @@ impl PrefixKvCache {
                     misses: 0,
                     hit_tokens: 0,
                     evicted_segments: 0,
+                    telemetry: None,
                 }),
                 max_bytes: cfg.max_bytes.max(1),
             }),
@@ -396,6 +429,17 @@ impl PrefixKvCache {
     /// An empty cache bounded to `max_bytes` of K/V segments.
     pub fn with_budget(max_bytes: usize) -> Self {
         Self::new(PrefixCacheConfig { max_bytes })
+    }
+
+    /// Attaches registry handles: every hit/miss/eviction from here on is
+    /// mirrored into `telemetry` (under the cache lock, at the same sites
+    /// as the internal counters), and the shape gauges are published after
+    /// every insert and pin-release eviction pass.
+    pub fn set_telemetry(&self, telemetry: PrefixCacheTelemetry) {
+        let mut inner = self.core.inner.lock().expect("prefix cache lock");
+        telemetry.budget_bytes.set(self.core.max_bytes as f64);
+        inner.telemetry = Some(telemetry);
+        inner.publish_gauges();
     }
 
     /// Current counters.
@@ -450,10 +494,17 @@ impl PrefixKvCache {
         }
         if matched == 0 {
             inner.misses += 1;
+            if let Some(t) = &inner.telemetry {
+                t.misses.inc();
+            }
             return None;
         }
         inner.hits += 1;
         inner.hit_tokens += matched as u64;
+        if let Some(t) = &inner.telemetry {
+            t.hits.inc();
+            t.hit_tokens.add(matched as u64);
+        }
         Some(CachedPrefix {
             segments,
             len: matched,
@@ -535,6 +586,7 @@ impl PrefixKvCache {
             }
         }
         inner.evict_to_budget(self.core.max_bytes);
+        inner.publish_gauges();
         pin
     }
 
@@ -679,6 +731,43 @@ mod tests {
             drop(cache.insert(&w, &kv));
         }
         assert!(cache.stats().bytes <= 2 * one_window + one_window / 2);
+    }
+
+    #[test]
+    fn telemetry_mirrors_internal_counters() {
+        let registry = wisdom_telemetry::Registry::new();
+        let telemetry = PrefixCacheTelemetry::register(&registry);
+        let model = tiny_model();
+        let (kv, _) = model.prefill(&[1, 2, 3, 4]);
+        let one_window = Segment::from_cache(&kv, &[1, 2, 3, 4], 0, 4).bytes();
+        let cache = PrefixKvCache::with_budget(2 * one_window + one_window / 2);
+        cache.set_telemetry(telemetry.clone());
+        assert!((telemetry.budget_bytes.get() - cache.stats().budget_bytes as f64).abs() < 0.5);
+
+        // One miss, one insert, one hit — then eviction pressure.
+        assert!(cache.lookup(&[1, 2, 3], 2).is_none());
+        let (_kv, _lg, pin) = cache.prefill(&model, &[1, 2, 3, 4]);
+        assert!(cache.lookup(&[1, 2, 3, 4, 5], 4).is_some());
+        assert!(telemetry.pinned_bytes.get() > 0.0, "live pin shows up");
+        drop(pin);
+        for start in 10u32..16 {
+            let w = [start, start + 1, 2, 3];
+            let (kv, _) = model.prefill(&w);
+            drop(cache.insert(&w, &kv));
+        }
+
+        let s = cache.stats();
+        assert_eq!(telemetry.hits.get(), s.hits);
+        assert_eq!(telemetry.misses.get(), s.misses);
+        assert_eq!(telemetry.hit_tokens.get(), s.hit_tokens);
+        assert_eq!(telemetry.evicted_segments.get(), s.evicted_segments);
+        assert!(s.evicted_segments > 0, "pressure must evict: {s:?}");
+        assert!((telemetry.bytes.get() - s.bytes as f64).abs() < 0.5);
+        assert!((telemetry.segments.get() - s.segments as f64).abs() < 0.5);
+        assert!(
+            (telemetry.pinned_bytes.get() - 0.0).abs() < 0.5,
+            "all pins released"
+        );
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Metric handle bundles for the decode path.
+//!
+//! The serving stack owns one [`wisdom_telemetry::Registry`]; these bundles
+//! are the pre-resolved `Arc` handles the hot path records into, so a decode
+//! step never touches the registry lock. Both bundles are optional
+//! everywhere they are accepted — the uninstrumented path stays exactly as
+//! fast as before (`wisdom-eval`'s `-- telemetry` experiment measures the
+//! instrumented/plain gap and pins it under 1%).
+
+use std::sync::Arc;
+
+use wisdom_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Handles for the continuous-batching scheduler and decode engine.
+/// Cloning shares the underlying metrics.
+#[derive(Debug, Clone)]
+pub struct BatchTelemetry {
+    /// `wisdom_queue_wait_seconds` — submission to admission into the batch.
+    pub queue_wait: Arc<Histogram>,
+    /// `wisdom_ttft_seconds` — submission to first generated token.
+    pub ttft: Arc<Histogram>,
+    /// `wisdom_decode_token_seconds` — one batched decode round (the
+    /// inter-token latency every live request experiences that round).
+    pub token_latency: Arc<Histogram>,
+    /// `wisdom_batch_occupancy` — sequences currently decoding together.
+    pub batch_occupancy: Arc<Gauge>,
+    /// `wisdom_queue_depth` — requests waiting in the submission queue.
+    pub queue_depth: Arc<Gauge>,
+    /// `wisdom_requests_admitted_total` — requests admitted into the batch.
+    pub admitted: Arc<Counter>,
+    /// `wisdom_requests_completed_total` — sequences decoded to completion.
+    pub completed: Arc<Counter>,
+    /// `wisdom_requests_shed_total` — submissions rejected with a full queue.
+    pub shed: Arc<Counter>,
+    /// `wisdom_scheduler_wakeups_total` — decode-worker condvar wakeups.
+    pub wakeups: Arc<Counter>,
+}
+
+impl BatchTelemetry {
+    /// Registers (or re-resolves) the scheduler metric family in `registry`.
+    pub fn register(registry: &Registry) -> BatchTelemetry {
+        let buckets = Histogram::latency_buckets();
+        BatchTelemetry {
+            queue_wait: registry.histogram(
+                "wisdom_queue_wait_seconds",
+                "Time from request submission to admission into the decode batch.",
+                &buckets,
+            ),
+            ttft: registry.histogram(
+                "wisdom_ttft_seconds",
+                "Time from request submission to the first generated token.",
+                &buckets,
+            ),
+            token_latency: registry.histogram(
+                "wisdom_decode_token_seconds",
+                "Duration of one batched decode round (per-token latency).",
+                &buckets,
+            ),
+            batch_occupancy: registry.gauge(
+                "wisdom_batch_occupancy",
+                "Sequences currently being decoded together.",
+            ),
+            queue_depth: registry.gauge(
+                "wisdom_queue_depth",
+                "Requests waiting in the bounded submission queue.",
+            ),
+            admitted: registry.counter(
+                "wisdom_requests_admitted_total",
+                "Requests admitted into the decode batch.",
+            ),
+            completed: registry.counter(
+                "wisdom_requests_completed_total",
+                "Requests decoded to completion.",
+            ),
+            shed: registry.counter(
+                "wisdom_requests_shed_total",
+                "Submissions rejected because the queue was full.",
+            ),
+            wakeups: registry.counter(
+                "wisdom_scheduler_wakeups_total",
+                "Decode-worker condvar wakeups.",
+            ),
+        }
+    }
+}
+
+/// Handles for the shared prefix KV cache. Counters mirror the cache's
+/// internal [`crate::PrefixCacheStats`]; gauges are republished after every
+/// insert/eviction pass under the cache lock.
+#[derive(Debug, Clone)]
+pub struct PrefixCacheTelemetry {
+    /// `wisdom_prefix_cache_hits_total`.
+    pub hits: Arc<Counter>,
+    /// `wisdom_prefix_cache_misses_total`.
+    pub misses: Arc<Counter>,
+    /// `wisdom_prefix_cache_hit_tokens_total`.
+    pub hit_tokens: Arc<Counter>,
+    /// `wisdom_prefix_cache_evicted_segments_total`.
+    pub evicted_segments: Arc<Counter>,
+    /// `wisdom_prefix_cache_bytes` — bytes currently owned by the tree.
+    pub bytes: Arc<Gauge>,
+    /// `wisdom_prefix_cache_segments` — segments currently in the tree.
+    pub segments: Arc<Gauge>,
+    /// `wisdom_prefix_cache_pinned_bytes` — bytes pinned by in-flight
+    /// sequences (eviction-exempt).
+    pub pinned_bytes: Arc<Gauge>,
+    /// `wisdom_prefix_cache_budget_bytes` — the configured byte budget.
+    pub budget_bytes: Arc<Gauge>,
+}
+
+impl PrefixCacheTelemetry {
+    /// Registers (or re-resolves) the prefix-cache metric family in
+    /// `registry`.
+    pub fn register(registry: &Registry) -> PrefixCacheTelemetry {
+        PrefixCacheTelemetry {
+            hits: registry.counter(
+                "wisdom_prefix_cache_hits_total",
+                "Prefix-cache lookups that matched at least one token.",
+            ),
+            misses: registry.counter(
+                "wisdom_prefix_cache_misses_total",
+                "Prefix-cache lookups that matched nothing.",
+            ),
+            hit_tokens: registry.counter(
+                "wisdom_prefix_cache_hit_tokens_total",
+                "Prompt tokens served from the prefix cache instead of recomputed.",
+            ),
+            evicted_segments: registry.counter(
+                "wisdom_prefix_cache_evicted_segments_total",
+                "Prefix-cache segments discarded by LRU eviction.",
+            ),
+            bytes: registry.gauge(
+                "wisdom_prefix_cache_bytes",
+                "Bytes currently owned by the prefix-cache tree.",
+            ),
+            segments: registry.gauge(
+                "wisdom_prefix_cache_segments",
+                "Segments currently in the prefix-cache tree.",
+            ),
+            pinned_bytes: registry.gauge(
+                "wisdom_prefix_cache_pinned_bytes",
+                "Prefix-cache bytes pinned by in-flight sequences.",
+            ),
+            budget_bytes: registry.gauge(
+                "wisdom_prefix_cache_budget_bytes",
+                "Configured prefix-cache byte budget.",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_twice_shares_handles() {
+        let registry = Registry::new();
+        let a = BatchTelemetry::register(&registry);
+        let b = BatchTelemetry::register(&registry);
+        a.admitted.inc();
+        assert_eq!(b.admitted.get(), 1);
+        let pa = PrefixCacheTelemetry::register(&registry);
+        let pb = PrefixCacheTelemetry::register(&registry);
+        pa.hits.inc();
+        assert_eq!(pb.hits.get(), 1);
+    }
+
+    #[test]
+    fn registered_names_render() {
+        let registry = Registry::new();
+        let _ = BatchTelemetry::register(&registry);
+        let _ = PrefixCacheTelemetry::register(&registry);
+        let text = registry.render();
+        for name in [
+            "wisdom_queue_wait_seconds",
+            "wisdom_ttft_seconds",
+            "wisdom_decode_token_seconds",
+            "wisdom_batch_occupancy",
+            "wisdom_queue_depth",
+            "wisdom_requests_admitted_total",
+            "wisdom_requests_completed_total",
+            "wisdom_requests_shed_total",
+            "wisdom_scheduler_wakeups_total",
+            "wisdom_prefix_cache_hits_total",
+            "wisdom_prefix_cache_bytes",
+            "wisdom_prefix_cache_pinned_bytes",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name} missing");
+        }
+    }
+}

@@ -7,12 +7,15 @@
 //!   `{"completion", "snippet", "schema_correct", "lint", "model"}`;
 //! * `GET /v1/stats` → queue depth, in-flight batch size, and prefix-cache
 //!   counters as JSON;
-//! * `GET /healthz` → `ok`.
+//! * `GET /metrics` → the full serving-stack registry in Prometheus text
+//!   exposition format;
+//! * `GET /healthz` → `ok` (liveness: never touches the model or a lock);
+//! * `GET /readyz` → `ready`, or 503 until the decode worker is up.
 
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wisdom_core::{
     BatchConfig, BatchScheduler, CompletionRequest, SchedulerStats, SubmitError, Wisdom,
@@ -20,6 +23,7 @@ use wisdom_core::{
 
 use crate::http::{read_request, Request, Response, MAX_BODY_BYTES};
 use crate::json::{parse_json, Json};
+use crate::telemetry::{ServerTelemetry, METRICS_CONTENT_TYPE};
 
 /// Server sizing and limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +71,10 @@ pub struct WisdomServer {
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
     scheduler: Option<Arc<BatchScheduler>>,
+    telemetry: Arc<ServerTelemetry>,
+    /// Test hook: while set, `GET /readyz` reports 503 regardless of the
+    /// decode worker's actual state.
+    forced_unready: Arc<AtomicBool>,
 }
 
 /// Handle for stopping a running server from another thread.
@@ -75,6 +83,8 @@ pub struct ServerHandle {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     scheduler: Option<Arc<BatchScheduler>>,
+    telemetry: Arc<ServerTelemetry>,
+    forced_unready: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
@@ -90,6 +100,11 @@ impl ServerHandle {
         let _ = std::net::TcpStream::connect(self.addr);
     }
 
+    /// The server's metric registry and access log.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.telemetry
+    }
+
     /// Test hook: pause/resume admission from the decode queue into the
     /// running batch, making queue-overflow (503) behavior deterministic.
     #[doc(hidden)]
@@ -97,6 +112,13 @@ impl ServerHandle {
         if let Some(s) = &self.scheduler {
             s.set_admission_paused(paused);
         }
+    }
+
+    /// Test hook: force `GET /readyz` to 503 (`false`) or restore normal
+    /// worker-derived readiness (`true`).
+    #[doc(hidden)]
+    pub fn set_ready(&self, ready: bool) {
+        self.forced_unready.store(!ready, Ordering::SeqCst);
     }
 }
 
@@ -121,12 +143,35 @@ impl WisdomServer {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<WisdomServer> {
+        Self::bind_with_telemetry(wisdom, addr, config, ServerTelemetry::new())
+    }
+
+    /// [`Self::bind_with`] with an explicit [`ServerTelemetry`] (tests
+    /// inject one with a capturing logger). The scheduler and its prefix
+    /// cache record into the same registry `GET /metrics` renders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind_with_telemetry(
+        wisdom: Arc<Wisdom>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        telemetry: ServerTelemetry,
+    ) -> std::io::Result<WisdomServer> {
         let scheduler = (config.max_batch_size > 1).then(|| {
-            Arc::new(wisdom.scheduler(BatchConfig {
-                max_batch_size: config.max_batch_size,
-                queue_depth: config.queue_depth,
-                prefix_cache_bytes: config.prefix_cache_bytes,
-            }))
+            let scheduler = wisdom.scheduler_with(
+                BatchConfig {
+                    max_batch_size: config.max_batch_size,
+                    queue_depth: config.queue_depth,
+                    prefix_cache_bytes: config.prefix_cache_bytes,
+                },
+                Some(telemetry.batch.clone()),
+            );
+            if let Some(cache) = scheduler.prefix_cache() {
+                cache.set_telemetry(telemetry.prefix_cache.clone());
+            }
+            Arc::new(scheduler)
         });
         Ok(WisdomServer {
             wisdom,
@@ -134,6 +179,8 @@ impl WisdomServer {
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
             scheduler,
+            telemetry: Arc::new(telemetry),
+            forced_unready: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -143,6 +190,8 @@ impl WisdomServer {
             addr: self.listener.local_addr().expect("bound listener"),
             shutdown: Arc::clone(&self.shutdown),
             scheduler: self.scheduler.clone(),
+            telemetry: Arc::clone(&self.telemetry),
+            forced_unready: Arc::clone(&self.forced_unready),
         }
     }
 
@@ -156,6 +205,8 @@ impl WisdomServer {
             shutdown,
             config,
             scheduler,
+            telemetry,
+            forced_unready,
         } = self;
         let workers = config.worker_threads.max(1);
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -165,11 +216,20 @@ impl WisdomServer {
                 let rx = Arc::clone(&rx);
                 let wisdom = &wisdom;
                 let scheduler = scheduler.as_deref();
+                let telemetry = &telemetry;
+                let forced_unready = &forced_unready;
                 scope.spawn(move || loop {
                     // Hold the receiver lock only while dequeuing.
                     let conn = rx.lock().expect("worker queue lock").recv();
                     let Ok(mut conn) = conn else { break };
-                    handle_connection(wisdom, scheduler, &config, &mut conn);
+                    handle_connection(
+                        wisdom,
+                        scheduler,
+                        &config,
+                        telemetry,
+                        forced_unready,
+                        &mut conn,
+                    );
                 });
             }
             for conn in listener.incoming() {
@@ -193,15 +253,44 @@ fn handle_connection(
     wisdom: &Wisdom,
     scheduler: Option<&BatchScheduler>,
     config: &ServerConfig,
+    telemetry: &ServerTelemetry,
+    forced_unready: &AtomicBool,
     conn: &mut TcpStream,
 ) {
+    let started = Instant::now();
     let _ = conn.set_read_timeout(Some(config.io_timeout));
     let _ = conn.set_write_timeout(Some(config.io_timeout));
-    let response = match read_request(conn, config.max_body_bytes) {
-        Ok(request) => route_with(wisdom, scheduler, config.retry_after_secs, &request),
-        Err(e) => Response::text(e.status, e.to_string()),
-    };
-    let _ = response.write_to(conn);
+    match read_request(conn, config.max_body_bytes) {
+        Ok(request) => {
+            let ready = !forced_unready.load(Ordering::SeqCst)
+                && scheduler.is_none_or(BatchScheduler::worker_ready);
+            let response = route_full(
+                wisdom,
+                scheduler,
+                config.retry_after_secs,
+                Some(telemetry),
+                ready,
+                &request,
+            );
+            let _ = response.write_to(conn);
+            telemetry.observe_request(
+                &request.method,
+                &request.path,
+                response.status,
+                started.elapsed().as_secs_f64(),
+            );
+        }
+        Err(e) => {
+            let response = Response::text(e.status, e.to_string());
+            let _ = response.write_to(conn);
+            // No parsed path to attribute: folds into the "other" route.
+            telemetry.observe_request("-", "-", e.status, started.elapsed().as_secs_f64());
+            telemetry.logger.info(
+                "http",
+                &[("error", &e.to_string()), ("status", &e.status.to_string())],
+            );
+        }
+    }
 }
 
 /// Routes one request on the direct (unbatched) decode path.
@@ -217,9 +306,38 @@ pub fn route_with(
     retry_after_secs: u64,
     request: &Request,
 ) -> Response {
+    let ready = scheduler.is_none_or(BatchScheduler::worker_ready);
+    route_full(wisdom, scheduler, retry_after_secs, None, ready, request)
+}
+
+/// The full router: [`route_with`] plus the observability surface. With a
+/// [`ServerTelemetry`], `GET /metrics` renders the registry and
+/// `GET /v1/stats` is served from the same registry handles; `ready` is
+/// what `GET /readyz` reports (the caller derives it from the decode
+/// worker, so a probe never touches the model or the scheduler lock).
+pub fn route_full(
+    wisdom: &Wisdom,
+    scheduler: Option<&BatchScheduler>,
+    retry_after_secs: u64,
+    telemetry: Option<&ServerTelemetry>,
+    ready: bool,
+    request: &Request,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok"),
-        ("GET", "/v1/stats") => stats(scheduler),
+        ("GET", "/readyz") => {
+            if ready {
+                Response::text(200, "ready")
+            } else {
+                Response::text(503, "decode worker is not ready")
+                    .with_header("retry-after", retry_after_secs.to_string())
+            }
+        }
+        ("GET", "/metrics") => match telemetry {
+            Some(t) => Response::text(200, t.render()).with_content_type(METRICS_CONTENT_TYPE),
+            None => Response::text(404, "metrics are not enabled on this server"),
+        },
+        ("GET", "/v1/stats") => stats(scheduler, telemetry),
         ("POST", "/v1/completions") => completions(wisdom, scheduler, retry_after_secs, request),
         ("POST", "/v1/lint") => lint(request),
         ("POST", _) | ("GET", _) => Response::text(404, "unknown endpoint"),
@@ -230,9 +348,31 @@ pub fn route_with(
 /// Serving/load counters for dashboards and tests: scheduler queue depth
 /// and in-flight batch size plus the prefix KV cache's hit/miss/evicted/
 /// bytes counters. On the direct (scheduler-less) path everything reads as
-/// idle/disabled.
-fn stats(scheduler: Option<&BatchScheduler>) -> Response {
-    let snapshot = scheduler.map_or_else(SchedulerStats::default, BatchScheduler::stats);
+/// idle/disabled. With a [`ServerTelemetry`], the numbers come from the
+/// same registry handles `GET /metrics` renders (the JSON shape is
+/// unchanged); without one, from the scheduler's internal snapshot.
+fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>) -> Response {
+    let snapshot = match telemetry {
+        // The registry handles are the instrumented sites' own updates;
+        // reading them back keeps /v1/stats and /metrics telling one story.
+        Some(t) => SchedulerStats {
+            queue_depth: t.batch.queue_depth.get() as usize,
+            in_flight: t.batch.batch_occupancy.get() as usize,
+            wakeups: t.batch.wakeups.get(),
+            prefix_cache: scheduler
+                .is_some_and(|s| s.prefix_cache().is_some())
+                .then(|| wisdom_core::PrefixCacheStats {
+                    hits: t.prefix_cache.hits.get(),
+                    misses: t.prefix_cache.misses.get(),
+                    hit_tokens: t.prefix_cache.hit_tokens.get(),
+                    evicted_segments: t.prefix_cache.evicted_segments.get(),
+                    bytes: t.prefix_cache.bytes.get() as usize,
+                    segments: t.prefix_cache.segments.get() as usize,
+                    budget_bytes: t.prefix_cache.budget_bytes.get() as usize,
+                }),
+        },
+        None => scheduler.map_or_else(SchedulerStats::default, BatchScheduler::stats),
+    };
     let (max_batch_size, queue_capacity) = scheduler.map_or((1, 0), |s| {
         (s.config().max_batch_size, s.config().queue_depth)
     });
@@ -426,6 +566,62 @@ mod tests {
         assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(0.0));
         assert_eq!(j.get("in_flight").and_then(Json::as_f64), Some(0.0));
         assert_eq!(j.get("max_batch_size").and_then(Json::as_f64), Some(1.0));
+        let pc = j.get("prefix_cache").expect("prefix_cache object");
+        assert_eq!(pc.get("enabled").and_then(Json::as_bool), Some(false));
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn readyz_reflects_the_ready_flag() {
+        let w = tiny_wisdom();
+        // The direct path (no scheduler) is ready as soon as it's routable.
+        assert_eq!(route(&w, &get("/readyz")).status, 200);
+        let not_ready = route_full(&w, None, 2, None, false, &get("/readyz"));
+        assert_eq!(not_ready.status, 503);
+        assert!(not_ready
+            .headers
+            .iter()
+            .any(|(k, v)| k == "retry-after" && v == "2"));
+    }
+
+    #[test]
+    fn metrics_renders_exposition_with_telemetry_and_404s_without() {
+        let w = tiny_wisdom();
+        assert_eq!(route(&w, &get("/metrics")).status, 404);
+        let telemetry = ServerTelemetry::with_logger(wisdom_telemetry::Logger::default());
+        telemetry.observe_request("GET", "/healthz", 200, 0.001);
+        let r = route_full(&w, None, 1, Some(&telemetry), true, &get("/metrics"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, METRICS_CONTENT_TYPE);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("# TYPE wisdom_request_duration_seconds histogram"));
+        assert!(body.contains("# TYPE wisdom_ttft_seconds histogram"));
+        assert!(body.contains("# TYPE wisdom_queue_wait_seconds histogram"));
+        assert!(body.contains("# TYPE wisdom_batch_occupancy gauge"));
+        assert!(body.contains("# TYPE wisdom_prefix_cache_hits_total counter"));
+    }
+
+    #[test]
+    fn stats_from_registry_keeps_the_json_shape() {
+        let w = tiny_wisdom();
+        let telemetry = ServerTelemetry::with_logger(wisdom_telemetry::Logger::default());
+        telemetry.batch.queue_depth.set(3.0);
+        telemetry.batch.batch_occupancy.set(2.0);
+        let r = route_full(&w, None, 1, Some(&telemetry), true, &get("/v1/stats"));
+        assert_eq!(r.status, 200);
+        let j = parse_json(&String::from_utf8(r.body).unwrap()).unwrap();
+        assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("in_flight").and_then(Json::as_f64), Some(2.0));
+        // Scheduler-less: the prefix cache reads disabled even though the
+        // registry has the (idle) family registered.
         let pc = j.get("prefix_cache").expect("prefix_cache object");
         assert_eq!(pc.get("enabled").and_then(Json::as_bool), Some(false));
     }

@@ -68,6 +68,14 @@ impl Response {
         self
     }
 
+    /// Overrides the content type (e.g. the Prometheus exposition type on
+    /// `GET /metrics`).
+    #[must_use]
+    pub fn with_content_type(mut self, content_type: impl Into<String>) -> Response {
+        self.content_type = content_type.into();
+        self
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",

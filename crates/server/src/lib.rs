@@ -28,8 +28,10 @@ mod api;
 mod client;
 mod http;
 mod json;
+mod telemetry;
 
-pub use api::{route, route_with, ServerConfig, ServerHandle, WisdomServer};
+pub use api::{route, route_full, route_with, ServerConfig, ServerHandle, WisdomServer};
 pub use client::{get, post, post_raw, request_completion, ClientError, CompletionResponse};
 pub use http::{read_request, ParseHttpError, Request, Response, MAX_BODY_BYTES};
 pub use json::{parse_json, Json, ParseJsonError};
+pub use telemetry::{ServerTelemetry, METRICS_CONTENT_TYPE};

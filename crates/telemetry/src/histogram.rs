@@ -1,0 +1,344 @@
+//! Log-bucketed histograms with quantile estimation and mergeable
+//! snapshots.
+//!
+//! Latency distributions span four-plus orders of magnitude (a cache-hit
+//! admission is microseconds, a cold 2.7B-class prefill is hundreds of
+//! milliseconds), so buckets grow geometrically: each bucket's upper bound
+//! is `factor ×` the previous one. Quantiles estimated from such buckets
+//! are accurate to within one bucket ratio — exactly the resolution needed
+//! to tell p50 from p99, at a fixed 25-word memory cost and a two-atomic
+//! recording cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default latency bucket scheme: 24 log₂ buckets from 10 µs to ~84 s.
+const LATENCY_START: f64 = 1e-5;
+const LATENCY_FACTOR: f64 = 2.0;
+const LATENCY_COUNT: usize = 24;
+
+/// A thread-safe histogram over fixed, strictly increasing bucket upper
+/// bounds (plus an implicit `+Inf` overflow bucket). Recording is one
+/// atomic increment and one atomic add; snapshots are consistent enough
+/// for serving dashboards (counts may trail the sum by in-flight samples).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Bucket upper bounds, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, as `f64` bits.
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over explicit bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, not strictly increasing, or contains a
+    /// non-finite value.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing: {bounds:?}"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite (+Inf is implicit): {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Geometric bucket bounds: `start, start·factor, …` (`count` buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start <= 0`, `factor <= 1`, or `count == 0`.
+    pub fn log_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        assert!(
+            start > 0.0 && factor > 1.0 && count > 0,
+            "degenerate bucket scheme"
+        );
+        let mut bound = start;
+        (0..count)
+            .map(|_| {
+                let b = bound;
+                bound *= factor;
+                b
+            })
+            .collect()
+    }
+
+    /// The default latency bucket scheme (24 log₂ buckets, 10 µs → ~84 s).
+    pub fn latency_buckets() -> Vec<f64> {
+        Self::log_buckets(LATENCY_START, LATENCY_FACTOR, LATENCY_COUNT)
+    }
+
+    /// A histogram with the default latency buckets.
+    pub fn latency() -> Histogram {
+        Histogram::new(&Self::latency_buckets())
+    }
+
+    /// The bucket upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation. Values above the last bound land in the
+    /// `+Inf` bucket; NaN is ignored.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        // First bucket whose upper bound is >= v (Prometheus `le`
+        // semantics: bounds are inclusive upper edges).
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state. Merging snapshots
+/// from shards/workers is associative and commutative, so partial
+/// aggregations can be combined in any order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (without the implicit `+Inf`).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the last entry is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges `other` into `self` (same bucket scheme required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging mismatched bucket schemes"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket holding the target rank — the standard
+    /// Prometheus `histogram_quantile` estimator. Returns 0 for an empty
+    /// histogram; the `+Inf` bucket is clamped to the last finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in 1..=total.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds.get(i).copied().unwrap_or_else(|| {
+                    // +Inf bucket: report the largest finite bound.
+                    *self.bounds.last().expect("non-empty bounds")
+                });
+                let into = (rank - seen) as f64 / c as f64;
+                return lower + (upper - lower) * into;
+            }
+            seen += c;
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_edges() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // bucket 0 (le 1.0)
+        h.observe(1.0); // bucket 0: bounds are inclusive
+        h.observe(1.0001); // bucket 1 (le 2.0)
+        h.observe(4.0); // bucket 2 (le 4.0)
+        h.observe(100.0); // +Inf bucket
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count(), 5);
+        assert!((s.sum - 106.5001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_buckets_grow_geometrically() {
+        let b = Histogram::log_buckets(1e-5, 2.0, 24);
+        assert_eq!(b.len(), 24);
+        assert!((b[0] - 1e-5).abs() < 1e-12);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+        // The default scheme covers 10µs .. ~84s.
+        assert!(b[23] > 60.0 && b[23] < 120.0);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let h = Histogram::latency();
+        h.observe(f64::NAN);
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn quantiles_match_sorted_sample_oracle_within_a_bucket() {
+        // Seeded pseudo-random latencies across the bucket range.
+        let mut rng = wisdom_prng::Prng::seed_from_u64(42);
+        let h = Histogram::latency();
+        let mut samples: Vec<f64> = (0..10_000)
+            .map(|_| {
+                // Log-uniform over ~[30µs, 3s].
+                let e = rng.range_f64(-4.5, 0.5);
+                10f64.powf(e)
+            })
+            .collect();
+        for &s in &samples {
+            h.observe(s);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99] {
+            let oracle =
+                samples[(((q * samples.len() as f64).ceil() as usize) - 1).min(samples.len() - 1)];
+            let est = snap.quantile(q);
+            // A log₂ bucket scheme pins the estimate within one bucket
+            // ratio of the true order statistic.
+            assert!(
+                est / oracle < 2.05 && oracle / est < 2.05,
+                "q={q}: estimate {est} vs oracle {oracle}"
+            );
+        }
+        assert!((snap.mean() - samples.iter().sum::<f64>() / samples.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.snapshot().quantile(0.5), 0.0, "empty histogram");
+        h.observe(10.0); // everything in +Inf
+        assert_eq!(h.snapshot().quantile(0.5), 2.0, "+Inf clamps to last bound");
+    }
+
+    #[test]
+    fn concurrent_observations_lose_nothing() {
+        let h = Arc::new(Histogram::latency());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.observe(1e-4 * ((t * 10_000 + i) % 97 + 1) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 80_000);
+        // The CAS-loop sum is exact, not just approximately right.
+        let expected: f64 = (0..8u64)
+            .flat_map(|t| (0..10_000u64).map(move |i| 1e-4 * ((t * 10_000 + i) % 97 + 1) as f64))
+            .sum();
+        assert!((s.sum - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(9.0);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counts, vec![1, 1, 1]);
+        assert!((m.sum - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bucket schemes")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]).snapshot();
+        a.merge(&Histogram::new(&[2.0]).snapshot());
+    }
+}

@@ -1,0 +1,214 @@
+//! Opt-in structured logging for the serving stack.
+//!
+//! A [`Logger`] emits one `key=value` line per event — machine-parseable,
+//! grep-friendly, and silent by default. The `WISDOM_LOG` environment
+//! variable selects the level (`info` or `debug`; anything else, including
+//! unset, disables output), so production binaries pay a single branch per
+//! call site when logging is off.
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, ordered: `Off < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No output (the default).
+    Off,
+    /// Request/response access lines and errors.
+    Info,
+    /// Everything, including per-batch scheduler detail.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a `WISDOM_LOG` value; unknown strings mean [`LogLevel::Off`].
+    pub fn parse(s: &str) -> LogLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "info" => LogLevel::Info,
+            "debug" => LogLevel::Debug,
+            _ => LogLevel::Off,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Sink {
+    Stderr,
+    /// In-memory capture for tests.
+    Buffer(Mutex<Vec<String>>),
+}
+
+/// A structured, level-filtered logger. Cloning is cheap (`Arc` inside);
+/// all clones share one sink.
+#[derive(Debug, Clone)]
+pub struct Logger {
+    level: LogLevel,
+    sink: Arc<Sink>,
+}
+
+impl Logger {
+    /// A logger writing to stderr at `level`.
+    pub fn new(level: LogLevel) -> Logger {
+        Logger {
+            level,
+            sink: Arc::new(Sink::Stderr),
+        }
+    }
+
+    /// A logger configured from the `WISDOM_LOG` environment variable.
+    pub fn from_env() -> Logger {
+        let level = std::env::var("WISDOM_LOG")
+            .map(|v| LogLevel::parse(&v))
+            .unwrap_or(LogLevel::Off);
+        Logger::new(level)
+    }
+
+    /// A logger capturing lines in memory (for tests); read them back with
+    /// [`Logger::captured`].
+    pub fn capture(level: LogLevel) -> Logger {
+        Logger {
+            level,
+            sink: Arc::new(Sink::Buffer(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Whether events at `level` would be emitted. Call sites use this to
+    /// skip formatting work entirely when logging is off.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level != LogLevel::Off && level <= self.level
+    }
+
+    /// Emits one structured line:
+    /// `ts=<unix-seconds> level=<level> component=<component> k=v …`.
+    /// Values containing spaces, quotes, or `=` are double-quoted with
+    /// backslash escapes.
+    pub fn log(&self, level: LogLevel, component: &str, fields: &[(&str, &str)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let mut line = format!("ts={ts:.3} level={} component={component}", level.as_str());
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            if v.is_empty() || v.contains([' ', '"', '=', '\n']) {
+                line.push('"');
+                for c in v.chars() {
+                    match c {
+                        '"' => line.push_str("\\\""),
+                        '\\' => line.push_str("\\\\"),
+                        '\n' => line.push_str("\\n"),
+                        c => line.push(c),
+                    }
+                }
+                line.push('"');
+            } else {
+                line.push_str(v);
+            }
+        }
+        match &*self.sink {
+            Sink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+            Sink::Buffer(buf) => buf.lock().expect("log buffer lock").push(line),
+        }
+    }
+
+    /// Shorthand for [`LogLevel::Info`] events.
+    pub fn info(&self, component: &str, fields: &[(&str, &str)]) {
+        self.log(LogLevel::Info, component, fields);
+    }
+
+    /// Shorthand for [`LogLevel::Debug`] events.
+    pub fn debug(&self, component: &str, fields: &[(&str, &str)]) {
+        self.log(LogLevel::Debug, component, fields);
+    }
+
+    /// Lines captured so far (empty for stderr loggers).
+    pub fn captured(&self) -> Vec<String> {
+        match &*self.sink {
+            Sink::Stderr => Vec::new(),
+            Sink::Buffer(buf) => buf.lock().expect("log buffer lock").clone(),
+        }
+    }
+}
+
+impl Default for Logger {
+    /// The default logger is silent.
+    fn default() -> Logger {
+        Logger::new(LogLevel::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(LogLevel::parse("info"), LogLevel::Info);
+        assert_eq!(LogLevel::parse(" DEBUG "), LogLevel::Debug);
+        assert_eq!(LogLevel::parse("warn"), LogLevel::Off);
+        assert_eq!(LogLevel::parse(""), LogLevel::Off);
+        assert!(LogLevel::Off < LogLevel::Info && LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn off_logger_emits_nothing() {
+        let log = Logger::capture(LogLevel::Off);
+        log.info("http", &[("route", "/v1/completions")]);
+        log.debug("batch", &[]);
+        assert!(log.captured().is_empty());
+        assert!(!log.enabled(LogLevel::Info));
+    }
+
+    #[test]
+    fn info_logger_filters_debug() {
+        let log = Logger::capture(LogLevel::Info);
+        log.info("http", &[("status", "200")]);
+        log.debug("batch", &[("occupancy", "4")]);
+        let lines = log.captured();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains("level=info component=http status=200"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].starts_with("ts="));
+    }
+
+    #[test]
+    fn values_with_spaces_are_quoted_and_escaped() {
+        let log = Logger::capture(LogLevel::Debug);
+        log.info("http", &[("err", "bad \"body\" a=b"), ("n", "3")]);
+        let line = log.captured().remove(0);
+        assert!(line.contains(r#"err="bad \"body\" a=b" n=3"#), "{line}");
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let log = Logger::capture(LogLevel::Info);
+        let clone = log.clone();
+        clone.info("worker", &[("event", "ready")]);
+        assert_eq!(log.captured().len(), 1);
+    }
+}

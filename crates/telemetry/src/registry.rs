@@ -1,0 +1,409 @@
+//! The label-aware metric registry and the Prometheus text encoder.
+//!
+//! A [`Registry`] maps `(name, labels)` to shared metric handles with
+//! get-or-create semantics: instrumentation sites hold `Arc`s and record
+//! lock-free; the registry's mutex is touched only at registration and
+//! scrape time. [`Registry::render`] emits the classic Prometheus text
+//! exposition format (version 0.0.4) served by `GET /metrics`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::Histogram;
+use crate::metric::{Counter, Gauge};
+
+/// Sorted, owned label set — the series key within a metric family.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Bucket scheme shared by every histogram series in the family.
+    buckets: Vec<f64>,
+    series: BTreeMap<LabelSet, Handle>,
+}
+
+/// A thread-safe registry of metric families. One registry backs one
+/// `/metrics` endpoint; families are rendered in name order, series in
+/// label order, so the exposition is deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates an unlabelled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or if `name` is already registered
+    /// as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Gets or creates a counter with labels. The same `(name, labels)`
+    /// always returns the same handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names/labels or a metric-kind mismatch.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let handle = self.get_or_insert(name, help, Kind::Counter, labels, &[], || {
+            Handle::Counter(Arc::new(Counter::new()))
+        });
+        match handle {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked in get_or_insert"),
+        }
+    }
+
+    /// Gets or creates an unlabelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or a metric-kind mismatch.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or creates a gauge with labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names/labels or a metric-kind mismatch.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let handle = self.get_or_insert(name, help, Kind::Gauge, labels, &[], || {
+            Handle::Gauge(Arc::new(Gauge::new()))
+        });
+        match handle {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked in get_or_insert"),
+        }
+    }
+
+    /// Gets or creates an unlabelled histogram over `buckets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid name, a kind mismatch, or a bucket scheme that
+    /// differs from the family's existing one.
+    pub fn histogram(&self, name: &str, help: &str, buckets: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[], buckets)
+    }
+
+    /// Gets or creates a histogram with labels. Every series of one family
+    /// shares one bucket scheme (fixed at first registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names/labels, a kind mismatch, or a differing
+    /// bucket scheme.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+    ) -> Arc<Histogram> {
+        let handle = self.get_or_insert(name, help, Kind::Histogram, labels, buckets, || {
+            Handle::Histogram(Arc::new(Histogram::new(buckets)))
+        });
+        match handle {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked in get_or_insert"),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut key: LabelSet = labels
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_label(k), "invalid label name {k:?} on {name}");
+                ((*k).to_string(), (*v).to_string())
+            })
+            .collect();
+        key.sort();
+        let mut families = self.families.lock().expect("registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            buckets: buckets.to_vec(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} already registered as a {}",
+            family.kind.label()
+        );
+        if kind == Kind::Histogram {
+            assert!(
+                family.buckets == buckets,
+                "metric {name:?} already registered with different buckets"
+            );
+        }
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Renders every family in Prometheus text exposition format 0.0.4.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.label());
+            for (labels, handle) in &family.series {
+                match handle {
+                    Handle::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, None), c.get());
+                    }
+                    Handle::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, None),
+                            fmt_value(g.get())
+                        );
+                    }
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, c) in snap.counts.iter().enumerate() {
+                            cumulative += c;
+                            let le = snap
+                                .bounds
+                                .get(i)
+                                .map_or_else(|| "+Inf".to_string(), |b| fmt_value(*b));
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                render_labels(labels, Some(&le))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels, None),
+                            fmt_value(snap.sum)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {cumulative}",
+                            render_labels(labels, None)
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders `{k="v",…}` (empty string when there are no labels), with the
+/// histogram `le` label appended last when given.
+fn render_labels(labels: &LabelSet, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Formats a sample value the way Prometheus expects: plain decimal for
+/// finite values, `+Inf`/`-Inf`/`NaN` otherwise.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Pulls one sample out of an exposition body: `series` is the exact
+/// series string (name plus rendered labels, e.g.
+/// `wisdom_request_duration_seconds_count{route="/v1/completions"}`).
+/// Returns `None` if the series is absent. Intended for tests and simple
+/// scrapers.
+pub fn sample_value(exposition: &str, series: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        if line.starts_with('#') {
+            return None;
+        }
+        let (ser, value) = line.rsplit_once(' ')?;
+        if ser == series {
+            value.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_a_handle() {
+        let r = Registry::new();
+        let a = r.counter_with("x_total", "X.", &[("route", "/a")]);
+        let b = r.counter_with("x_total", "X.", &[("route", "/a")]);
+        let c = r.counter_with("x_total", "X.", &[("route", "/b")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same series, same handle");
+        assert_eq!(c.get(), 0, "different labels, different series");
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::new();
+        let a = r.counter_with("y_total", "Y.", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_with("y_total", "Y.", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("z_total", "Z.");
+        let _ = r.gauge("z_total", "Z.");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        let _ = Registry::new().counter("bad name", "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn histogram_bucket_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.histogram("h_seconds", "H.", &[1.0, 2.0]);
+        let _ = r.histogram_with("h_seconds", "H.", &[("route", "/a")], &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.counter("req_total", "Requests.").add(3);
+        r.gauge("depth", "Queue depth.").set(2.0);
+        let h = r.histogram_with("lat_seconds", "Latency.", &[("route", "/x")], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.render();
+        assert!(
+            text.contains("# HELP req_total Requests.\n# TYPE req_total counter\nreq_total 3\n")
+        );
+        assert!(text.contains("# TYPE depth gauge\ndepth 2\n"));
+        assert!(text.contains("lat_seconds_bucket{route=\"/x\",le=\"0.1\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{route=\"/x\",le=\"1\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{route=\"/x\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count{route=\"/x\"} 3"));
+        assert!(text.contains("lat_seconds_sum{route=\"/x\"} 5.55"));
+        // Families are sorted by name: depth < lat_seconds < req_total.
+        let depth = text.find("# HELP depth").unwrap();
+        let lat = text.find("# HELP lat_seconds").unwrap();
+        let req = text.find("# HELP req_total").unwrap();
+        assert!(depth < lat && lat < req);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("e_total", "E.", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = r.render();
+        assert!(text.contains(r#"e_total{path="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn sample_value_reads_back_rendered_series() {
+        let r = Registry::new();
+        r.counter_with("s_total", "S.", &[("route", "/v1/x")])
+            .add(7);
+        r.gauge("g", "G.").set(1.5);
+        let text = r.render();
+        assert_eq!(sample_value(&text, "s_total{route=\"/v1/x\"}"), Some(7.0));
+        assert_eq!(sample_value(&text, "g"), Some(1.5));
+        assert_eq!(sample_value(&text, "missing"), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for histogram snapshots: merge must behave like the
+//! abelian monoid it claims to be, so shard-level aggregation order can
+//! never change what a dashboard reports.
+
+use proptest::prelude::*;
+use wisdom_telemetry::{Histogram, HistogramSnapshot};
+
+/// Builds a snapshot over the default latency buckets from raw samples.
+fn snap(samples: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::latency();
+    for &s in samples {
+        // Map arbitrary non-negative inputs into the bucket range.
+        h.observe(s.abs() % 100.0);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): bucket counts exactly, sums to float
+    /// tolerance.
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(any::<f64>(), 0..40),
+        ys in prop::collection::vec(any::<f64>(), 0..40),
+        zs in prop::collection::vec(any::<f64>(), 0..40),
+    ) {
+        let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert!((left.sum - right.sum).abs() <= 1e-9 * (1.0 + left.sum.abs()));
+    }
+
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(any::<f64>(), 0..40),
+        ys in prop::collection::vec(any::<f64>(), 0..40),
+    ) {
+        let (a, b) = (snap(&xs), snap(&ys));
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(&ab.counts, &ba.counts);
+        prop_assert!((ab.sum - ba.sum).abs() <= 1e-9 * (1.0 + ab.sum.abs()));
+    }
+
+    /// The empty snapshot is the identity, and merge adds counts.
+    #[test]
+    fn empty_is_identity_and_counts_add(
+        xs in prop::collection::vec(any::<f64>(), 0..40),
+        ys in prop::collection::vec(any::<f64>(), 0..40),
+    ) {
+        let (a, b) = (snap(&xs), snap(&ys));
+        let id = snap(&[]);
+        prop_assert_eq!(&merged(&a, &id).counts, &a.counts);
+        prop_assert_eq!(merged(&a, &b).count(), a.count() + b.count());
+    }
+
+    /// Merging two live-histogram snapshots equals one histogram fed both
+    /// sample streams.
+    #[test]
+    fn merge_matches_single_histogram(
+        xs in prop::collection::vec(any::<f64>(), 0..40),
+        ys in prop::collection::vec(any::<f64>(), 0..40),
+    ) {
+        let combined: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let whole = snap(&combined);
+        let parts = merged(&snap(&xs), &snap(&ys));
+        prop_assert_eq!(&whole.counts, &parts.counts);
+        prop_assert!((whole.sum - parts.sum).abs() <= 1e-9 * (1.0 + whole.sum.abs()));
+    }
+}

@@ -7,15 +7,15 @@
 //! ```
 //!
 //! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
-//! `throughput`, `batching`, `prefix`, `all`. Profiles: `test` (seconds),
-//! `fast`, `quick` (default), `paper`.
+//! `throughput`, `batching`, `prefix`, `telemetry`, `all`. Profiles: `test`
+//! (seconds), `fast`, `quick` (default), `paper`.
 
 use std::time::Instant;
 
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
     run_decode_batching, run_decoding_ablation, run_prefix_cache, run_table3, run_table4,
-    run_table5, run_throughput, tables, Profile, Progress, Zoo,
+    run_table5, run_telemetry_overhead, run_throughput, tables, Profile, Progress, Zoo,
 };
 
 fn main() {
@@ -61,6 +61,7 @@ fn main() {
         "throughput" => throughput(&profile),
         "batching" => batching(&profile),
         "prefix" => prefix(&profile),
+        "telemetry" => telemetry(&profile),
         "all" => {
             table1(&profile);
             println!();
@@ -131,4 +132,9 @@ fn batching(profile: &Profile) {
 fn prefix(profile: &Profile) {
     let points = run_prefix_cache(profile, &[0.25, 0.5, 0.75, 0.9375]);
     print!("{}", tables::prefix_cache_text(&points));
+}
+
+fn telemetry(profile: &Profile) {
+    let r = run_telemetry_overhead(profile, 8, 64);
+    print!("{}", tables::telemetry_text(&r));
 }

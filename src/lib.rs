@@ -13,6 +13,8 @@
 //! * [`model`] — transformer / n-gram / retrieval language models.
 //! * [`metrics`] — Exact Match, BLEU, Ansible Aware, Schema Correct.
 //! * [`eval`] — experiment harness regenerating the paper's tables.
+//! * [`telemetry`] — metrics registry, latency histograms, Prometheus
+//!   exposition, structured logging.
 //! * [`core`] — the end-to-end Wisdom pipeline and completion service.
 //! * [`server`] — REST inference server.
 //!
@@ -32,6 +34,7 @@ pub use wisdom_metrics as metrics;
 pub use wisdom_model as model;
 pub use wisdom_prng as prng;
 pub use wisdom_server as server;
+pub use wisdom_telemetry as telemetry;
 pub use wisdom_tensor as tensor;
 pub use wisdom_tokenizer as tokenizer;
 pub use wisdom_yaml as yaml;

@@ -203,6 +203,183 @@ fn queue_overflow_returns_503_with_retry_after() {
 }
 
 #[test]
+fn health_and_readiness_endpoints() {
+    let (handle, addr) = spawn_server();
+
+    // Liveness: always 200, never touches the model or a lock.
+    let (status, body) = get(addr, "/healthz").expect("get healthz");
+    assert_eq!((status, body.as_str()), (200, "ok"));
+
+    // Readiness: 200 once the decode worker thread is up (it starts at
+    // bind time, so this converges quickly).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let (status, body) = get(addr, "/readyz").expect("get readyz");
+        if status == 200 {
+            assert_eq!(body, "ready");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "decode worker never became ready: {status} {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Forced-unready flips readiness to 503 but leaves liveness at 200.
+    handle.set_ready(false);
+    let (status, _) = get(addr, "/readyz").expect("get readyz");
+    assert_eq!(status, 503);
+    let (status, _) = get(addr, "/healthz").expect("get healthz");
+    assert_eq!(status, 200);
+    handle.set_ready(true);
+    let (status, _) = get(addr, "/readyz").expect("get readyz");
+    assert_eq!(status, 200);
+
+    handle.stop();
+}
+
+#[test]
+fn metrics_scrape_mid_load_counts_requests() {
+    use ansible_wisdom::telemetry::sample_value;
+
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        worker_threads: 8,
+        max_batch_size: 4,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    });
+    let scrape = || {
+        let (status, body) = get(addr, "/metrics").expect("get metrics");
+        assert_eq!(status, 200, "{body}");
+        body
+    };
+    // Counters we hold monotonic across every scrape below.
+    const MONOTONIC: &[&str] = &[
+        "wisdom_http_requests_total",
+        "wisdom_requests_admitted_total",
+        "wisdom_requests_completed_total",
+        "wisdom_scheduler_wakeups_total",
+        "wisdom_request_duration_seconds_count{route=\"/v1/completions\"}",
+    ];
+    let counters = |text: &str| -> Vec<f64> {
+        MONOTONIC
+            .iter()
+            .map(|series| sample_value(text, series).unwrap_or_else(|| panic!("missing {series}")))
+            .collect()
+    };
+
+    let first = scrape();
+    // The whole serving stack shares one exposition.
+    for family in [
+        "# TYPE wisdom_request_duration_seconds histogram",
+        "# TYPE wisdom_ttft_seconds histogram",
+        "# TYPE wisdom_queue_wait_seconds histogram",
+        "# TYPE wisdom_batch_occupancy gauge",
+        "# TYPE wisdom_prefix_cache_hits_total counter",
+    ] {
+        assert!(first.contains(family), "missing {family:?} in:\n{first}");
+    }
+    let baseline = counters(&first);
+
+    for i in 0..3 {
+        request_completion(addr, "", &format!("install package number{i}")).expect("completion");
+    }
+    let settled = scrape();
+    let after_three = counters(&settled);
+    for (series, (before, after)) in MONOTONIC.iter().zip(baseline.iter().zip(&after_three)) {
+        assert!(
+            after >= before,
+            "{series} went backwards: {before} -> {after}"
+        );
+    }
+    // Histogram counts equal completed requests, per route and end to end.
+    assert_eq!(
+        sample_value(
+            &settled,
+            "wisdom_request_duration_seconds_count{route=\"/v1/completions\"}"
+        ),
+        Some(3.0),
+        "{settled}"
+    );
+    assert_eq!(
+        sample_value(&settled, "wisdom_requests_completed_total"),
+        Some(3.0)
+    );
+    assert_eq!(
+        sample_value(&settled, "wisdom_ttft_seconds_count"),
+        Some(3.0)
+    );
+
+    // Mid-load: freeze admission so two requests sit in the decode queue,
+    // then scrape while they are provably in flight.
+    handle.set_admission_paused(true);
+    let mut clients = Vec::new();
+    for i in 0..2 {
+        clients.push(std::thread::spawn(move || {
+            request_completion(addr, "", &format!("create user midload{i}")).expect("completion")
+        }));
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mid = loop {
+        let text = scrape();
+        if sample_value(&text, "wisdom_queue_depth") == Some(2.0) {
+            break text;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "queued requests never showed up in wisdom_queue_depth:\n{text}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    let mid_counters = counters(&mid);
+    for (series, (before, after)) in MONOTONIC.iter().zip(after_three.iter().zip(&mid_counters)) {
+        assert!(
+            after >= before,
+            "{series} went backwards: {before} -> {after}"
+        );
+    }
+    // Paused admission: both requests are queued, none admitted yet.
+    assert_eq!(
+        sample_value(&mid, "wisdom_requests_admitted_total"),
+        Some(3.0),
+        "{mid}"
+    );
+
+    handle.set_admission_paused(false);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let fin = scrape();
+    let final_counters = counters(&fin);
+    for (series, (before, after)) in MONOTONIC
+        .iter()
+        .zip(mid_counters.iter().zip(&final_counters))
+    {
+        assert!(
+            after >= before,
+            "{series} went backwards: {before} -> {after}"
+        );
+    }
+    assert_eq!(
+        sample_value(&fin, "wisdom_requests_completed_total"),
+        Some(5.0),
+        "{fin}"
+    );
+    assert_eq!(
+        sample_value(
+            &fin,
+            "wisdom_request_duration_seconds_count{route=\"/v1/completions\"}"
+        ),
+        Some(5.0)
+    );
+    assert_eq!(sample_value(&fin, "wisdom_ttft_seconds_count"), Some(5.0));
+    assert_eq!(sample_value(&fin, "wisdom_queue_depth"), Some(0.0));
+
+    handle.stop();
+}
+
+#[test]
 fn oversized_request_body_is_rejected_with_413() {
     use std::io::{Read, Write};
     let (handle, addr) = spawn_server();
