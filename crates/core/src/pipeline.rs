@@ -259,7 +259,20 @@ impl Wisdom {
         cfg: BatchConfig,
         telemetry: Option<wisdom_model::BatchTelemetry>,
     ) -> BatchScheduler {
-        BatchScheduler::spawn_with(Arc::new(self.model.clone()), cfg, telemetry)
+        self.scheduler_full(cfg, telemetry, None)
+    }
+
+    /// [`Wisdom::scheduler_with`] also recording speculative-decoding
+    /// metrics (proposed/accepted/rejected counters, acceptance-length
+    /// histogram, draft-overhead timer) when
+    /// [`BatchConfig::speculative`] is enabled.
+    pub fn scheduler_full(
+        &self,
+        cfg: BatchConfig,
+        telemetry: Option<wisdom_model::BatchTelemetry>,
+        spec_telemetry: Option<wisdom_model::SpeculativeTelemetry>,
+    ) -> BatchScheduler {
+        BatchScheduler::spawn_full(Arc::new(self.model.clone()), cfg, telemetry, spec_telemetry)
     }
 
     /// [`Wisdom::complete`] through a [`BatchScheduler`]: enqueues the

@@ -1,7 +1,8 @@
 //! Plain-text renderers for the paper's tables.
 
 use crate::experiments::{
-    BatchingPoint, PrefixCachePoint, Row, TelemetryOverhead, ThroughputResult, TypeRow,
+    BatchingPoint, PrefixCachePoint, Row, SpeculativePoint, TelemetryOverhead, ThroughputResult,
+    TypeRow,
 };
 use crate::zoo::TABLE2;
 
@@ -200,6 +201,33 @@ pub fn prefix_cache_text(points: &[PrefixCachePoint]) -> String {
     out
 }
 
+/// Renders the speculative-decoding tok/s and acceptance curve.
+pub fn speculative_text(points: &[SpeculativePoint]) -> String {
+    let mut out = String::from(
+        "Speculative decoding: greedy tokens/s and accepted draft tokens per verify vs k\n\
+         (order-4 n-gram drafter warmed on the model's own greedy stream; k=0 = plain loop)\n",
+    );
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10}\n",
+        "k", "350M tok/s", "350M x", "350M acc", "2.7B tok/s", "2.7B x", "2.7B acc"
+    ));
+    let small_base = points.first().map_or(1.0, |p| p.small_tps).max(1e-9);
+    let large_base = points.first().map_or(1.0, |p| p.large_tps).max(1e-9);
+    for p in points {
+        out.push_str(&format!(
+            "{:<6} {:>12.1} {:>9.2}x {:>10.2} {:>12.1} {:>9.2}x {:>10.2}\n",
+            p.k,
+            p.small_tps,
+            p.small_tps / small_base,
+            p.small_accepted,
+            p.large_tps,
+            p.large_tps / large_base,
+            p.large_accepted
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +315,29 @@ mod tests {
         assert!(t.contains("2.50x"), "{t}");
         assert!(t.contains("1600.0"), "{t}");
         assert!(t.contains("160.0"), "{t}");
+    }
+
+    #[test]
+    fn speculative_text_shows_acceptance_and_speedup() {
+        let t = speculative_text(&[
+            crate::experiments::SpeculativePoint {
+                k: 0,
+                small_tps: 100.0,
+                small_accepted: 0.0,
+                large_tps: 40.0,
+                large_accepted: 0.0,
+            },
+            crate::experiments::SpeculativePoint {
+                k: 4,
+                small_tps: 250.0,
+                small_accepted: 3.5,
+                large_tps: 100.0,
+                large_accepted: 3.25,
+            },
+        ]);
+        assert!(t.contains("2.50x"), "{t}");
+        assert!(t.contains("3.50"), "{t}");
+        assert!(t.contains("3.25"), "{t}");
     }
 
     #[test]

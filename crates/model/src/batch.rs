@@ -38,7 +38,8 @@ use wisdom_prng::Prng;
 
 use crate::decode::{GenerationOptions, Strategy};
 use crate::prefix_cache::{PrefixCacheStats, PrefixKvCache, PrefixPin};
-use crate::telemetry::BatchTelemetry;
+use crate::speculative::{adapt_draft_len, verify_draft, SpeculativeConfig, Speculator};
+use crate::telemetry::{BatchTelemetry, SpeculativeTelemetry};
 use crate::transformer::{argmax, sample_top_k, KvCache, TransformerLm};
 
 /// One generation request at the token level.
@@ -76,6 +77,29 @@ struct Seq {
     /// Pins the prefix-cache segments backing this sequence's prompt until
     /// it retires, so eviction can't drop shared state mid-decode.
     _pin: PrefixPin,
+    /// Per-sequence draft proposer — `Some` only for greedy sequences
+    /// admitted while speculation is configured.
+    drafter: Option<Box<dyn Speculator>>,
+    /// Prompt window + emitted tokens, maintained for drafting.
+    history: Vec<u32>,
+    /// Tokens up to this index of `history` were already reported to the
+    /// drafter's online-adaptation hook.
+    observed: usize,
+    /// Current dynamic draft length (grows on full acceptance, halves on
+    /// full rejection).
+    draft_len: usize,
+}
+
+/// Reports history tokens past the drafter's watermark to its
+/// online-adaptation hook (each emitted token exactly once).
+fn observe_new_history(seq: &mut Seq) {
+    if let Some(drafter) = &mut seq.drafter {
+        if seq.observed < seq.history.len() {
+            let (ctx_part, new_part) = seq.history.split_at(seq.observed);
+            drafter.observe(ctx_part, new_part);
+            seq.observed = seq.history.len();
+        }
+    }
 }
 
 /// The continuous-batching decode engine: in-flight sequences with
@@ -87,6 +111,12 @@ pub struct DecodeBatch<'m> {
     prefix_cache: Option<Arc<PrefixKvCache>>,
     /// Metric handles; `None` keeps the hot path entirely uninstrumented.
     telemetry: Option<BatchTelemetry>,
+    /// Speculation sizing; disabled by default, in which case no sequence
+    /// ever gets a drafter and the decode path is unchanged.
+    speculation: SpeculativeConfig,
+    /// Speculation metric handles (verify counters, acceptance histogram,
+    /// draft-overhead timer).
+    spec_telemetry: Option<SpeculativeTelemetry>,
 }
 
 impl<'m> DecodeBatch<'m> {
@@ -97,6 +127,8 @@ impl<'m> DecodeBatch<'m> {
             seqs: Vec::new(),
             prefix_cache: None,
             telemetry: None,
+            speculation: SpeculativeConfig::disabled(),
+            spec_telemetry: None,
         }
     }
 
@@ -110,6 +142,8 @@ impl<'m> DecodeBatch<'m> {
             seqs: Vec::new(),
             prefix_cache: Some(cache),
             telemetry: None,
+            speculation: SpeculativeConfig::disabled(),
+            spec_telemetry: None,
         }
     }
 
@@ -117,6 +151,20 @@ impl<'m> DecodeBatch<'m> {
     /// are recorded from here on. Generated tokens are unaffected.
     pub fn set_telemetry(&mut self, telemetry: BatchTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Enables speculative decoding for subsequently admitted greedy
+    /// sequences (each gets its own drafter, warmed on its prompt window).
+    /// Generated tokens are unaffected — only the number of forward passes
+    /// they cost changes (`tests/speculative_agreement.rs`).
+    pub fn set_speculation(&mut self, cfg: SpeculativeConfig) {
+        self.speculation = cfg;
+    }
+
+    /// Attaches speculation metric handles (proposed/accepted/rejected
+    /// counters, acceptance-length histogram, draft-overhead timer).
+    pub fn set_speculative_telemetry(&mut self, telemetry: SpeculativeTelemetry) {
+        self.spec_telemetry = Some(telemetry);
     }
 
     /// Number of sequences currently in flight.
@@ -167,6 +215,20 @@ impl<'m> DecodeBatch<'m> {
                 (cache, logits, PrefixPin::default())
             }
         };
+        // Speculation composes with the prefix cache because the spliced
+        // rows above are private copies: rolling rejected draft rows back
+        // out of `cache` can never touch shared tree segments.
+        let drafter = (self.speculation.enabled() && matches!(req.opts.strategy, Strategy::Greedy))
+            .then(|| {
+                self.speculation
+                    .build_speculator(self.model.config().vocab_size, window)
+            });
+        let history = if drafter.is_some() {
+            window.to_vec()
+        } else {
+            Vec::new()
+        };
+        let observed = history.len();
         self.seqs.push(Seq {
             tag,
             cache,
@@ -181,6 +243,10 @@ impl<'m> DecodeBatch<'m> {
             started,
             first_token_seen: false,
             _pin: pin,
+            drafter,
+            history,
+            observed,
+            draft_len: self.speculation.max_draft,
         });
         if let Some(t) = &self.telemetry {
             t.batch_occupancy.set(self.seqs.len() as f64);
@@ -190,14 +256,25 @@ impl<'m> DecodeBatch<'m> {
     /// One decode round: every live sequence picks its next token from its
     /// current logits (greedy or seeded top-k, exactly like the solo loop),
     /// sequences that hit a stop token / budget / the context edge retire,
-    /// and the survivors advance through one batched [`TransformerLm::step_batch`].
+    /// and the survivors advance — speculating sequences through their own
+    /// draft-verify pass ([`crate::SpeculativeDecoder`]-style), the rest
+    /// through one batched [`TransformerLm::step_batch`].
     ///
     /// Returns the sequences that finished this round as `(tag, tokens)`.
     pub fn step(&mut self) -> Vec<(usize, Vec<u32>)> {
         let ctx = self.model.config().context_window;
         let model = self.model;
         let telemetry = self.telemetry.as_ref();
+        let spec_telemetry = self.spec_telemetry.as_ref();
+        // Dense-batch backoff: once the live batch outgrows the configured
+        // bound, the batched step already amortizes the weight traffic
+        // across rows, so per-sequence verify passes stop paying off and
+        // every sequence degrades to plain batched decoding this round.
+        let speculating_round =
+            self.speculation.enabled() && self.seqs.len() <= self.speculation.max_draft_batch;
+        let max_draft = self.speculation.max_draft;
         let mut stepping: Vec<&mut Seq> = Vec::new();
+        let mut speculating: Vec<(&mut Seq, Vec<u32>)> = Vec::new();
         for seq in &mut self.seqs {
             // Same conditions, in the same order, as the generate loop: the
             // budget/window check gates sampling, a stop token retires the
@@ -218,6 +295,9 @@ impl<'m> DecodeBatch<'m> {
                 continue;
             }
             seq.out.push(next);
+            if seq.drafter.is_some() {
+                seq.history.push(next);
+            }
             if let Some(t) = telemetry {
                 if !seq.first_token_seen {
                     seq.first_token_seen = true;
@@ -230,10 +310,55 @@ impl<'m> DecodeBatch<'m> {
                 seq.done = true;
                 continue;
             }
+            // Draft before partitioning: a sequence whose drafter has
+            // nothing to propose joins the shared batched step instead.
+            if speculating_round {
+                if let Some(drafter) = &seq.drafter {
+                    let k = seq
+                        .draft_len
+                        .min(seq.max_new - seq.out.len())
+                        .min(ctx - (seq.pos + 1));
+                    if k > 0 {
+                        let draft_start = Instant::now();
+                        let mut draft = drafter.draft(&seq.history, k);
+                        draft.truncate(k);
+                        if let Some(t) = spec_telemetry {
+                            t.draft_overhead
+                                .observe(draft_start.elapsed().as_secs_f64());
+                        }
+                        if !draft.is_empty() {
+                            speculating.push((seq, draft));
+                            continue;
+                        }
+                    }
+                }
+            }
             stepping.push(seq);
         }
+        let round_start = telemetry.map(|_| Instant::now());
+        let ran_forward = !speculating.is_empty() || !stepping.is_empty();
+        for (seq, draft) in speculating {
+            let first = *seq.out.last().expect("sampled token");
+            let v = verify_draft(model, &mut seq.cache, seq.pos, first, &draft, &seq.stops);
+            if let Some(t) = spec_telemetry {
+                t.verify_passes.inc();
+                t.proposed.add(draft.len() as u64);
+                t.accepted.add(v.accepted.len() as u64);
+                t.rejected.add((draft.len() - v.accepted.len()) as u64);
+                t.acceptance_length.observe(v.accepted.len() as f64);
+            }
+            seq.draft_len =
+                adapt_draft_len(seq.draft_len, draft.len(), v.accepted.len(), max_draft);
+            seq.out.extend_from_slice(&v.accepted);
+            seq.history.extend_from_slice(&v.accepted);
+            seq.pos += 1 + v.accepted.len();
+            seq.logits = v.logits;
+            observe_new_history(seq);
+            if v.stopped || seq.out.len() >= seq.max_new || seq.pos >= ctx {
+                seq.done = true;
+            }
+        }
         if !stepping.is_empty() {
-            let round_start = telemetry.map(|_| Instant::now());
             let tokens: Vec<u32> = stepping
                 .iter()
                 .map(|s| *s.out.last().expect("sampled token"))
@@ -245,7 +370,12 @@ impl<'m> DecodeBatch<'m> {
             for (seq, row) in stepping.iter_mut().zip(logits) {
                 seq.logits = row;
                 seq.pos += 1;
+                // A drafter skipped this round (dense batch / empty draft)
+                // still hears about the emitted token.
+                observe_new_history(seq);
             }
+        }
+        if ran_forward {
             if let (Some(t), Some(at)) = (telemetry, round_start) {
                 t.token_latency.observe(at.elapsed().as_secs_f64());
             }
@@ -290,7 +420,36 @@ pub fn generate_batch_with(
     max_batch_size: usize,
     prefix_cache: Option<Arc<PrefixKvCache>>,
 ) -> Vec<Vec<u32>> {
-    generate_batch_inner(model, requests, max_batch_size, prefix_cache, None)
+    generate_batch_inner(
+        model,
+        requests,
+        max_batch_size,
+        prefix_cache,
+        None,
+        SpeculativeConfig::disabled(),
+    )
+}
+
+/// [`generate_batch_with`] with speculative decoding enabled for greedy
+/// requests: each admitted sequence drafts ahead with `speculative.draft`
+/// and verifies against the model in batched passes. Outputs are unchanged
+/// bit-for-bit (`tests/speculative_agreement.rs`) — speculation only
+/// changes how many forward passes they cost.
+pub fn generate_batch_speculative(
+    model: &TransformerLm,
+    requests: Vec<DecodeRequest>,
+    max_batch_size: usize,
+    prefix_cache: Option<Arc<PrefixKvCache>>,
+    speculative: SpeculativeConfig,
+) -> Vec<Vec<u32>> {
+    generate_batch_inner(
+        model,
+        requests,
+        max_batch_size,
+        prefix_cache,
+        None,
+        speculative,
+    )
 }
 
 /// [`generate_batch_with`] recording into `telemetry`: every admission,
@@ -310,6 +469,7 @@ pub fn generate_batch_instrumented(
         max_batch_size,
         prefix_cache,
         Some(telemetry),
+        SpeculativeConfig::disabled(),
     )
 }
 
@@ -319,6 +479,7 @@ fn generate_batch_inner(
     max_batch_size: usize,
     prefix_cache: Option<Arc<PrefixKvCache>>,
     telemetry: Option<BatchTelemetry>,
+    speculative: SpeculativeConfig,
 ) -> Vec<Vec<u32>> {
     let cap = max_batch_size.max(1);
     let mut results: Vec<Vec<u32>> = vec![Vec::new(); requests.len()];
@@ -327,6 +488,7 @@ fn generate_batch_inner(
         Some(cache) => DecodeBatch::with_prefix_cache(model, cache),
         None => DecodeBatch::new(model),
     };
+    engine.set_speculation(speculative);
     if let Some(t) = telemetry {
         engine.set_telemetry(t);
     }
@@ -363,6 +525,10 @@ pub struct BatchConfig {
     /// Byte budget for the shared prefix KV cache consulted at admission;
     /// `0` disables prefix reuse entirely.
     pub prefix_cache_bytes: usize,
+    /// Speculative-decoding sizing for admitted greedy sequences;
+    /// [`SpeculativeConfig::disabled`] (the default) leaves the decode
+    /// path untouched.
+    pub speculative: SpeculativeConfig,
 }
 
 impl Default for BatchConfig {
@@ -371,6 +537,7 @@ impl Default for BatchConfig {
             max_batch_size: 8,
             queue_depth: 32,
             prefix_cache_bytes: 64 << 20,
+            speculative: SpeculativeConfig::disabled(),
         }
     }
 }
@@ -481,10 +648,23 @@ impl BatchScheduler {
         cfg: BatchConfig,
         telemetry: Option<BatchTelemetry>,
     ) -> Self {
+        Self::spawn_full(model, cfg, telemetry, None)
+    }
+
+    /// [`Self::spawn_with`] also recording speculation metrics (verify
+    /// counters, acceptance-length histogram, draft-overhead timer) when
+    /// [`BatchConfig::speculative`] is enabled.
+    pub fn spawn_full(
+        model: Arc<TransformerLm>,
+        cfg: BatchConfig,
+        telemetry: Option<BatchTelemetry>,
+        spec_telemetry: Option<SpeculativeTelemetry>,
+    ) -> Self {
         let cfg = BatchConfig {
             max_batch_size: cfg.max_batch_size.max(1),
             queue_depth: cfg.queue_depth.max(1),
             prefix_cache_bytes: cfg.prefix_cache_bytes,
+            speculative: cfg.speculative,
         };
         let prefix_cache = (cfg.prefix_cache_bytes > 0)
             .then(|| Arc::new(PrefixKvCache::with_budget(cfg.prefix_cache_bytes)));
@@ -513,6 +693,7 @@ impl BatchScheduler {
                     cfg,
                     worker_cache,
                     worker_telemetry,
+                    spec_telemetry,
                 )
             })
             .expect("spawn decode worker");
@@ -670,6 +851,7 @@ fn worker_loop(
     cfg: BatchConfig,
     prefix_cache: Option<Arc<PrefixKvCache>>,
     telemetry: Option<BatchTelemetry>,
+    spec_telemetry: Option<SpeculativeTelemetry>,
 ) {
     let mut engine = match prefix_cache {
         Some(cache) => DecodeBatch::with_prefix_cache(model, cache),
@@ -677,6 +859,10 @@ fn worker_loop(
     };
     if let Some(t) = &telemetry {
         engine.set_telemetry(t.clone());
+    }
+    engine.set_speculation(cfg.speculative);
+    if let Some(t) = spec_telemetry {
+        engine.set_speculative_telemetry(t);
     }
     let mut next_tag = 0usize;
     let mut replies: HashMap<usize, mpsc::Sender<Vec<u32>>> = HashMap::new();
@@ -943,6 +1129,76 @@ mod tests {
         assert_eq!(telemetry.ttft.snapshot().count(), 3);
         assert_eq!(telemetry.queue_wait.snapshot().count(), 0);
         assert!((telemetry.batch_occupancy.get() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn speculative_batch_matches_plain_and_records_telemetry() {
+        let model = tiny_model();
+        let requests: Vec<DecodeRequest> = vec![vec![1, 2, 3, 1, 2, 3], vec![4, 5, 4, 5], vec![6]]
+            .into_iter()
+            .map(|p| DecodeRequest {
+                prompt: p,
+                stops: vec![0],
+                opts: greedy(8),
+            })
+            .collect();
+        let plain = generate_batch(&model, requests.clone(), 2);
+        for spec in [
+            SpeculativeConfig::ngram(4),
+            SpeculativeConfig::self_draft(3),
+        ] {
+            let speculated = generate_batch_speculative(&model, requests.clone(), 2, None, spec);
+            assert_eq!(plain, speculated, "speculation must not change tokens");
+        }
+
+        // Through the scheduler, with metric handles attached.
+        let registry = wisdom_telemetry::Registry::new();
+        let spec_telemetry = SpeculativeTelemetry::register(&registry);
+        let sched = BatchScheduler::spawn_full(
+            Arc::new(model),
+            BatchConfig {
+                speculative: SpeculativeConfig::self_draft(3),
+                ..BatchConfig::default()
+            },
+            None,
+            Some(spec_telemetry.clone()),
+        );
+        let out = sched.generate(&[1, 2, 3, 1, 2, 3], &[0], &greedy(8));
+        assert_eq!(out, plain[0]);
+        assert!(
+            spec_telemetry.verify_passes.get() >= 1,
+            "repetitive prompt must trigger at least one verify pass"
+        );
+        assert_eq!(
+            spec_telemetry.proposed.get(),
+            spec_telemetry.accepted.get() + spec_telemetry.rejected.get()
+        );
+        assert_eq!(
+            spec_telemetry.acceptance_length.snapshot().count(),
+            spec_telemetry.verify_passes.get()
+        );
+    }
+
+    #[test]
+    fn dense_batches_back_off_to_plain_decoding() {
+        let model = tiny_model();
+        // max_draft_batch 1: with two live sequences nothing speculates,
+        // with one it does — outputs must be identical either way.
+        let mut spec = SpeculativeConfig::self_draft(3);
+        spec.max_draft_batch = 1;
+        let requests: Vec<DecodeRequest> = vec![vec![1, 2, 1, 2, 1], vec![3, 4, 3, 4, 3]]
+            .into_iter()
+            .map(|p| DecodeRequest {
+                prompt: p,
+                stops: vec![0],
+                opts: greedy(6),
+            })
+            .collect();
+        let plain = generate_batch(&model, requests.clone(), 2);
+        assert_eq!(
+            generate_batch_speculative(&model, requests, 2, None, spec),
+            plain
+        );
     }
 
     #[test]

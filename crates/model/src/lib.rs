@@ -31,13 +31,14 @@ mod decode;
 mod ngram;
 mod prefix_cache;
 mod retrieval;
+mod speculative;
 mod telemetry;
 mod train;
 mod transformer;
 
 pub use batch::{
-    generate_batch, generate_batch_instrumented, generate_batch_with, BatchConfig, BatchScheduler,
-    DecodeBatch, DecodeRequest, Pending, SchedulerStats, SubmitError,
+    generate_batch, generate_batch_instrumented, generate_batch_speculative, generate_batch_with,
+    BatchConfig, BatchScheduler, DecodeBatch, DecodeRequest, Pending, SchedulerStats, SubmitError,
 };
 pub use checkpoint::{load_checkpoint, save_checkpoint, LoadCheckpointError};
 pub use config::ModelConfig;
@@ -47,7 +48,11 @@ pub use prefix_cache::{
     CachedPrefix, PrefixCacheConfig, PrefixCacheStats, PrefixKvCache, PrefixPin,
 };
 pub use retrieval::RetrievalModel;
-pub use telemetry::{BatchTelemetry, PrefixCacheTelemetry};
+pub use speculative::{
+    DraftKind, NgramSpeculator, SelfDraftSpeculator, SpeculativeConfig, SpeculativeDecoder,
+    SpeculativeReport, Speculator,
+};
+pub use telemetry::{BatchTelemetry, PrefixCacheTelemetry, SpeculativeTelemetry};
 pub use train::{
     finetune, finetune_with_epochs, pack_documents, pretrain, EpochFn, FinetuneConfig,
     PretrainConfig, ProgressFn, SftSample,

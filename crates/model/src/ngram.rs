@@ -52,13 +52,37 @@ impl NgramLm {
 
     /// Accumulates counts from a token sequence.
     pub fn observe(&mut self, tokens: &[u32]) {
-        for i in 0..tokens.len() {
-            let next = tokens[i];
+        self.observe_continuation(&[], tokens);
+    }
+
+    /// Accumulates counts for `new` as a continuation of `context`: only the
+    /// positions of `new` are counted, with contexts reaching back into
+    /// `context` across the boundary. Observing a stream in chunks through
+    /// this method yields exactly the counts of one [`Self::observe`] over
+    /// the concatenation — which is why the speculative decoder's online
+    /// draft adaptation uses it instead of re-observing overlapping windows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wisdom_model::NgramLm;
+    ///
+    /// let mut whole = NgramLm::new(3, 100);
+    /// whole.observe(&[1, 2, 3, 4, 1, 2, 3, 4]);
+    /// let mut chunked = NgramLm::new(3, 100);
+    /// chunked.observe(&[1, 2, 3]);
+    /// chunked.observe_continuation(&[1, 2, 3], &[4, 1, 2, 3, 4]);
+    /// assert_eq!(chunked.predict(&[1, 2, 3]), whole.predict(&[1, 2, 3]));
+    /// ```
+    pub fn observe_continuation(&mut self, context: &[u32], new: &[u32]) {
+        let joined: Vec<u32> = context.iter().chain(new.iter()).copied().collect();
+        for i in context.len()..joined.len() {
+            let next = joined[i];
             for ctx_len in 0..self.order {
                 if i < ctx_len {
                     continue;
                 }
-                let ctx = tokens[i - ctx_len..i].to_vec();
+                let ctx = joined[i - ctx_len..i].to_vec();
                 *self.counts[ctx_len]
                     .entry(ctx)
                     .or_default()

@@ -149,6 +149,66 @@ impl PrefixCacheTelemetry {
     }
 }
 
+/// Handles for the speculative-decoding path
+/// ([`crate::SpeculativeDecoder`] / the batched engine's verify rounds).
+/// Counters mirror the solo path's [`crate::SpeculativeReport`].
+#[derive(Debug, Clone)]
+pub struct SpeculativeTelemetry {
+    /// `wisdom_speculative_proposed_tokens_total` — draft tokens proposed.
+    pub proposed: Arc<Counter>,
+    /// `wisdom_speculative_accepted_tokens_total` — draft tokens the
+    /// verifier agreed with (each saved one sequential decode step).
+    pub accepted: Arc<Counter>,
+    /// `wisdom_speculative_rejected_tokens_total` — draft tokens rolled
+    /// back out of the KV cache.
+    pub rejected: Arc<Counter>,
+    /// `wisdom_speculative_verify_passes_total` — batched verify passes.
+    pub verify_passes: Arc<Counter>,
+    /// `wisdom_speculative_acceptance_length` — accepted draft tokens per
+    /// verify pass (0 = the whole draft was rejected).
+    pub acceptance_length: Arc<Histogram>,
+    /// `wisdom_speculative_draft_seconds` — time spent inside the draft
+    /// proposer, per round (the overhead speculation adds even when
+    /// nothing is accepted).
+    pub draft_overhead: Arc<Histogram>,
+}
+
+impl SpeculativeTelemetry {
+    /// Registers (or re-resolves) the speculative-decoding metric family
+    /// in `registry`.
+    pub fn register(registry: &Registry) -> SpeculativeTelemetry {
+        let length_buckets = [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0];
+        SpeculativeTelemetry {
+            proposed: registry.counter(
+                "wisdom_speculative_proposed_tokens_total",
+                "Draft tokens proposed to the verifier.",
+            ),
+            accepted: registry.counter(
+                "wisdom_speculative_accepted_tokens_total",
+                "Draft tokens accepted by the verifier.",
+            ),
+            rejected: registry.counter(
+                "wisdom_speculative_rejected_tokens_total",
+                "Draft tokens rejected and rolled back.",
+            ),
+            verify_passes: registry.counter(
+                "wisdom_speculative_verify_passes_total",
+                "Batched draft-verification passes run.",
+            ),
+            acceptance_length: registry.histogram(
+                "wisdom_speculative_acceptance_length",
+                "Accepted draft tokens per verify pass.",
+                &length_buckets,
+            ),
+            draft_overhead: registry.histogram(
+                "wisdom_speculative_draft_seconds",
+                "Time spent proposing drafts, per decode round.",
+                &Histogram::latency_buckets(),
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +224,10 @@ mod tests {
         let pb = PrefixCacheTelemetry::register(&registry);
         pa.hits.inc();
         assert_eq!(pb.hits.get(), 1);
+        let sa = SpeculativeTelemetry::register(&registry);
+        let sb = SpeculativeTelemetry::register(&registry);
+        sa.accepted.inc();
+        assert_eq!(sb.accepted.get(), 1);
     }
 
     #[test]
@@ -171,8 +235,15 @@ mod tests {
         let registry = Registry::new();
         let _ = BatchTelemetry::register(&registry);
         let _ = PrefixCacheTelemetry::register(&registry);
+        let _ = SpeculativeTelemetry::register(&registry);
         let text = registry.render();
         for name in [
+            "wisdom_speculative_proposed_tokens_total",
+            "wisdom_speculative_accepted_tokens_total",
+            "wisdom_speculative_rejected_tokens_total",
+            "wisdom_speculative_verify_passes_total",
+            "wisdom_speculative_acceptance_length",
+            "wisdom_speculative_draft_seconds",
             "wisdom_queue_wait_seconds",
             "wisdom_ttft_seconds",
             "wisdom_decode_token_seconds",

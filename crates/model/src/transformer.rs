@@ -422,6 +422,65 @@ impl TransformerLm {
     /// a token is out of vocabulary. An empty suffix returns all-zero
     /// logits (no new position was evaluated).
     pub fn prefill_continue(&self, suffix: &[u32], cache: &mut KvCache) -> Vec<f32> {
+        let s_len = suffix.len();
+        let d = self.cfg.d_model;
+        let vocab = self.cfg.vocab_size;
+        let x = self.prefill_hidden(suffix, cache);
+        if x.is_empty() {
+            return vec![0.0; vocab];
+        }
+        // LM head for the final position only: the earlier rows' logits are
+        // never consumed during prefill, so S-1 d×vocab projections are
+        // skipped.
+        let xf = layer_norm_row(
+            &x[(s_len - 1) * d..s_len * d],
+            &self.lnf_g.data,
+            &self.lnf_b.data,
+        );
+        let mut logits = vec![0.0f32; vocab];
+        matmul(&xf, &self.lm_head.data, 1, d, vocab, &mut logits);
+        logits
+    }
+
+    /// [`Self::prefill_continue`] returning the next-token logits at *every*
+    /// suffix position, not just the last: row `r` of the result is the
+    /// distribution over the token following `suffix[r]`.
+    ///
+    /// This is the verification pass of speculative decoding
+    /// ([`crate::SpeculativeDecoder`]): `k + 1` draft positions are scored in
+    /// one batched forward pass instead of `k + 1` sequential
+    /// [`Self::step`] calls. Row `r` is bit-identical to the logits
+    /// `step(suffix[r], cache.len() + r, …)` would return — the blocked
+    /// kernels accumulate every output element over k in index order,
+    /// independent of the matmul's row count, and the final layer norm is
+    /// applied per row — so rejected draft tokens can be rolled back with
+    /// [`KvCache::truncate`] without perturbing the surviving positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache.len() + suffix.len()` exceeds the context window or
+    /// a token is out of vocabulary. An empty suffix returns no rows.
+    pub fn prefill_continue_all(&self, suffix: &[u32], cache: &mut KvCache) -> Vec<Vec<f32>> {
+        let s_len = suffix.len();
+        let d = self.cfg.d_model;
+        let vocab = self.cfg.vocab_size;
+        let x = self.prefill_hidden(suffix, cache);
+        if x.is_empty() {
+            return Vec::new();
+        }
+        let mut xf = vec![0.0f32; s_len * d];
+        layer_norm_rows(&x, &self.lnf_g.data, &self.lnf_b.data, s_len, d, &mut xf);
+        let mut logits = vec![0.0f32; s_len * vocab];
+        matmul(&xf, &self.lm_head.data, s_len, d, vocab, &mut logits);
+        logits.chunks(vocab).map(<[f32]>::to_vec).collect()
+    }
+
+    /// The shared body of [`Self::prefill_continue`] /
+    /// [`Self::prefill_continue_all`]: runs `suffix` through every block on
+    /// top of `cache`, appends the new K/V rows, and returns the final
+    /// `S×d` hidden states (before the final layer norm / LM head). Empty
+    /// for an empty suffix.
+    fn prefill_hidden(&self, suffix: &[u32], cache: &mut KvCache) -> Vec<f32> {
         let start = cache.len();
         let s_len = suffix.len();
         let t_len = start + s_len;
@@ -436,7 +495,7 @@ impl TransformerLm {
             self.cfg.context_window
         );
         if s_len == 0 {
-            return vec![0.0; vocab];
+            return Vec::new();
         }
         let scale = 1.0 / (hd as f32).sqrt();
 
@@ -511,17 +570,7 @@ impl TransformerLm {
                 *xv += mv;
             }
         }
-        // LM head for the final position only: the earlier rows' logits are
-        // never consumed during prefill, so S-1 d×vocab projections are
-        // skipped.
-        let xf = layer_norm_row(
-            &x[(s_len - 1) * d..s_len * d],
-            &self.lnf_g.data,
-            &self.lnf_b.data,
-        );
-        let mut logits = vec![0.0f32; vocab];
-        matmul(&xf, &self.lm_head.data, 1, d, vocab, &mut logits);
-        logits
+        x
     }
 
     /// Autoregressive generation. The prompt is left-truncated to fit the
@@ -901,6 +950,21 @@ impl KvCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Rolls the cache back to its first `len` positions, discarding the
+    /// K/V rows past them. A no-op when `len >= self.len()`.
+    ///
+    /// This shrinks only the *logical* length — `Vec::truncate` keeps the
+    /// buffers' capacity, so re-decoding over the discarded positions never
+    /// reallocates. Speculative decoding uses this to drop rejected draft
+    /// tokens ([`crate::SpeculativeDecoder`]); it is equally suited to any
+    /// retry path that rewinds a sequence to an earlier position.
+    pub fn truncate(&mut self, len: usize) {
+        let floats = len * self.d;
+        for layer in self.k.iter_mut().chain(self.v.iter_mut()) {
+            layer.truncate(floats);
+        }
+    }
 }
 
 /// `derive(Clone)` would shrink each layer to its length (`Vec::clone` does
@@ -1159,6 +1223,82 @@ mod tests {
             },
         );
         assert!(out.len() <= 4);
+    }
+
+    #[test]
+    fn kv_cache_truncate_rolls_back_without_reallocating() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(21);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let (mut cache, _) = model.prefill(&[3, 7, 1, 11, 5]);
+        assert_eq!(cache.len(), 5);
+        let caps: Vec<usize> = cache
+            .k
+            .iter()
+            .chain(cache.v.iter())
+            .map(Vec::capacity)
+            .collect();
+
+        // Advance three positions, then rewind past them.
+        for (i, &t) in [2u32, 4, 6].iter().enumerate() {
+            let _ = model.step(t, 5 + i, &mut cache);
+        }
+        assert_eq!(cache.len(), 8);
+        cache.truncate(5);
+        assert_eq!(cache.len(), 5);
+        assert!(!cache.is_empty());
+        // Logical rollback only: every buffer keeps its full reservation.
+        let caps_after: Vec<usize> = cache
+            .k
+            .iter()
+            .chain(cache.v.iter())
+            .map(Vec::capacity)
+            .collect();
+        assert_eq!(caps, caps_after, "truncate must not reallocate");
+
+        // Re-decoding from the rewound cache is bit-identical to a fresh
+        // decode from the same five positions.
+        let replay = model.step(2, 5, &mut cache);
+        let (mut fresh, _) = model.prefill(&[3, 7, 1, 11, 5]);
+        let expect = model.step(2, 5, &mut fresh);
+        assert_eq!(
+            replay.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+
+        // Truncating past the end is a no-op; truncating to zero empties.
+        cache.truncate(100);
+        assert_eq!(cache.len(), 6);
+        cache.truncate(0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn prefill_continue_all_rows_match_sequential_steps() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(22);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let prompt = [3u32, 7, 1];
+        let suffix = [11u32, 5, 2, 9];
+
+        let (mut cache, _) = model.prefill(&prompt);
+        let rows = model.prefill_continue_all(&suffix, &mut cache);
+        assert_eq!(rows.len(), suffix.len());
+        assert_eq!(cache.len(), prompt.len() + suffix.len());
+
+        let (mut seq_cache, _) = model.prefill(&prompt);
+        for (r, &t) in suffix.iter().enumerate() {
+            let step_logits = model.step(t, prompt.len() + r, &mut seq_cache);
+            assert_eq!(
+                rows[r].iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                step_logits.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "row {r} must be bit-identical to the sequential step"
+            );
+        }
+
+        // Empty suffix: no rows, cache untouched.
+        assert!(model.prefill_continue_all(&[], &mut cache).is_empty());
+        assert_eq!(cache.len(), prompt.len() + suffix.len());
     }
 
     #[test]

@@ -18,7 +18,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use wisdom_core::{
-    BatchConfig, BatchScheduler, CompletionRequest, SchedulerStats, SubmitError, Wisdom,
+    BatchConfig, BatchScheduler, CompletionRequest, SchedulerStats, SpeculativeConfig, SubmitError,
+    Wisdom,
 };
 
 use crate::http::{read_request, Request, Response, MAX_BODY_BYTES};
@@ -45,6 +46,9 @@ pub struct ServerConfig {
     /// Byte budget for the scheduler's shared prefix KV cache; `0` disables
     /// prompt-prefix reuse across requests.
     pub prefix_cache_bytes: usize,
+    /// Speculative-decoding sizing for greedy requests on the batched path;
+    /// disabled by default (`max_draft` 0).
+    pub speculative: SpeculativeConfig,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +61,7 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
             prefix_cache_bytes: 64 << 20,
+            speculative: SpeculativeConfig::disabled(),
         }
     }
 }
@@ -160,13 +165,18 @@ impl WisdomServer {
         telemetry: ServerTelemetry,
     ) -> std::io::Result<WisdomServer> {
         let scheduler = (config.max_batch_size > 1).then(|| {
-            let scheduler = wisdom.scheduler_with(
+            let scheduler = wisdom.scheduler_full(
                 BatchConfig {
                     max_batch_size: config.max_batch_size,
                     queue_depth: config.queue_depth,
                     prefix_cache_bytes: config.prefix_cache_bytes,
+                    speculative: config.speculative,
                 },
                 Some(telemetry.batch.clone()),
+                config
+                    .speculative
+                    .enabled()
+                    .then(|| telemetry.speculative.clone()),
             );
             if let Some(cache) = scheduler.prefix_cache() {
                 cache.set_telemetry(telemetry.prefix_cache.clone());
@@ -379,6 +389,8 @@ fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>
     let num = |n: usize| Json::Num(n as f64);
     let count = |n: u64| Json::Num(n as f64);
     let pc = snapshot.prefix_cache.unwrap_or_default();
+    // The direct (scheduler-less) path never speculates.
+    let spec = scheduler.map_or_else(SpeculativeConfig::disabled, |s| s.config().speculative);
     Response::json(
         Json::obj(vec![
             ("queue_depth", num(snapshot.queue_depth)),
@@ -396,6 +408,14 @@ fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>
                     ("bytes", num(pc.bytes)),
                     ("segments", num(pc.segments)),
                     ("budget_bytes", num(pc.budget_bytes)),
+                ]),
+            ),
+            (
+                "speculative",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(spec.enabled())),
+                    ("k", num(spec.max_draft)),
+                    ("draft", Json::Str(spec.draft_label().to_string())),
                 ]),
             ),
         ])
@@ -568,6 +588,10 @@ mod tests {
         assert_eq!(j.get("max_batch_size").and_then(Json::as_f64), Some(1.0));
         let pc = j.get("prefix_cache").expect("prefix_cache object");
         assert_eq!(pc.get("enabled").and_then(Json::as_bool), Some(false));
+        let spec = j.get("speculative").expect("speculative object");
+        assert_eq!(spec.get("enabled").and_then(Json::as_bool), Some(false));
+        assert_eq!(spec.get("k").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(spec.get("draft").and_then(Json::as_str), Some("off"));
     }
 
     fn get(path: &str) -> Request {

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use wisdom_core::{BatchTelemetry, PrefixCacheTelemetry};
+use wisdom_core::{BatchTelemetry, PrefixCacheTelemetry, SpeculativeTelemetry};
 use wisdom_telemetry::{Counter, Histogram, Logger, Registry};
 
 /// The Prometheus text exposition content type served by `GET /metrics`.
@@ -44,6 +44,8 @@ pub struct ServerTelemetry {
     pub batch: BatchTelemetry,
     /// Prefix-cache handles, attached to the scheduler's cache.
     pub prefix_cache: PrefixCacheTelemetry,
+    /// Speculative-decoding handles, passed into the batch scheduler.
+    pub speculative: SpeculativeTelemetry,
     /// Structured access/error log (`WISDOM_LOG=info|debug`).
     pub logger: Logger,
     /// `wisdom_request_duration_seconds{route=…}`, pre-resolved per known
@@ -66,6 +68,7 @@ impl ServerTelemetry {
         let registry = Arc::new(Registry::new());
         let batch = BatchTelemetry::register(&registry);
         let prefix_cache = PrefixCacheTelemetry::register(&registry);
+        let speculative = SpeculativeTelemetry::register(&registry);
         let buckets = Histogram::latency_buckets();
         let request_duration = KNOWN_ROUTES
             .iter()
@@ -90,6 +93,7 @@ impl ServerTelemetry {
             registry,
             batch,
             prefix_cache,
+            speculative,
             logger,
             request_duration,
             requests_total,
@@ -193,6 +197,7 @@ mod tests {
         let t = ServerTelemetry::with_logger(Logger::capture(LogLevel::Off));
         t.batch.admitted.inc();
         t.prefix_cache.hits.inc();
+        t.speculative.accepted.add(3);
         let text = t.render();
         assert_eq!(
             sample_value(&text, "wisdom_requests_admitted_total"),
@@ -201,6 +206,10 @@ mod tests {
         assert_eq!(
             sample_value(&text, "wisdom_prefix_cache_hits_total"),
             Some(1.0)
+        );
+        assert_eq!(
+            sample_value(&text, "wisdom_speculative_accepted_tokens_total"),
+            Some(3.0)
         );
     }
 }

@@ -7,15 +7,15 @@
 //! ```
 //!
 //! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
-//! `throughput`, `batching`, `prefix`, `telemetry`, `all`. Profiles: `test`
-//! (seconds), `fast`, `quick` (default), `paper`.
+//! `throughput`, `batching`, `prefix`, `telemetry`, `speculative`, `all`.
+//! Profiles: `test` (seconds), `fast`, `quick` (default), `paper`.
 
 use std::time::Instant;
 
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
-    run_decode_batching, run_decoding_ablation, run_prefix_cache, run_table3, run_table4,
-    run_table5, run_telemetry_overhead, run_throughput, tables, Profile, Progress, Zoo,
+    run_decode_batching, run_decoding_ablation, run_prefix_cache, run_speculative, run_table3,
+    run_table4, run_table5, run_telemetry_overhead, run_throughput, tables, Profile, Progress, Zoo,
 };
 
 fn main() {
@@ -62,6 +62,7 @@ fn main() {
         "batching" => batching(&profile),
         "prefix" => prefix(&profile),
         "telemetry" => telemetry(&profile),
+        "speculative" => speculative(&profile),
         "all" => {
             table1(&profile);
             println!();
@@ -137,4 +138,9 @@ fn prefix(profile: &Profile) {
 fn telemetry(profile: &Profile) {
     let r = run_telemetry_overhead(profile, 8, 64);
     print!("{}", tables::telemetry_text(&r));
+}
+
+fn speculative(profile: &Profile) {
+    let points = run_speculative(profile, 64, &[0, 2, 4, 8]);
+    print!("{}", tables::speculative_text(&points));
 }

@@ -143,6 +143,52 @@ fn stats_endpoint_reports_prefix_cache_hits() {
 }
 
 #[test]
+fn stats_endpoint_reports_speculation_config() {
+    use ansible_wisdom::core::SpeculativeConfig;
+
+    // Speculation off (the default): /v1/stats still carries the object.
+    let (handle, addr) = spawn_server();
+    let (status, body) = get(addr, "/v1/stats").expect("get stats");
+    assert_eq!(status, 200, "{body}");
+    let j = parse_json(&body).expect("stats json");
+    let spec = j.get("speculative").expect("speculative object");
+    assert_eq!(spec.get("enabled").and_then(Json::as_bool), Some(false));
+    assert_eq!(spec.get("k").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(spec.get("draft").and_then(Json::as_str), Some("off"));
+    handle.stop();
+
+    // Speculation on: config echoed back, and completions through the
+    // speculating scheduler stay identical to the direct path.
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        worker_threads: 4,
+        max_batch_size: 4,
+        queue_depth: 16,
+        speculative: SpeculativeConfig::ngram(4),
+        ..ServerConfig::default()
+    });
+    let wisdom = tiny_wisdom();
+    for prompt in ["install nginx", "install nginx", "start nginx service"] {
+        let got = request_completion(addr, "", prompt).expect("completion");
+        assert_eq!(got.snippet, wisdom.complete_task("", prompt).snippet);
+    }
+    let (status, body) = get(addr, "/v1/stats").expect("get stats");
+    assert_eq!(status, 200, "{body}");
+    let j = parse_json(&body).expect("stats json");
+    let spec = j.get("speculative").expect("speculative object");
+    assert_eq!(spec.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(spec.get("k").and_then(Json::as_f64), Some(4.0));
+    assert_eq!(spec.get("draft").and_then(Json::as_str), Some("ngram"));
+    // The metric family shares the scrape with the rest of the stack.
+    let (status, metrics) = get(addr, "/metrics").expect("get metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("# TYPE wisdom_speculative_verify_passes_total counter"),
+        "{metrics}"
+    );
+    handle.stop();
+}
+
+#[test]
 fn queue_overflow_returns_503_with_retry_after() {
     let (handle, addr) = spawn_server_with(ServerConfig {
         worker_threads: 8,
