@@ -7,7 +7,8 @@ use wisdom_corpus::{FileCtx, GenericKind};
 use wisdom_metrics::{ansible_aware, sentence_bleu};
 use wisdom_model::{ModelConfig, TransformerLm};
 use wisdom_prng::Prng;
-use wisdom_tensor::kernels::{matmul, matmul_acc_sparse, matmul_acc_threads};
+use wisdom_tensor::kernels::{matmul, matmul_acc_sparse, matmul_acc_threads, matmul_q8};
+use wisdom_tensor::QuantMatrix;
 use wisdom_tokenizer::BpeTokenizer;
 
 fn bench(c: &mut Criterion) {
@@ -84,6 +85,34 @@ fn bench(c: &mut Criterion) {
             black_box(out[0])
         })
     });
+
+    // f32 GEBP vs the quantized int8 kernel at the three model-config
+    // matrix shapes (d_model 64/112/144 = the 350M/2.7B/6B classes): a
+    // 32-row activation block through the d×4d MLP projection, the widest
+    // weight panel the decode loop streams per layer.
+    for d in [64usize, 112, 144] {
+        let (mq, k, n) = (32, d, 4 * d);
+        let a: Vec<f32> = (0..mq * k)
+            .map(|i| ((i * 37 + 11) % 97) as f32 * 0.01 - 0.5)
+            .collect();
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53 + 7) % 89) as f32 * 0.01 - 0.4)
+            .collect();
+        let q = QuantMatrix::quantize(&w, k, n);
+        let mut qout = vec![0.0f32; mq * n];
+        c.bench_function(&format!("tensor/gebp_f32_d{d}_mlp"), |b| {
+            b.iter(|| {
+                matmul(&a, &w, mq, k, n, &mut qout);
+                black_box(qout[0])
+            })
+        });
+        c.bench_function(&format!("tensor/gebp_int8_d{d}_mlp"), |b| {
+            b.iter(|| {
+                matmul_q8(&a, &q, mq, &mut qout);
+                black_box(qout[0])
+            })
+        });
+    }
 
     // Batched prompt prefill vs the sequential step loop on the 350M-class
     // architecture with a full-context prompt.

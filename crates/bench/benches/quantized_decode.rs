@@ -1,0 +1,79 @@
+//! Quantized decode: single-stream greedy KV-cache decoding with f32
+//! weights vs the int8-packed fast path vs the dequant-on-load oracle
+//! (int8 error, f32 kernels), for the 350M- and 2.7B-class architectures.
+//! The fast path and the oracle emit bit-identical tokens — the agreement
+//! suite pins that — so the gap between them is pure kernel speed, and the
+//! gap to f32 is the end-to-end win recorded in `BENCH_quant.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wisdom_model::{GenerationOptions, ModelConfig, Precision, Strategy, TransformerLm};
+use wisdom_prng::Prng;
+
+fn bench(c: &mut Criterion) {
+    let vocab = 600;
+    let ctx = 96;
+    let mut rng = Prng::seed_from_u64(9);
+    let configs = [
+        ("350M", ModelConfig::size_350m(vocab, ctx)),
+        ("2.7B", ModelConfig::size_2_7b(vocab, ctx)),
+    ];
+    let tokens = 48usize;
+    let opts = GenerationOptions {
+        max_new_tokens: tokens,
+        strategy: Strategy::TopK {
+            k: 40,
+            temperature: 1.0,
+        },
+        seed: 11,
+    };
+
+    let mut group = c.benchmark_group("quantized/generate_48_tokens");
+    group.throughput(Throughput::Elements(tokens as u64));
+    for (label, cfg) in configs {
+        let f32_model = TransformerLm::new(cfg, &mut rng);
+        let variants = [
+            ("f32", f32_model.clone()),
+            ("int8", f32_model.clone().with_precision(Precision::Int8)),
+            (
+                "int8-dequant",
+                f32_model.with_precision(Precision::Int8Dequant),
+            ),
+        ];
+        for (precision, model) in &variants {
+            group.bench_with_input(BenchmarkId::new(*precision, label), model, |b, m| {
+                b.iter(|| black_box(m.generate(&[3, 4, 5, 6], &[], &opts)))
+            });
+        }
+    }
+    group.finish();
+
+    // Prefill through the quantized GEBP: a context-window-length prompt in
+    // one batched pass, f32 vs int8.
+    let window: Vec<u32> = (0..ctx as u32)
+        .map(|i| (i * 31 + 3) % vocab as u32)
+        .collect();
+    let mut group = c.benchmark_group("quantized/prefill_full_context");
+    group.throughput(Throughput::Elements(ctx as u64));
+    for (label, cfg) in [
+        ("350M", ModelConfig::size_350m(vocab, ctx)),
+        ("2.7B", ModelConfig::size_2_7b(vocab, ctx)),
+    ] {
+        let f32_model = TransformerLm::new(cfg, &mut rng);
+        let int8_model = f32_model.clone().with_precision(Precision::Int8);
+        group.bench_with_input(BenchmarkId::new("f32", label), &f32_model, |b, m| {
+            b.iter(|| black_box(m.prefill(&window)))
+        });
+        group.bench_with_input(BenchmarkId::new("int8", label), &int8_model, |b, m| {
+            b.iter(|| black_box(m.prefill(&window)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -25,8 +25,9 @@ pub use pipeline::{TrainPhase, Wisdom, WisdomConfig};
 pub use service::CompletionRequest;
 pub use suggestion::Suggestion;
 pub use wisdom_model::{
-    BatchConfig, BatchScheduler, BatchTelemetry, DraftKind, PrefixCacheStats, PrefixCacheTelemetry,
-    SchedulerStats, SpeculativeConfig, SpeculativeTelemetry, SubmitError,
+    BatchConfig, BatchScheduler, BatchTelemetry, DraftKind, Precision, PrefixCacheStats,
+    PrefixCacheTelemetry, QuantTelemetry, SchedulerStats, SpeculativeConfig, SpeculativeTelemetry,
+    SubmitError,
 };
 
 /// Lints a whole document (playbook or task file, auto-detected) with the

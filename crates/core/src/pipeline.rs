@@ -259,20 +259,31 @@ impl Wisdom {
         cfg: BatchConfig,
         telemetry: Option<wisdom_model::BatchTelemetry>,
     ) -> BatchScheduler {
-        self.scheduler_full(cfg, telemetry, None)
+        self.scheduler_full(cfg, telemetry, None, None)
     }
 
     /// [`Wisdom::scheduler_with`] also recording speculative-decoding
     /// metrics (proposed/accepted/rejected counters, acceptance-length
     /// histogram, draft-overhead timer) when
-    /// [`BatchConfig::speculative`] is enabled.
+    /// [`BatchConfig::speculative`] is enabled, and weight-quantization
+    /// metrics (resident/saved bytes, quantized-matmul share) into
+    /// `quant_telemetry`. A non-default [`BatchConfig::precision`] converts
+    /// the scheduler's model copy at spawn — this assistant's own model
+    /// stays f32.
     pub fn scheduler_full(
         &self,
         cfg: BatchConfig,
         telemetry: Option<wisdom_model::BatchTelemetry>,
         spec_telemetry: Option<wisdom_model::SpeculativeTelemetry>,
+        quant_telemetry: Option<wisdom_model::QuantTelemetry>,
     ) -> BatchScheduler {
-        BatchScheduler::spawn_full(Arc::new(self.model.clone()), cfg, telemetry, spec_telemetry)
+        BatchScheduler::spawn_full(
+            Arc::new(self.model.clone()),
+            cfg,
+            telemetry,
+            spec_telemetry,
+            quant_telemetry,
+        )
     }
 
     /// [`Wisdom::complete`] through a [`BatchScheduler`]: enqueues the

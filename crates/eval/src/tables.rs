@@ -1,8 +1,8 @@
 //! Plain-text renderers for the paper's tables.
 
 use crate::experiments::{
-    BatchingPoint, PrefixCachePoint, Row, SpeculativePoint, TelemetryOverhead, ThroughputResult,
-    TypeRow,
+    BatchingPoint, PrefixCachePoint, QuantResult, Row, SpeculativePoint, TelemetryOverhead,
+    ThroughputResult, TypeRow,
 };
 use crate::zoo::TABLE2;
 
@@ -228,6 +228,50 @@ pub fn speculative_text(points: &[SpeculativePoint]) -> String {
     out
 }
 
+/// Renders the quantization experiment: per-size-class decode speed and
+/// the quality deltas on the Table 5 harness.
+pub fn quant_text(r: &QuantResult) -> String {
+    let mut out = String::from(
+        "Quantized int8 inference: single-stream greedy decode, f32 vs int8-packed weights\n",
+    );
+    out.push_str(&format!(
+        "{:<6} {:>11} {:>12} {:>9} {:>11} {:>12} {:>7}\n",
+        "Size", "f32 tok/s", "int8 tok/s", "speedup", "f32 MB", "int8 MB", "pack"
+    ));
+    for s in &r.speed {
+        out.push_str(&format!(
+            "{:<6} {:>11.1} {:>12.1} {:>8.2}x {:>11.2} {:>12.2} {:>6.2}x\n",
+            s.label,
+            s.f32_tps,
+            s.int8_tps,
+            s.speedup(),
+            s.f32_weight_bytes as f64 / 1e6,
+            s.int8_weight_bytes as f64 / 1e6,
+            s.compression()
+        ));
+    }
+    out.push_str("Quality on the Table 5 harness (fine-tuned CodeGen-Multi, ctx 1024):\n");
+    out.push_str(&format!(
+        "{:<8} {:>7} {:>6} {:>7} {:>8}\n",
+        "Weights", "Schema", "EM", "BLEU", "Aware"
+    ));
+    for (label, m) in [("f32", &r.f32_metrics), ("int8", &r.int8_metrics)] {
+        out.push_str(&format!(
+            "{:<8} {:>7.2} {:>6.2} {:>7.2} {:>8.2}\n",
+            label, m.schema_correct, m.exact_match, m.bleu, m.ansible_aware
+        ));
+    }
+    out.push_str(&format!(
+        "{:<8} {:>+7.2} {:>+6.2} {:>+7.2} {:>+8.2}\n",
+        "delta",
+        r.schema_delta(),
+        r.exact_delta(),
+        r.bleu_delta(),
+        r.aware_delta()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +382,30 @@ mod tests {
         assert!(t.contains("2.50x"), "{t}");
         assert!(t.contains("3.50"), "{t}");
         assert!(t.contains("3.25"), "{t}");
+    }
+
+    #[test]
+    fn quant_text_shows_speedup_and_deltas() {
+        let f32_metrics = row("x").metrics;
+        let int8_metrics = MetricsSummary {
+            bleu: 44.0,
+            ..f32_metrics
+        };
+        let t = quant_text(&crate::experiments::QuantResult {
+            speed: vec![crate::experiments::QuantSpeed {
+                label: "2.7B".to_string(),
+                f32_tps: 100.0,
+                int8_tps: 250.0,
+                f32_weight_bytes: 4_000_000,
+                int8_weight_bytes: 1_000_000,
+            }],
+            f32_metrics,
+            int8_metrics,
+        });
+        assert!(t.contains("2.50x"), "{t}");
+        assert!(t.contains("4.00x"), "{t}");
+        assert!(t.contains("-1.50"), "BLEU delta: {t}");
+        assert!(t.contains("+0.00"), "unchanged deltas print signed: {t}");
     }
 
     #[test]

@@ -39,8 +39,8 @@ use wisdom_prng::Prng;
 use crate::decode::{GenerationOptions, Strategy};
 use crate::prefix_cache::{PrefixCacheStats, PrefixKvCache, PrefixPin};
 use crate::speculative::{adapt_draft_len, verify_draft, SpeculativeConfig, Speculator};
-use crate::telemetry::{BatchTelemetry, SpeculativeTelemetry};
-use crate::transformer::{argmax, sample_top_k, KvCache, TransformerLm};
+use crate::telemetry::{BatchTelemetry, QuantTelemetry, SpeculativeTelemetry};
+use crate::transformer::{argmax, sample_top_k, KvCache, Precision, TransformerLm};
 
 /// One generation request at the token level.
 #[derive(Debug, Clone, PartialEq)]
@@ -529,6 +529,11 @@ pub struct BatchConfig {
     /// [`SpeculativeConfig::disabled`] (the default) leaves the decode
     /// path untouched.
     pub speculative: SpeculativeConfig,
+    /// Weight precision the worker's model copy serves at; the scheduler
+    /// converts its model at spawn when this differs from the model's
+    /// current precision, so replicas can serve mixed precisions from one
+    /// f32 checkpoint.
+    pub precision: Precision,
 }
 
 impl Default for BatchConfig {
@@ -538,6 +543,7 @@ impl Default for BatchConfig {
             queue_depth: 32,
             prefix_cache_bytes: 64 << 20,
             speculative: SpeculativeConfig::disabled(),
+            precision: Precision::F32,
         }
     }
 }
@@ -648,24 +654,44 @@ impl BatchScheduler {
         cfg: BatchConfig,
         telemetry: Option<BatchTelemetry>,
     ) -> Self {
-        Self::spawn_full(model, cfg, telemetry, None)
+        Self::spawn_full(model, cfg, telemetry, None, None)
     }
 
     /// [`Self::spawn_with`] also recording speculation metrics (verify
     /// counters, acceptance-length histogram, draft-overhead timer) when
-    /// [`BatchConfig::speculative`] is enabled.
+    /// [`BatchConfig::speculative`] is enabled, and quantization metrics
+    /// (weight bytes saved, quantized-matmul share) into `quant_telemetry`.
+    ///
+    /// When [`BatchConfig::precision`] differs from the model's current
+    /// precision, the scheduler's copy of the model is converted once here
+    /// (the caller's model is untouched).
     pub fn spawn_full(
         model: Arc<TransformerLm>,
         cfg: BatchConfig,
         telemetry: Option<BatchTelemetry>,
         spec_telemetry: Option<SpeculativeTelemetry>,
+        quant_telemetry: Option<QuantTelemetry>,
     ) -> Self {
         let cfg = BatchConfig {
             max_batch_size: cfg.max_batch_size.max(1),
             queue_depth: cfg.queue_depth.max(1),
             prefix_cache_bytes: cfg.prefix_cache_bytes,
             speculative: cfg.speculative,
+            precision: cfg.precision,
         };
+        let model = if model.precision() != cfg.precision || quant_telemetry.is_some() {
+            let mut m = (*model).clone();
+            m.set_precision(cfg.precision);
+            m.set_quant_telemetry(quant_telemetry.clone());
+            Arc::new(m)
+        } else {
+            model
+        };
+        if let Some(qt) = &quant_telemetry {
+            qt.weight_bytes.set(model.quant_weight_bytes() as f64);
+            qt.weight_bytes_saved
+                .set(model.quant_weight_bytes_saved() as f64);
+        }
         let prefix_cache = (cfg.prefix_cache_bytes > 0)
             .then(|| Arc::new(PrefixKvCache::with_budget(cfg.prefix_cache_bytes)));
         let shared = Arc::new(Shared {
@@ -1162,6 +1188,7 @@ mod tests {
             },
             None,
             Some(spec_telemetry.clone()),
+            None,
         );
         let out = sched.generate(&[1, 2, 3, 1, 2, 3], &[0], &greedy(8));
         assert_eq!(out, plain[0]);
@@ -1177,6 +1204,39 @@ mod tests {
             spec_telemetry.acceptance_length.snapshot().count(),
             spec_telemetry.verify_passes.get()
         );
+    }
+
+    #[test]
+    fn scheduler_converts_precision_and_reports_quant_metrics() {
+        let model = Arc::new(tiny_model());
+        let registry = wisdom_telemetry::Registry::new();
+        let qt = QuantTelemetry::register(&registry);
+        let sched = BatchScheduler::spawn_full(
+            Arc::clone(&model),
+            BatchConfig {
+                precision: Precision::Int8,
+                ..BatchConfig::default()
+            },
+            None,
+            None,
+            Some(qt.clone()),
+        );
+        assert_eq!(sched.config().precision, Precision::Int8);
+        assert!(qt.weight_bytes.get() > 0.0);
+        assert!(qt.weight_bytes_saved.get() > 0.0);
+        // The caller's model is untouched by the conversion.
+        assert_eq!(model.precision(), Precision::F32);
+
+        // Served output matches the dequant oracle decoded solo.
+        let out = sched.generate(&[1, 2, 3, 4], &[0], &greedy(6));
+        let oracle = (*model).clone().with_precision(Precision::Int8Dequant);
+        let solo = oracle.generate(&[1, 2, 3, 4], &[0], &greedy(6));
+        assert_eq!(out, solo, "int8 scheduler must match the dequant oracle");
+        assert!(
+            qt.matmuls_int8.get() > 0,
+            "decode must route through the quantized kernels"
+        );
+        assert_eq!(qt.matmuls_f32.get(), 0);
     }
 
     #[test]

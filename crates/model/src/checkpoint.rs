@@ -42,7 +42,17 @@ impl fmt::Display for LoadCheckpointError {
 impl Error for LoadCheckpointError {}
 
 /// Serializes a model to the text checkpoint format.
+///
+/// # Panics
+///
+/// Panics on an int8-packed model (its f32 weight storage is freed);
+/// convert with `set_precision(Precision::F32)` first.
 pub fn save_checkpoint(model: &TransformerLm) -> String {
+    assert!(
+        model.precision() != crate::transformer::Precision::Int8,
+        "cannot checkpoint an int8-packed model; convert with \
+         set_precision(Precision::F32) first"
+    );
     let cfg = model.config();
     let mut out = format!(
         "wisdom-lm v1 vocab={} d_model={} layers={} heads={} ctx={}\n",

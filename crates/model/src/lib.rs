@@ -52,9 +52,9 @@ pub use speculative::{
     DraftKind, NgramSpeculator, SelfDraftSpeculator, SpeculativeConfig, SpeculativeDecoder,
     SpeculativeReport, Speculator,
 };
-pub use telemetry::{BatchTelemetry, PrefixCacheTelemetry, SpeculativeTelemetry};
+pub use telemetry::{BatchTelemetry, PrefixCacheTelemetry, QuantTelemetry, SpeculativeTelemetry};
 pub use train::{
     finetune, finetune_with_epochs, pack_documents, pretrain, EpochFn, FinetuneConfig,
     PretrainConfig, ProgressFn, SftSample,
 };
-pub use transformer::{KvCache, TransformerLm};
+pub use transformer::{KvCache, Precision, TransformerLm};

@@ -209,6 +209,52 @@ impl SpeculativeTelemetry {
     }
 }
 
+/// Handles for the weight-quantization path ([`crate::Precision`]).
+///
+/// The gauges are published once when a scheduler converts its model; the
+/// counters tick on every projection matmul, splitting decode work between
+/// the quantized and f32 kernels (the quantized-matmul share).
+#[derive(Debug, Clone)]
+pub struct QuantTelemetry {
+    /// `wisdom_quant_weight_bytes` — packed int8 weight bytes resident
+    /// (values + per-block scales/offsets).
+    pub weight_bytes: Arc<Gauge>,
+    /// `wisdom_quant_weight_bytes_saved` — f32 weight bytes the packing
+    /// replaced, minus the packed bytes.
+    pub weight_bytes_saved: Arc<Gauge>,
+    /// `wisdom_quant_matmuls_int8_total` — projections run through the
+    /// quantized GEBP kernels.
+    pub matmuls_int8: Arc<Counter>,
+    /// `wisdom_quant_matmuls_f32_total` — projections run through the f32
+    /// blocked kernels.
+    pub matmuls_f32: Arc<Counter>,
+}
+
+impl QuantTelemetry {
+    /// Registers (or re-resolves) the quantization metric family in
+    /// `registry`.
+    pub fn register(registry: &Registry) -> QuantTelemetry {
+        QuantTelemetry {
+            weight_bytes: registry.gauge(
+                "wisdom_quant_weight_bytes",
+                "Packed int8 weight bytes resident (values plus per-block scales).",
+            ),
+            weight_bytes_saved: registry.gauge(
+                "wisdom_quant_weight_bytes_saved",
+                "f32 weight bytes replaced by int8 packing, minus the packed bytes.",
+            ),
+            matmuls_int8: registry.counter(
+                "wisdom_quant_matmuls_int8_total",
+                "Weight projections run through the quantized int8 kernels.",
+            ),
+            matmuls_f32: registry.counter(
+                "wisdom_quant_matmuls_f32_total",
+                "Weight projections run through the f32 blocked kernels.",
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +274,12 @@ mod tests {
         let sb = SpeculativeTelemetry::register(&registry);
         sa.accepted.inc();
         assert_eq!(sb.accepted.get(), 1);
+        let qa = QuantTelemetry::register(&registry);
+        let qb = QuantTelemetry::register(&registry);
+        qa.matmuls_int8.inc();
+        qa.weight_bytes.set(128.0);
+        assert_eq!(qb.matmuls_int8.get(), 1);
+        assert_eq!(qb.weight_bytes.get(), 128.0);
     }
 
     #[test]
@@ -236,8 +288,13 @@ mod tests {
         let _ = BatchTelemetry::register(&registry);
         let _ = PrefixCacheTelemetry::register(&registry);
         let _ = SpeculativeTelemetry::register(&registry);
+        let _ = QuantTelemetry::register(&registry);
         let text = registry.render();
         for name in [
+            "wisdom_quant_weight_bytes",
+            "wisdom_quant_weight_bytes_saved",
+            "wisdom_quant_matmuls_int8_total",
+            "wisdom_quant_matmuls_f32_total",
             "wisdom_speculative_proposed_tokens_total",
             "wisdom_speculative_accepted_tokens_total",
             "wisdom_speculative_rejected_tokens_total",

@@ -2,12 +2,98 @@
 //! stand-in), with a tape-based training path and a fast KV-cache inference
 //! path.
 
+use std::sync::Arc;
+
 use wisdom_prng::Prng;
-use wisdom_tensor::kernels::{dot, gelu, matmul, matmul_acc, softmax_row};
-use wisdom_tensor::{clip_scale, global_grad_norm, Adam, ParamTensor, Tape, TensorRef};
+use wisdom_tensor::kernels::{
+    dot, gelu, matmul, matmul_acc, matmul_q8, matmul_q8_acc, matvec_q8_acc, softmax_row,
+};
+use wisdom_tensor::{
+    clip_scale, global_grad_norm, Adam, ParamTensor, QuantMatrix, Tape, TensorRef,
+};
 
 use crate::config::ModelConfig;
 use crate::decode::{GenerationOptions, Strategy};
+use crate::telemetry::QuantTelemetry;
+
+/// Numeric precision of the weight matrices the inference path multiplies
+/// against (activations, embeddings, biases, and layer norms stay f32 in
+/// every mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// f32 weights through the f32 blocked kernels (the default).
+    #[default]
+    F32,
+    /// wq/wk/wv/wo/w1/w2 and the LM head packed to per-block int8; the
+    /// inference path runs the quantized GEBP kernels, dequantizing
+    /// in-register. ~4x smaller weight working set; f32 storage is freed.
+    Int8,
+    /// The agreement oracle for [`Precision::Int8`]: the same matrices are
+    /// quantized then immediately dequantized back to f32 at conversion
+    /// time, and inference runs the unmodified f32 kernels. Bit-identical
+    /// outputs to `Int8`, none of the speed.
+    Int8Dequant,
+}
+
+impl Precision {
+    /// Stable lowercase name (used by `/v1/stats` and config parsing).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+            Precision::Int8Dequant => "int8-dequant",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            "int8-dequant" | "int8_dequant" => Ok(Precision::Int8Dequant),
+            other => Err(format!(
+                "unknown precision {other:?}; expected f32, int8, or int8-dequant"
+            )),
+        }
+    }
+}
+
+/// Per-block int8 packings of one transformer block's weight matrices.
+#[derive(Debug)]
+struct QuantBlock {
+    wq: QuantMatrix,
+    wk: QuantMatrix,
+    wv: QuantMatrix,
+    wo: QuantMatrix,
+    w1: QuantMatrix,
+    w2: QuantMatrix,
+}
+
+/// The packed weights of an [`Precision::Int8`] model. Held behind an `Arc`
+/// so cloning the model (scheduler spawn, beam search) shares the packing.
+#[derive(Debug)]
+struct QuantWeights {
+    blocks: Vec<QuantBlock>,
+    lm_head: QuantMatrix,
+}
+
+impl QuantWeights {
+    fn matrices(&self) -> impl Iterator<Item = &QuantMatrix> {
+        self.blocks
+            .iter()
+            .flat_map(|b| [&b.wq, &b.wk, &b.wv, &b.wo, &b.w1, &b.w2])
+            .chain([&self.lm_head])
+    }
+}
 
 /// Parameters of one transformer block, in canonical order.
 #[derive(Debug, Clone)]
@@ -53,6 +139,13 @@ pub struct TransformerLm {
     lnf_g: ParamTensor,
     lnf_b: ParamTensor,
     lm_head: ParamTensor,
+    /// Weight precision; [`Precision::Int8`] keeps the packed form in
+    /// `quant` and empties the corresponding f32 `data` buffers.
+    precision: Precision,
+    quant: Option<Arc<QuantWeights>>,
+    /// Optional quantized/f32 matmul counters; `None` keeps the hot path
+    /// uninstrumented.
+    quant_telemetry: Option<QuantTelemetry>,
 }
 
 impl TransformerLm {
@@ -91,6 +184,193 @@ impl TransformerLm {
             lnf_b: ParamTensor::zeros(1, d),
             lm_head: ParamTensor::randn(d, cfg.vocab_size, std, rng),
             cfg,
+            precision: Precision::F32,
+            quant: None,
+            quant_telemetry: None,
+        }
+    }
+
+    /// The current weight precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Converts the weight storage to `precision`.
+    ///
+    /// `F32 → Int8` packs wq/wk/wv/wo/w1/w2 and the LM head to per-block
+    /// int8 and frees their f32 storage (embeddings, biases, and layer
+    /// norms stay f32); `F32 → Int8Dequant` round-trips the same matrices
+    /// through the quantizer but keeps f32 storage and the f32 kernels.
+    /// Transitions *out of* `Int8` restore the dequantized values — the
+    /// pre-quantization weights are discarded at packing time.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if precision == self.precision {
+            return;
+        }
+        if let Some(quant) = self.quant.take() {
+            for (b, qb) in self.blocks.iter_mut().zip(quant.blocks.iter()) {
+                b.wq.data = qb.wq.dequantize();
+                b.wk.data = qb.wk.dequantize();
+                b.wv.data = qb.wv.dequantize();
+                b.wo.data = qb.wo.dequantize();
+                b.w1.data = qb.w1.dequantize();
+                b.w2.data = qb.w2.dequantize();
+            }
+            self.lm_head.data = quant.lm_head.dequantize();
+        }
+        match precision {
+            Precision::F32 => {}
+            Precision::Int8Dequant => {
+                for b in &mut self.blocks {
+                    for w in [
+                        &mut b.wq, &mut b.wk, &mut b.wv, &mut b.wo, &mut b.w1, &mut b.w2,
+                    ] {
+                        w.data = QuantMatrix::quantize(&w.data, w.rows, w.cols).dequantize();
+                    }
+                }
+                let h = &mut self.lm_head;
+                h.data = QuantMatrix::quantize(&h.data, h.rows, h.cols).dequantize();
+            }
+            Precision::Int8 => {
+                fn pack(w: &mut ParamTensor) -> QuantMatrix {
+                    let q = QuantMatrix::quantize(&w.data, w.rows, w.cols);
+                    w.data = Vec::new();
+                    q
+                }
+                let blocks = self
+                    .blocks
+                    .iter_mut()
+                    .map(|b| QuantBlock {
+                        wq: pack(&mut b.wq),
+                        wk: pack(&mut b.wk),
+                        wv: pack(&mut b.wv),
+                        wo: pack(&mut b.wo),
+                        w1: pack(&mut b.w1),
+                        w2: pack(&mut b.w2),
+                    })
+                    .collect();
+                let lm_head = pack(&mut self.lm_head);
+                self.quant = Some(Arc::new(QuantWeights { blocks, lm_head }));
+            }
+        }
+        self.precision = precision;
+    }
+
+    /// [`Self::set_precision`] by value, for construction chains.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.set_precision(precision);
+        self
+    }
+
+    /// Bytes of packed int8 weights resident (values plus per-block
+    /// scales/offsets); `0` unless the precision is [`Precision::Int8`].
+    pub fn quant_weight_bytes(&self) -> usize {
+        self.quant
+            .as_deref()
+            .map_or(0, |q| q.matrices().map(QuantMatrix::packed_bytes).sum())
+    }
+
+    /// f32 weight bytes the int8 packing replaced, minus the packed bytes;
+    /// `0` unless the precision is [`Precision::Int8`].
+    pub fn quant_weight_bytes_saved(&self) -> usize {
+        self.quant.as_deref().map_or(0, |q| {
+            q.matrices()
+                .map(|m| m.f32_bytes().saturating_sub(m.packed_bytes()))
+                .sum()
+        })
+    }
+
+    /// Installs (or clears) the quantized/f32 matmul counters recorded by
+    /// every weight projection on the inference path.
+    pub fn set_quant_telemetry(&mut self, telemetry: Option<QuantTelemetry>) {
+        self.quant_telemetry = telemetry;
+    }
+
+    #[inline]
+    fn qblock(&self, l: usize) -> Option<&QuantBlock> {
+        self.quant.as_deref().map(|q| &q.blocks[l])
+    }
+
+    #[inline]
+    fn note_matmul(&self, int8: bool) {
+        if let Some(t) = &self.quant_telemetry {
+            if int8 {
+                t.matmuls_int8.inc();
+            } else {
+                t.matmuls_f32.inc();
+            }
+        }
+    }
+
+    /// `out += a (m×k) @ W (k×n)` through whichever kernel the precision
+    /// selects; `qm` is the packed form of `w` when the model is int8.
+    #[allow(clippy::too_many_arguments)]
+    fn proj_acc(
+        &self,
+        a: &[f32],
+        w: &ParamTensor,
+        qm: Option<&QuantMatrix>,
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        match qm {
+            Some(q) => {
+                matmul_q8_acc(a, q, m, out);
+                self.note_matmul(true);
+            }
+            None => {
+                matmul_acc(a, &w.data, m, k, n, out);
+                self.note_matmul(false);
+            }
+        }
+    }
+
+    /// Zero-skipping matvec counterpart of [`Self::proj_acc`] for the solo
+    /// decode step — both arms skip `x` entries that are exactly `0.0`, so
+    /// the int8 arm stays bit-identical to the f32 arm over dequantized
+    /// weights.
+    fn proj_vec_acc(
+        &self,
+        x: &[f32],
+        w: &ParamTensor,
+        qm: Option<&QuantMatrix>,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        match qm {
+            Some(q) => {
+                matvec_q8_acc(x, q, out);
+                self.note_matmul(true);
+            }
+            None => {
+                matvec_acc(x, &w.data, k, n, out);
+                self.note_matmul(false);
+            }
+        }
+    }
+
+    /// `out = xf (m×d) @ lm_head (d×vocab)`, overwrite semantics.
+    fn head_matmul(&self, xf: &[f32], m: usize, out: &mut [f32]) {
+        match self.quant.as_deref() {
+            Some(q) => {
+                matmul_q8(xf, &q.lm_head, m, out);
+                self.note_matmul(true);
+            }
+            None => {
+                matmul(
+                    &xf[..m * self.cfg.d_model],
+                    &self.lm_head.data,
+                    m,
+                    self.cfg.d_model,
+                    self.cfg.vocab_size,
+                    out,
+                );
+                self.note_matmul(false);
+            }
         }
     }
 
@@ -99,9 +379,10 @@ impl TransformerLm {
         &self.cfg
     }
 
-    /// Total trainable parameter count.
+    /// Total trainable parameter count (shape-derived, so it is unchanged
+    /// by int8 packing even though packed tensors free their f32 storage).
     pub fn param_count(&self) -> usize {
-        self.params().iter().map(|p| p.len()).sum()
+        self.params().iter().map(|p| p.rows * p.cols).sum()
     }
 
     /// Grows (or re-targets) the context window, e.g. when fine-tuning a
@@ -225,6 +506,11 @@ impl TransformerLm {
         assert_eq!(tokens.len(), batch * time, "token count");
         assert_eq!(targets.len(), batch * time, "target count");
         assert!(time <= self.cfg.context_window, "time exceeds context");
+        assert!(
+            self.precision != Precision::Int8,
+            "the training/tape forward needs f32 weight storage; convert the \
+             model with set_precision(Precision::F32) first"
+        );
         let leaves: Vec<TensorRef> = self
             .params()
             .into_iter()
@@ -438,7 +724,7 @@ impl TransformerLm {
             &self.lnf_b.data,
         );
         let mut logits = vec![0.0f32; vocab];
-        matmul(&xf, &self.lm_head.data, 1, d, vocab, &mut logits);
+        self.head_matmul(&xf, 1, &mut logits);
         logits
     }
 
@@ -471,7 +757,7 @@ impl TransformerLm {
         let mut xf = vec![0.0f32; s_len * d];
         layer_norm_rows(&x, &self.lnf_g.data, &self.lnf_b.data, s_len, d, &mut xf);
         let mut logits = vec![0.0f32; s_len * vocab];
-        matmul(&xf, &self.lm_head.data, s_len, d, vocab, &mut logits);
+        self.head_matmul(&xf, s_len, &mut logits);
         logits.chunks(vocab).map(<[f32]>::to_vec).collect()
     }
 
@@ -514,14 +800,15 @@ impl TransformerLm {
 
         let mut h = vec![0.0f32; s_len * d];
         for (l, b) in self.blocks.iter().enumerate() {
+            let qb = self.qblock(l);
             // attn
             layer_norm_rows(&x, &b.ln1_g.data, &b.ln1_b.data, s_len, d, &mut h);
             let mut q = bias_rows(&b.bq.data, s_len);
-            matmul_acc(&h, &b.wq.data, s_len, d, d, &mut q);
+            self.proj_acc(&h, &b.wq, qb.map(|q| &q.wq), s_len, d, d, &mut q);
             let mut k = bias_rows(&b.bk.data, s_len);
-            matmul_acc(&h, &b.wk.data, s_len, d, d, &mut k);
+            self.proj_acc(&h, &b.wk, qb.map(|q| &q.wk), s_len, d, d, &mut k);
             let mut v = bias_rows(&b.bv.data, s_len);
-            matmul_acc(&h, &b.wv.data, s_len, d, d, &mut v);
+            self.proj_acc(&h, &b.wv, qb.map(|q| &q.wv), s_len, d, d, &mut v);
             cache.k[l].extend_from_slice(&k);
             cache.v[l].extend_from_slice(&v);
             // Causal attention: suffix position `start + r` attends to every
@@ -553,19 +840,19 @@ impl TransformerLm {
                 }
             }
             let mut proj = bias_rows(&b.bo.data, s_len);
-            matmul_acc(&att, &b.wo.data, s_len, d, d, &mut proj);
+            self.proj_acc(&att, &b.wo, qb.map(|q| &q.wo), s_len, d, d, &mut proj);
             for (xv, pv) in x.iter_mut().zip(proj.iter()) {
                 *xv += pv;
             }
             // mlp
             layer_norm_rows(&x, &b.ln2_g.data, &b.ln2_b.data, s_len, d, &mut h);
             let mut m = bias_rows(&b.b1.data, s_len);
-            matmul_acc(&h, &b.w1.data, s_len, d, ff, &mut m);
+            self.proj_acc(&h, &b.w1, qb.map(|q| &q.w1), s_len, d, ff, &mut m);
             for mv in m.iter_mut() {
                 *mv = gelu(*mv);
             }
             let mut m2 = bias_rows(&b.b2.data, s_len);
-            matmul_acc(&m, &b.w2.data, s_len, ff, d, &mut m2);
+            self.proj_acc(&m, &b.w2, qb.map(|q| &q.w2), s_len, ff, d, &mut m2);
             for (xv, mv) in x.iter_mut().zip(m2.iter()) {
                 *xv += mv;
             }
@@ -763,14 +1050,15 @@ impl TransformerLm {
 
         let mut h = vec![0.0f32; bsz * d];
         for (l, b) in self.blocks.iter().enumerate() {
+            let qb = self.qblock(l);
             // attn: batched projections, per-sequence causal attention.
             layer_norm_rows(&x, &b.ln1_g.data, &b.ln1_b.data, bsz, d, &mut h);
             let mut q = bias_rows(&b.bq.data, bsz);
-            matmul_acc(&h, &b.wq.data, bsz, d, d, &mut q);
+            self.proj_acc(&h, &b.wq, qb.map(|q| &q.wq), bsz, d, d, &mut q);
             let mut k = bias_rows(&b.bk.data, bsz);
-            matmul_acc(&h, &b.wk.data, bsz, d, d, &mut k);
+            self.proj_acc(&h, &b.wk, qb.map(|q| &q.wk), bsz, d, d, &mut k);
             let mut v = bias_rows(&b.bv.data, bsz);
-            matmul_acc(&h, &b.wv.data, bsz, d, d, &mut v);
+            self.proj_acc(&h, &b.wv, qb.map(|q| &q.wv), bsz, d, d, &mut v);
             let mut att = vec![0.0f32; bsz * d];
             for (r, cache) in caches.iter_mut().enumerate() {
                 cache.k[l].extend_from_slice(&k[r * d..(r + 1) * d]);
@@ -798,19 +1086,19 @@ impl TransformerLm {
                 }
             }
             let mut proj = bias_rows(&b.bo.data, bsz);
-            matmul_acc(&att, &b.wo.data, bsz, d, d, &mut proj);
+            self.proj_acc(&att, &b.wo, qb.map(|q| &q.wo), bsz, d, d, &mut proj);
             for (xv, pv) in x.iter_mut().zip(proj.iter()) {
                 *xv += pv;
             }
             // mlp: batched projections.
             layer_norm_rows(&x, &b.ln2_g.data, &b.ln2_b.data, bsz, d, &mut h);
             let mut m = bias_rows(&b.b1.data, bsz);
-            matmul_acc(&h, &b.w1.data, bsz, d, ff, &mut m);
+            self.proj_acc(&h, &b.w1, qb.map(|q| &q.w1), bsz, d, ff, &mut m);
             for mv in m.iter_mut() {
                 *mv = gelu(*mv);
             }
             let mut m2 = bias_rows(&b.b2.data, bsz);
-            matmul_acc(&m, &b.w2.data, bsz, ff, d, &mut m2);
+            self.proj_acc(&m, &b.w2, qb.map(|q| &q.w2), bsz, ff, d, &mut m2);
             for (xv, mv) in x.iter_mut().zip(m2.iter()) {
                 *xv += mv;
             }
@@ -818,7 +1106,7 @@ impl TransformerLm {
         let mut xf = vec![0.0f32; bsz * d];
         layer_norm_rows(&x, &self.lnf_g.data, &self.lnf_b.data, bsz, d, &mut xf);
         let mut logits = vec![0.0f32; bsz * vocab];
-        matmul(&xf, &self.lm_head.data, bsz, d, vocab, &mut logits);
+        self.head_matmul(&xf, bsz, &mut logits);
         logits.chunks(vocab).map(<[f32]>::to_vec).collect()
     }
 
@@ -842,39 +1130,74 @@ impl TransformerLm {
             *xi = self.tok_emb.data[tok * d + i] + self.pos_emb.data[pos * d + i];
         }
         for (l, b) in self.blocks.iter().enumerate() {
+            let qb = self.qblock(l);
             // attn
             let h = layer_norm_row(&x, &b.ln1_g.data, &b.ln1_b.data);
             let mut q = b.bq.data.clone();
-            matvec_acc(&h, &b.wq.data, d, d, &mut q);
+            self.proj_vec_acc(&h, &b.wq, qb.map(|q| &q.wq), d, d, &mut q);
             let mut k = b.bk.data.clone();
-            matvec_acc(&h, &b.wk.data, d, d, &mut k);
+            self.proj_vec_acc(&h, &b.wk, qb.map(|q| &q.wk), d, d, &mut k);
             let mut v = b.bv.data.clone();
-            matvec_acc(&h, &b.wv.data, d, d, &mut v);
+            self.proj_vec_acc(&h, &b.wv, qb.map(|q| &q.wv), d, d, &mut v);
             cache.k[l].extend_from_slice(&k);
             cache.v[l].extend_from_slice(&v);
             let t_len = cache.k[l].len() / d;
             let mut att_out = vec![0.0f32; d];
-            for hi in 0..heads {
-                let q_h = &q[hi * hd..(hi + 1) * hd];
-                let mut scores = vec![0.0f32; t_len];
-                for (t, s) in scores.iter_mut().enumerate() {
-                    let k_h = &cache.k[l][t * d + hi * hd..t * d + (hi + 1) * hd];
-                    *s = dot(q_h, k_h) * scale;
+            // Cached-position loops run t-outer / head-inner: each score is
+            // the same `dot(q_h, k_h) * scale` and each output element still
+            // accumulates over t in ascending order (bit-identical to the
+            // head-outer form), but the K/V rows stream linearly and the
+            // heads' dot-product reduction chains overlap instead of
+            // serializing on FP-add latency.
+            let mut scores = vec![0.0f32; heads * t_len];
+            if hd == HEAD_DIM_FAST {
+                // Every size class uses 16-wide heads; the const-width path
+                // fully unrolls the per-head loops (same op order, so the
+                // scores and outputs are bit-identical to the generic path).
+                for t in 0..t_len {
+                    let k_row = &cache.k[l][t * d..(t + 1) * d];
+                    att_scores_row::<HEAD_DIM_FAST>(&q, k_row, heads, t, t_len, scale, &mut scores);
                 }
-                softmax_row(&mut scores);
-                let out_h = &mut att_out[hi * hd..(hi + 1) * hd];
-                for (t, &w) in scores.iter().enumerate() {
-                    if w == 0.0 {
-                        continue;
+                for hi in 0..heads {
+                    softmax_row(&mut scores[hi * t_len..(hi + 1) * t_len]);
+                }
+                att_weighted_v::<HEAD_DIM_FAST>(
+                    &scores,
+                    &cache.v[l],
+                    d,
+                    heads,
+                    t_len,
+                    &mut att_out,
+                );
+            } else {
+                for t in 0..t_len {
+                    let k_row = &cache.k[l][t * d..(t + 1) * d];
+                    for hi in 0..heads {
+                        let q_h = &q[hi * hd..(hi + 1) * hd];
+                        let k_h = &k_row[hi * hd..(hi + 1) * hd];
+                        scores[hi * t_len + t] = dot(q_h, k_h) * scale;
                     }
-                    let v_h = &cache.v[l][t * d + hi * hd..t * d + (hi + 1) * hd];
-                    for (o, &vv) in out_h.iter_mut().zip(v_h.iter()) {
-                        *o += w * vv;
+                }
+                for hi in 0..heads {
+                    softmax_row(&mut scores[hi * t_len..(hi + 1) * t_len]);
+                }
+                for t in 0..t_len {
+                    let v_row = &cache.v[l][t * d..(t + 1) * d];
+                    for hi in 0..heads {
+                        let w = scores[hi * t_len + t];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let out_h = &mut att_out[hi * hd..(hi + 1) * hd];
+                        let v_h = &v_row[hi * hd..(hi + 1) * hd];
+                        for (o, &vv) in out_h.iter_mut().zip(v_h.iter()) {
+                            *o += w * vv;
+                        }
                     }
                 }
             }
             let mut proj = b.bo.data.clone();
-            matvec_acc(&att_out, &b.wo.data, d, d, &mut proj);
+            self.proj_vec_acc(&att_out, &b.wo, qb.map(|q| &q.wo), d, d, &mut proj);
             for i in 0..d {
                 x[i] += proj[i];
             }
@@ -882,26 +1205,19 @@ impl TransformerLm {
             let h2 = layer_norm_row(&x, &b.ln2_g.data, &b.ln2_b.data);
             let ff = self.cfg.d_ff();
             let mut m = b.b1.data.clone();
-            matvec_acc(&h2, &b.w1.data, d, ff, &mut m);
+            self.proj_vec_acc(&h2, &b.w1, qb.map(|q| &q.w1), d, ff, &mut m);
             for mv in m.iter_mut() {
                 *mv = gelu(*mv);
             }
             let mut m2 = b.b2.data.clone();
-            matvec_acc(&m, &b.w2.data, ff, d, &mut m2);
+            self.proj_vec_acc(&m, &b.w2, qb.map(|q| &q.w2), ff, d, &mut m2);
             for i in 0..d {
                 x[i] += m2[i];
             }
         }
         let xf = layer_norm_row(&x, &self.lnf_g.data, &self.lnf_b.data);
         let mut logits = vec![0.0f32; self.cfg.vocab_size];
-        matmul(
-            &xf,
-            &self.lm_head.data,
-            1,
-            d,
-            self.cfg.vocab_size,
-            &mut logits,
-        );
+        self.head_matmul(&xf, 1, &mut logits);
         logits
     }
 }
@@ -991,6 +1307,68 @@ impl Clone for KvCache {
     }
 }
 
+/// Head width shared by every size class (`d_model / n_heads` is 16 for the
+/// 350M, 2.7B, and 6B configs); the decode step's attention loops specialize
+/// on it so the per-head arithmetic fully unrolls.
+const HEAD_DIM_FAST: usize = 16;
+
+/// One cached position's attention scores for all heads: `scores[hi][t] =
+/// dot(q_h, k_h) * scale` with the dot product summed in index order —
+/// bit-identical to [`dot`] over the same slices.
+#[inline(always)]
+fn att_scores_row<const HD: usize>(
+    q: &[f32],
+    k_row: &[f32],
+    heads: usize,
+    t: usize,
+    t_len: usize,
+    scale: f32,
+    scores: &mut [f32],
+) {
+    for hi in 0..heads {
+        let q_h: &[f32; HD] = q[hi * HD..][..HD].try_into().expect("head-width q");
+        let k_h: &[f32; HD] = k_row[hi * HD..][..HD].try_into().expect("head-width k");
+        let mut s = 0.0f32;
+        for c in 0..HD {
+            s += q_h[c] * k_h[c];
+        }
+        scores[hi * t_len + t] = s * scale;
+    }
+}
+
+/// The weighted-V reduction for all heads: `att_out[hi] = Σ_t
+/// scores[hi][t] * v_h(t)` with `t` ascending and zero weights skipped —
+/// the same terms in the same per-element order as the t-outer form
+/// (`att_out` starts at zero), but each head's accumulator is a
+/// register-resident array instead of a memory round-trip per cached
+/// position.
+#[inline(always)]
+fn att_weighted_v<const HD: usize>(
+    scores: &[f32],
+    v_cache: &[f32],
+    d: usize,
+    heads: usize,
+    t_len: usize,
+    att_out: &mut [f32],
+) {
+    for hi in 0..heads {
+        let mut acc = [0.0f32; HD];
+        let s_row = &scores[hi * t_len..(hi + 1) * t_len];
+        for (t, &w) in s_row.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let v_h: &[f32; HD] = v_cache[t * d + hi * HD..][..HD]
+                .try_into()
+                .expect("head-width v");
+            for c in 0..HD {
+                acc[c] += w * v_h[c];
+            }
+        }
+        att_out[hi * HD..(hi + 1) * HD].copy_from_slice(&acc);
+    }
+}
+
 /// `out += x (1×k) @ w (k×n)`.
 fn matvec_acc(x: &[f32], w: &[f32], k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(x.len(), k);
@@ -1055,12 +1433,20 @@ pub(crate) fn argmax(xs: &[f32]) -> u32 {
 pub(crate) fn sample_top_k(logits: &[f32], k: usize, temperature: f32, rng: &mut Prng) -> u32 {
     let k = k.max(1).min(logits.len());
     let mut idx: Vec<usize> = (0..logits.len()).collect();
-    idx.sort_by(|&a, &b| {
+    // Descending by logit, ties broken by ascending index — the same order a
+    // stable descending sort produces, but as a total order so the top-k can
+    // be partitioned out in O(n) before sorting only those k entries.
+    let cmp = |&a: &usize, &b: &usize| {
         logits[b]
             .partial_cmp(&logits[a])
             .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    idx.truncate(k);
+            .then(a.cmp(&b))
+    };
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
     let t = temperature.max(1e-3);
     let mut probs: Vec<f64> = idx.iter().map(|&i| f64::from(logits[i] / t)).collect();
     let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -1384,6 +1770,83 @@ mod tests {
         let a = model.generate(&[1, 2, 3], &[0], &opts);
         let b = model.generate(&[1, 2, 3], &[0], &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int8_precision_frees_weight_storage_and_keeps_param_count() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(30);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let count = model.param_count();
+        let int8 = model.clone().with_precision(Precision::Int8);
+        assert_eq!(int8.precision(), Precision::Int8);
+        assert_eq!(int8.param_count(), count, "param_count is shape-derived");
+        assert!(int8.quant_weight_bytes() > 0);
+        assert!(int8.quant_weight_bytes_saved() > 0);
+        // Packed matrices freed their f32 storage; everything else kept it.
+        assert!(int8.blocks[0].wq.data.is_empty());
+        assert!(int8.lm_head.data.is_empty());
+        assert!(!int8.tok_emb.data.is_empty());
+        assert!(!int8.blocks[0].bq.data.is_empty());
+        // F32 stays untouched by the accessors.
+        assert_eq!(model.quant_weight_bytes(), 0);
+        assert_eq!(model.precision(), Precision::F32);
+    }
+
+    #[test]
+    fn int8_generation_matches_dequant_oracle_bitwise() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(31);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let int8 = model.clone().with_precision(Precision::Int8);
+        let oracle = model.clone().with_precision(Precision::Int8Dequant);
+        let prompt = [3u32, 7, 1, 11, 5];
+        let a = int8.next_token_logits(&prompt);
+        let b = oracle.next_token_logits(&prompt);
+        assert_eq!(
+            a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "int8 fast path must match the dequant-on-load oracle"
+        );
+    }
+
+    #[test]
+    fn precision_round_trip_restores_dequantized_weights() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(32);
+        let model = TransformerLm::new(cfg, &mut rng);
+        let oracle = model.clone().with_precision(Precision::Int8Dequant);
+        let mut round = model.clone();
+        round.set_precision(Precision::Int8);
+        round.set_precision(Precision::F32);
+        // Leaving Int8 restores the dequantized values — exactly the
+        // weights the oracle model holds.
+        for ((_, a, _, _), (_, b, _, _)) in round.named_parameters().zip(oracle.named_parameters())
+        {
+            assert_eq!(
+                a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert!(round.quant.is_none());
+    }
+
+    #[test]
+    fn precision_parses_and_prints() {
+        for p in [Precision::F32, Precision::Int8, Precision::Int8Dequant] {
+            assert_eq!(p.as_str().parse::<Precision>().unwrap(), p);
+            assert_eq!(p.to_string(), p.as_str());
+        }
+        assert!("fp16".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "f32 weight storage")]
+    fn training_forward_rejects_int8_models() {
+        let cfg = tiny_cfg();
+        let mut rng = Prng::seed_from_u64(33);
+        let model = TransformerLm::new(cfg, &mut rng).with_precision(Precision::Int8);
+        let _ = model.loss(&[1, 2, 3, 4], &[2, 3, 4, 5], 1, 4);
     }
 
     #[test]

@@ -18,8 +18,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use wisdom_core::{
-    BatchConfig, BatchScheduler, CompletionRequest, SchedulerStats, SpeculativeConfig, SubmitError,
-    Wisdom,
+    BatchConfig, BatchScheduler, CompletionRequest, Precision, SchedulerStats, SpeculativeConfig,
+    SubmitError, Wisdom,
 };
 
 use crate::http::{read_request, Request, Response, MAX_BODY_BYTES};
@@ -49,6 +49,10 @@ pub struct ServerConfig {
     /// Speculative-decoding sizing for greedy requests on the batched path;
     /// disabled by default (`max_draft` 0).
     pub speculative: SpeculativeConfig,
+    /// Weight precision this replica serves at ([`Precision::Int8`] packs
+    /// the scheduler's model copy to per-block int8 at startup); echoed in
+    /// `GET /v1/stats`. Requires the batched path (`max_batch_size` > 1).
+    pub precision: Precision,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +66,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             prefix_cache_bytes: 64 << 20,
             speculative: SpeculativeConfig::disabled(),
+            precision: Precision::F32,
         }
     }
 }
@@ -171,12 +176,14 @@ impl WisdomServer {
                     queue_depth: config.queue_depth,
                     prefix_cache_bytes: config.prefix_cache_bytes,
                     speculative: config.speculative,
+                    precision: config.precision,
                 },
                 Some(telemetry.batch.clone()),
                 config
                     .speculative
                     .enabled()
                     .then(|| telemetry.speculative.clone()),
+                Some(telemetry.quant.clone()),
             );
             if let Some(cache) = scheduler.prefix_cache() {
                 cache.set_telemetry(telemetry.prefix_cache.clone());
@@ -391,6 +398,25 @@ fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>
     let pc = snapshot.prefix_cache.unwrap_or_default();
     // The direct (scheduler-less) path never speculates.
     let spec = scheduler.map_or_else(SpeculativeConfig::disabled, |s| s.config().speculative);
+    // The direct path always serves the assistant's own f32 weights.
+    let precision = scheduler.map_or(Precision::F32, |s| s.config().precision);
+    let quant = Json::obj(match telemetry {
+        Some(t) => vec![
+            ("weight_bytes", num(t.quant.weight_bytes.get() as usize)),
+            (
+                "weight_bytes_saved",
+                num(t.quant.weight_bytes_saved.get() as usize),
+            ),
+            ("matmuls_int8", count(t.quant.matmuls_int8.get())),
+            ("matmuls_f32", count(t.quant.matmuls_f32.get())),
+        ],
+        None => vec![
+            ("weight_bytes", num(0)),
+            ("weight_bytes_saved", num(0)),
+            ("matmuls_int8", count(0)),
+            ("matmuls_f32", count(0)),
+        ],
+    });
     Response::json(
         Json::obj(vec![
             ("queue_depth", num(snapshot.queue_depth)),
@@ -418,6 +444,8 @@ fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>
                     ("draft", Json::Str(spec.draft_label().to_string())),
                 ]),
             ),
+            ("precision", Json::Str(precision.as_str().to_string())),
+            ("quant", quant),
         ])
         .to_text(),
     )

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use wisdom_core::{BatchTelemetry, PrefixCacheTelemetry, SpeculativeTelemetry};
+use wisdom_core::{BatchTelemetry, PrefixCacheTelemetry, QuantTelemetry, SpeculativeTelemetry};
 use wisdom_telemetry::{Counter, Histogram, Logger, Registry};
 
 /// The Prometheus text exposition content type served by `GET /metrics`.
@@ -46,6 +46,9 @@ pub struct ServerTelemetry {
     pub prefix_cache: PrefixCacheTelemetry,
     /// Speculative-decoding handles, passed into the batch scheduler.
     pub speculative: SpeculativeTelemetry,
+    /// Weight-quantization handles (resident/saved bytes, quantized-matmul
+    /// share), passed into the batch scheduler.
+    pub quant: QuantTelemetry,
     /// Structured access/error log (`WISDOM_LOG=info|debug`).
     pub logger: Logger,
     /// `wisdom_request_duration_seconds{route=…}`, pre-resolved per known
@@ -69,6 +72,7 @@ impl ServerTelemetry {
         let batch = BatchTelemetry::register(&registry);
         let prefix_cache = PrefixCacheTelemetry::register(&registry);
         let speculative = SpeculativeTelemetry::register(&registry);
+        let quant = QuantTelemetry::register(&registry);
         let buckets = Histogram::latency_buckets();
         let request_duration = KNOWN_ROUTES
             .iter()
@@ -94,6 +98,7 @@ impl ServerTelemetry {
             batch,
             prefix_cache,
             speculative,
+            quant,
             logger,
             request_duration,
             requests_total,

@@ -111,58 +111,76 @@ fn matmul_acc_packed(
         let nb = PANEL_N.min(n - j0);
         let panel = &packed[panel_off..panel_off + k * nb];
         panel_off += k * nb;
-        let mut i = 0;
-        while i < rows {
-            let mr = MR.min(rows - i);
-            let mut j = 0;
-            while j < nb {
-                let nr = NR.min(nb - j);
-                if mr == MR && nr == NR {
-                    let mut acc = [[0.0f32; NR]; MR];
-                    for (r, acc_row) in acc.iter_mut().enumerate() {
-                        let o = (i + r) * n + j0 + j;
-                        acc_row.copy_from_slice(&out[o..o + NR]);
-                    }
-                    // Iterator-driven so the per-`p` a-loads and panel
-                    // segments compile without repeated index arithmetic
-                    // or bounds checks.
-                    let a0 = a_rows[i * k..(i + 1) * k].iter();
-                    let a1 = a_rows[(i + 1) * k..(i + 2) * k].iter();
-                    let a2 = a_rows[(i + 2) * k..(i + 3) * k].iter();
-                    let a3 = a_rows[(i + 3) * k..(i + 4) * k].iter();
-                    for ((((b_row, &a0p), &a1p), &a2p), &a3p) in
-                        panel.chunks_exact(nb).zip(a0).zip(a1).zip(a2).zip(a3)
-                    {
-                        let b_seg: &[f32; NR] =
-                            b_row[j..j + NR].try_into().expect("NR-wide panel segment");
-                        let a_p = [a0p, a1p, a2p, a3p];
-                        for (acc_row, &a_rp) in acc.iter_mut().zip(a_p.iter()) {
-                            for (o, &bv) in acc_row.iter_mut().zip(b_seg.iter()) {
-                                *o += a_rp * bv;
-                            }
-                        }
-                    }
-                    for (r, acc_row) in acc.iter().enumerate() {
-                        let o = (i + r) * n + j0 + j;
-                        out[o..o + NR].copy_from_slice(acc_row);
-                    }
-                } else {
-                    // Remainder tile: same per-element accumulation order.
-                    for r in 0..mr {
-                        let a_row = &a_rows[(i + r) * k..(i + r + 1) * k];
-                        for c in 0..nr {
-                            let mut acc = out[(i + r) * n + j0 + j + c];
-                            for (p, &a_rp) in a_row.iter().enumerate() {
-                                acc += a_rp * panel[p * nb + j + c];
-                            }
-                            out[(i + r) * n + j0 + j + c] = acc;
+        gebp_panel(a_rows, panel, rows, k, n, j0, nb, out);
+    }
+}
+
+/// The `MR`×`NR` register-tiled micro-kernel over one pre-packed column
+/// panel. Shared verbatim by the f32 path and the quantized path (which
+/// dequantizes its int8 panel into the same layout first), so both produce
+/// the identical per-element float-op sequence.
+#[allow(clippy::too_many_arguments)]
+fn gebp_panel(
+    a_rows: &[f32],
+    panel: &[f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    nb: usize,
+    out: &mut [f32],
+) {
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        let mut j = 0;
+        while j < nb {
+            let nr = NR.min(nb - j);
+            if mr == MR && nr == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let o = (i + r) * n + j0 + j;
+                    acc_row.copy_from_slice(&out[o..o + NR]);
+                }
+                // Iterator-driven so the per-`p` a-loads and panel
+                // segments compile without repeated index arithmetic
+                // or bounds checks.
+                let a0 = a_rows[i * k..(i + 1) * k].iter();
+                let a1 = a_rows[(i + 1) * k..(i + 2) * k].iter();
+                let a2 = a_rows[(i + 2) * k..(i + 3) * k].iter();
+                let a3 = a_rows[(i + 3) * k..(i + 4) * k].iter();
+                for ((((b_row, &a0p), &a1p), &a2p), &a3p) in
+                    panel.chunks_exact(nb).zip(a0).zip(a1).zip(a2).zip(a3)
+                {
+                    let b_seg: &[f32; NR] =
+                        b_row[j..j + NR].try_into().expect("NR-wide panel segment");
+                    let a_p = [a0p, a1p, a2p, a3p];
+                    for (acc_row, &a_rp) in acc.iter_mut().zip(a_p.iter()) {
+                        for (o, &bv) in acc_row.iter_mut().zip(b_seg.iter()) {
+                            *o += a_rp * bv;
                         }
                     }
                 }
-                j += nr;
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = (i + r) * n + j0 + j;
+                    out[o..o + NR].copy_from_slice(acc_row);
+                }
+            } else {
+                // Remainder tile: same per-element accumulation order.
+                for r in 0..mr {
+                    let a_row = &a_rows[(i + r) * k..(i + r + 1) * k];
+                    for c in 0..nr {
+                        let mut acc = out[(i + r) * n + j0 + j + c];
+                        for (p, &a_rp) in a_row.iter().enumerate() {
+                            acc += a_rp * panel[p * nb + j + c];
+                        }
+                        out[(i + r) * n + j0 + j + c] = acc;
+                    }
+                }
             }
-            i += mr;
+            j += nr;
         }
+        i += mr;
     }
 }
 
@@ -279,6 +297,539 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: 
             }
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Weight-only per-block int8 quantization: the packed matrix representation
+// and the quantized GEBP micro-kernel family beside the f32 blocked kernels
+// above. The fast path is bit-identical to "dequantize the whole matrix and
+// run the f32 kernels" — see the determinism note on [`QuantMatrix`].
+// ---------------------------------------------------------------------------
+
+/// Default k-dimension quantization block: one `(scale, offset)` pair per
+/// [`Q8_BLOCK`] consecutive rows of each column. Equal to [`PANEL_N`] so a
+/// block's parameter row covers exactly one packed panel stripe, and a
+/// multiple of the `MR`×`NR` register tile's k-unrolling, so the micro-kernel
+/// hoists the per-column parameters once per block, never mid-tile.
+pub const Q8_BLOCK: usize = 64;
+
+/// Dequantizes one stored value. This expression — `q·scale + off`, one
+/// f32 multiply-add in this exact order — is the *only* way a quantized
+/// weight is ever turned back into an f32, in both [`QuantMatrix::dequantize`]
+/// and the fast kernels, which is what makes the fast path bit-identical to
+/// running the f32 kernels over the dequantized matrix.
+#[inline(always)]
+fn dq8(q: i8, scale: f32, off: f32) -> f32 {
+    q as f32 * scale + off
+}
+
+/// A `k`×`n` weight matrix quantized to int8 with per-block f32 scale and
+/// zero-point, pre-packed into the same [`PANEL_N`]-wide column panels the
+/// f32 blocked kernels pack on every call.
+///
+/// Quantization is affine and per `(k-block, column)`: for each run of
+/// [`Self::block`] consecutive k-rows within one column, values are mapped
+/// to `q ∈ [-128, 127]` such that `w ≈ q·scale + off`, with
+/// `scale = (max−min)/255` and `off = min + 128·scale` (the zero-point in
+/// dequant-offset form). A constant block gets `scale = 0` and is
+/// reproduced exactly by `off`.
+///
+/// # Determinism
+///
+/// [`matmul_q8_acc`] and friends accumulate every output element over the
+/// k dimension in index order — the same per-element order as the f32
+/// blocked kernels — and dequantize each weight with the same single
+/// expression [`QuantMatrix::dequantize`] uses. Fast-path results are
+/// therefore bit-identical to `matmul_acc(a, &qm.dequantize(), …)`, which
+/// is what lets a dequantize-on-load model serve as the agreement oracle
+/// for the quantized model.
+#[derive(Debug, Clone)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    /// Panel-packed int8 values: panel-major, row-major inside each panel
+    /// (the layout [`pack_b_panels`] produces for f32).
+    q: Vec<i8>,
+    /// Per-(block, column) scale, row-major `n_blocks × cols`.
+    scales: Vec<f32>,
+    /// Per-(block, column) dequantization offset, row-major `n_blocks × cols`.
+    offs: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantizes a row-major `k`×`n` f32 matrix with the default
+    /// [`Q8_BLOCK`] block size.
+    pub fn quantize(w: &[f32], k: usize, n: usize) -> QuantMatrix {
+        Self::quantize_blocked(w, k, n, Q8_BLOCK)
+    }
+
+    /// [`Self::quantize`] with an explicit k-block size (tests sweep this;
+    /// serving uses the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0` or `w.len() != k * n`.
+    pub fn quantize_blocked(w: &[f32], k: usize, n: usize, block: usize) -> QuantMatrix {
+        assert!(block > 0, "quantization block must be nonzero");
+        assert_eq!(w.len(), k * n, "weight slice length");
+        let nblocks = if k == 0 { 0 } else { k.div_ceil(block) };
+        let mut mins = vec![0.0f32; nblocks * n];
+        let mut scales = vec![0.0f32; nblocks * n];
+        let mut offs = vec![0.0f32; nblocks * n];
+        for b in 0..nblocks {
+            let p0 = b * block;
+            let p1 = k.min(p0 + block);
+            for j in 0..n {
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for p in p0..p1 {
+                    let v = w[p * n + j];
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                // (hi-lo)/255 can flush to 0 for near-constant blocks; the
+                // scale == 0 path then reproduces `lo` exactly via the offset.
+                let scale = (hi - lo) / 255.0;
+                mins[b * n + j] = lo;
+                scales[b * n + j] = scale;
+                offs[b * n + j] = lo + 128.0 * scale;
+            }
+        }
+        let mut q = Vec::with_capacity(k * n);
+        for j0 in (0..n).step_by(PANEL_N) {
+            let nb = PANEL_N.min(n - j0);
+            for p in 0..k {
+                let b = p / block;
+                for j in j0..j0 + nb {
+                    let scale = scales[b * n + j];
+                    let qv = if scale > 0.0 {
+                        // Unsigned level 0..=255, stored shifted to i8.
+                        // Saturating float→int casts make stray rounding
+                        // past the end of the range harmless.
+                        let level = ((w[p * n + j] - mins[b * n + j]) / scale).round();
+                        (level as i32 - 128).clamp(-128, 127) as i8
+                    } else {
+                        -128
+                    };
+                    q.push(qv);
+                }
+            }
+        }
+        QuantMatrix {
+            rows: k,
+            cols: n,
+            block,
+            q,
+            scales,
+            offs,
+        }
+    }
+
+    /// Logical row count (`k`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count (`n`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The k-dimension block size one `(scale, offset)` pair covers.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Bytes the packed representation occupies (int8 values plus the
+    /// per-block f32 parameters).
+    pub fn packed_bytes(&self) -> usize {
+        self.q.len() + (self.scales.len() + self.offs.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes the same matrix occupies in f32.
+    pub fn f32_bytes(&self) -> usize {
+        self.rows * self.cols * std::mem::size_of::<f32>()
+    }
+
+    /// Scale of the block covering `(row, col)` — the per-block quantization
+    /// step; the round-trip error of any element in the block is at most
+    /// half of it (plus f32 rounding).
+    pub fn scale_at(&self, row: usize, col: usize) -> f32 {
+        self.scales[(row / self.block) * self.cols + col]
+    }
+
+    /// Expands back to a row-major `k`×`n` f32 matrix — the dequantize-on-
+    /// load oracle. Running the f32 kernels over this output is bit-identical
+    /// to running [`matmul_q8_acc`] over `self`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let (k, n) = (self.rows, self.cols);
+        let mut out = vec![0.0f32; k * n];
+        let mut panel_off = 0;
+        for j0 in (0..n).step_by(PANEL_N) {
+            let nb = PANEL_N.min(n - j0);
+            for p in 0..k {
+                let b = p / self.block;
+                for (jj, &qv) in self.q[panel_off + p * nb..panel_off + (p + 1) * nb]
+                    .iter()
+                    .enumerate()
+                {
+                    let j = j0 + jj;
+                    out[p * n + j] = dq8(qv, self.scales[b * n + j], self.offs[b * n + j]);
+                }
+            }
+            panel_off += k * nb;
+        }
+        out
+    }
+}
+
+/// `out += a @ dequant(qb)` where `a` is `m×k` and `qb` is a packed
+/// `k`×`n` [`QuantMatrix`]. Bit-identical to
+/// `matmul_acc(a, &qb.dequantize(), m, k, n, out)` at a quarter of the
+/// weight traffic, with no per-call packing (the panels were packed at
+/// quantization time).
+pub fn matmul_q8_acc(a: &[f32], qb: &QuantMatrix, m: usize, out: &mut [f32]) {
+    matmul_q8_acc_threads(a, qb, m, out, threads_for(m, qb.rows, qb.cols));
+}
+
+/// [`matmul_q8_acc`] with an explicit thread count; bit-identical for every
+/// `threads` value (threading only partitions output rows).
+pub fn matmul_q8_acc_threads(
+    a: &[f32],
+    qb: &QuantMatrix,
+    m: usize,
+    out: &mut [f32],
+    threads: usize,
+) {
+    let (k, n) = (qb.rows, qb.cols);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for_each_row_chunk(m, n, out, threads.max(1).min(m), |r0, rows, out_rows| {
+        matmul_q8_acc_packed(&a[r0 * k..(r0 + rows) * k], qb, rows, out_rows);
+    });
+}
+
+/// `out = a @ dequant(qb)` (overwrites `out`). Counterpart of [`matmul`].
+pub fn matmul_q8(a: &[f32], qb: &QuantMatrix, m: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    matmul_q8_acc(a, qb, m, out);
+}
+
+/// `out += x (1×k) @ dequant(qb)`, skipping zero entries of `x` — the
+/// quantized counterpart of the solo decode step's zero-skipping matvec.
+/// Skipped terms and accumulation order match exactly, so it is
+/// bit-identical to that matvec over `qb.dequantize()`.
+pub fn matvec_q8_acc(x: &[f32], qb: &QuantMatrix, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), qb.rows);
+    debug_assert_eq!(out.len(), qb.cols);
+    matvec_q8_row(x, qb, out, true);
+}
+
+/// Blocked core over the pre-packed panels: the quantized counterpart of
+/// [`matmul_acc_packed`]. Each int8 panel is dequantized once via [`dq8`]
+/// into an f32 scratch panel (amortized over every `a` row, where the old
+/// in-register scheme re-dequantized per `MR`-row pass), then the shared
+/// [`gebp_panel`] micro-kernel runs over it — so the float-op sequence per
+/// output element is literally the f32 kernel's over dequantized weights,
+/// which is the bit-identity contract.
+fn matmul_q8_acc_packed(a_rows: &[f32], qb: &QuantMatrix, rows: usize, out: &mut [f32]) {
+    if rows == 1 {
+        // Single-row products (solo decode's LM head) skip the tile loop:
+        // one pass per panel, columns innermost. Per-element order is
+        // unchanged — each output element still sums over p in index order.
+        matvec_q8_row(a_rows, qb, out, false);
+        return;
+    }
+    let (k, n) = (qb.rows, qb.cols);
+    let mut scratch = vec![0.0f32; k * PANEL_N.min(n)];
+    let mut panel_off = 0;
+    for j0 in (0..n).step_by(PANEL_N) {
+        let nb = PANEL_N.min(n - j0);
+        let panel = &qb.q[panel_off..panel_off + k * nb];
+        panel_off += k * nb;
+        let fpanel = &mut scratch[..k * nb];
+        dequant_panel_into(qb, panel, j0, nb, fpanel);
+        gebp_panel(a_rows, fpanel, rows, k, n, j0, nb, out);
+    }
+}
+
+/// Dequantizes one packed int8 column panel into the f32 panel layout
+/// [`gebp_panel`] consumes: `scratch[p * nb + c] = dq8(panel[p * nb + c])`
+/// with the block's `(scale, offset)` row applied. Values are exactly those
+/// of [`QuantMatrix::dequantize`] for the same elements.
+fn dequant_panel_into(qb: &QuantMatrix, panel: &[i8], j0: usize, nb: usize, scratch: &mut [f32]) {
+    let (k, n, qblock) = (qb.rows, qb.cols, qb.block);
+    debug_assert_eq!(panel.len(), k * nb);
+    debug_assert_eq!(scratch.len(), k * nb);
+    #[cfg(target_arch = "x86_64")]
+    if nb.is_multiple_of(16) && std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: avx512f is present (checked above); the callee asserts
+        // every slice bound its raw-pointer reads rely on.
+        unsafe { dequant_panel_avx512(qb, panel, j0, nb, scratch) };
+        return;
+    }
+    let mut p0 = 0;
+    let mut b = 0;
+    while p0 < k {
+        let p1 = k.min(p0 + qblock);
+        let s = &qb.scales[b * n + j0..b * n + j0 + nb];
+        let ofs = &qb.offs[b * n + j0..b * n + j0 + nb];
+        for p in p0..p1 {
+            let q_row = &panel[p * nb..(p + 1) * nb];
+            let dst = &mut scratch[p * nb..(p + 1) * nb];
+            for ((d, &qv), (&sv, &ov)) in dst.iter_mut().zip(q_row).zip(s.iter().zip(ofs.iter())) {
+                *d = dq8(qv, sv, ov);
+            }
+        }
+        p0 = p1;
+        b += 1;
+    }
+}
+
+/// AVX-512 body of [`dequant_panel_into`]: 16 lanes of the identical
+/// sign-extend / convert / unfused `q*s`, `+o` chain as scalar [`dq8`], so
+/// every produced value is bit-identical to the scalar path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dequant_panel_avx512(
+    qb: &QuantMatrix,
+    panel: &[i8],
+    j0: usize,
+    nb: usize,
+    scratch: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let (k, n, qblock) = (qb.rows, qb.cols, qb.block);
+    // These asserts bound every raw-pointer read/write below.
+    assert!(nb.is_multiple_of(16));
+    assert_eq!(panel.len(), k * nb);
+    assert_eq!(scratch.len(), k * nb);
+    let blocks = k.div_ceil(qblock.max(1));
+    assert!(blocks > 0 && qb.scales.len() >= (blocks - 1) * n + j0 + nb);
+    assert!(qb.offs.len() >= (blocks - 1) * n + j0 + nb);
+    let mut p0 = 0;
+    let mut b = 0;
+    while p0 < k {
+        let p1 = k.min(p0 + qblock);
+        let s_base = qb.scales.as_ptr().add(b * n + j0);
+        let o_base = qb.offs.as_ptr().add(b * n + j0);
+        for p in p0..p1 {
+            let q_base = panel.as_ptr().add(p * nb);
+            let d_base = scratch.as_mut_ptr().add(p * nb);
+            let mut c = 0;
+            while c < nb {
+                let qi = _mm_loadu_si128(q_base.add(c) as *const __m128i);
+                let qf = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(qi));
+                let s = _mm512_loadu_ps(s_base.add(c));
+                let o = _mm512_loadu_ps(o_base.add(c));
+                let w = _mm512_add_ps(_mm512_mul_ps(qf, s), o);
+                _mm512_storeu_ps(d_base.add(c), w);
+                c += 16;
+            }
+        }
+        p0 = p1;
+        b += 1;
+    }
+}
+
+/// Single-row kernel over the packed panels, columns innermost (one pass
+/// over the weights). With `skip`, zero `x` entries contribute nothing —
+/// term-for-term the solo step's sparse matvec; without, every term is
+/// added — term-for-term the dense kernels' order.
+fn matvec_q8_row(x: &[f32], qb: &QuantMatrix, out: &mut [f32], skip: bool) {
+    let (k, n, qblock) = (qb.rows, qb.cols, qb.block);
+    if k == 0 || n == 0 {
+        return;
+    }
+    let mut panel_off = 0;
+    for j0 in (0..n).step_by(PANEL_N) {
+        let nb = PANEL_N.min(n - j0);
+        let panel = &qb.q[panel_off..panel_off + k * nb];
+        panel_off += k * nb;
+        let out_seg = &mut out[j0..j0 + nb];
+        // Fixed-width column strips: a strip's accumulators plus its hoisted
+        // per-block (scale, offset) rows are small constant-size arrays, so
+        // they live in vector registers across the whole k loop instead of
+        // round-tripping through `out` on every k-row. Each strip sums its
+        // output elements over p in index order — the identical float-op
+        // sequence per element as a single columns-innermost pass.
+        let mut jj = 0;
+        while nb - jj >= 64 {
+            matvec_q8_strip::<64>(x, panel, nb, jj, qb, j0, skip, &mut out_seg[jj..jj + 64]);
+            jj += 64;
+        }
+        if nb - jj >= 32 {
+            matvec_q8_strip::<32>(x, panel, nb, jj, qb, j0, skip, &mut out_seg[jj..jj + 32]);
+            jj += 32;
+        }
+        if nb - jj >= 16 {
+            matvec_q8_strip::<16>(x, panel, nb, jj, qb, j0, skip, &mut out_seg[jj..jj + 16]);
+            jj += 16;
+        }
+        if nb - jj >= 8 {
+            matvec_q8_strip::<8>(x, panel, nb, jj, qb, j0, skip, &mut out_seg[jj..jj + 8]);
+            jj += 8;
+        }
+        if jj < nb {
+            // Sub-8-column tail: generic-width loop, same per-element order.
+            let tail = &mut out_seg[jj..];
+            let mut p0 = 0;
+            let mut b = 0;
+            while p0 < k {
+                let p1 = k.min(p0 + qblock);
+                let s = &qb.scales[b * n + j0 + jj..b * n + j0 + nb];
+                let ofs = &qb.offs[b * n + j0 + jj..b * n + j0 + nb];
+                for p in p0..p1 {
+                    let xv = x[p];
+                    if skip && xv == 0.0 {
+                        continue;
+                    }
+                    let q_row = &panel[p * nb + jj..(p + 1) * nb];
+                    for ((o, &qv), (&sv, &ov)) in
+                        tail.iter_mut().zip(q_row).zip(s.iter().zip(ofs.iter()))
+                    {
+                        *o += xv * dq8(qv, sv, ov);
+                    }
+                }
+                p0 = p1;
+                b += 1;
+            }
+        }
+    }
+}
+
+/// One `W`-column strip of [`matvec_q8_row`]: `out[c] += Σ_p x[p] *
+/// dq8(panel[p][jj + c])` with `p` ascending, zero `x` terms skipped when
+/// `skip` is set. `W` is a compile-time constant so `acc`, `s`, and `o` are
+/// register-resident arrays and the dequant + multiply-accumulate body
+/// vectorizes without touching memory for accumulators.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn matvec_q8_strip<const W: usize>(
+    x: &[f32],
+    panel: &[i8],
+    nb: usize,
+    jj: usize,
+    qb: &QuantMatrix,
+    j0: usize,
+    skip: bool,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if W.is_multiple_of(16) && W <= 64 && std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: avx512f is present (checked above); the callee asserts
+        // every slice bound its raw-pointer reads rely on.
+        unsafe { matvec_q8_strip_avx512::<W>(x, panel, nb, jj, qb, j0, skip, out) };
+        return;
+    }
+    let (k, n, qblock) = (qb.rows, qb.cols, qb.block);
+    debug_assert_eq!(out.len(), W);
+    let mut acc = [0.0f32; W];
+    acc.copy_from_slice(out);
+    let mut p0 = 0;
+    let mut b = 0;
+    while p0 < k {
+        let p1 = k.min(p0 + qblock);
+        let s: &[f32; W] = qb.scales[b * n + j0 + jj..][..W]
+            .try_into()
+            .expect("strip-wide scale segment");
+        let o: &[f32; W] = qb.offs[b * n + j0 + jj..][..W]
+            .try_into()
+            .expect("strip-wide offset segment");
+        for p in p0..p1 {
+            let xv = x[p];
+            if skip && xv == 0.0 {
+                continue;
+            }
+            let q_row: &[i8; W] = panel[p * nb + jj..][..W]
+                .try_into()
+                .expect("strip-wide q row");
+            for c in 0..W {
+                acc[c] += xv * dq8(q_row[c], s[c], o[c]);
+            }
+        }
+        p0 = p1;
+        b += 1;
+    }
+    out.copy_from_slice(&acc);
+}
+
+/// Explicit AVX-512 body of [`matvec_q8_strip`], selected at runtime. Each
+/// 16-lane group performs exactly the scalar strip's per-element operation
+/// sequence — sign-extend (`vpmovsxbd`), convert (`vcvtdq2ps`), then the
+/// unfused `q*s`, `+o`, `x*w`, `acc+` multiply/add pairs — so every lane is
+/// the same IEEE op chain as the scalar path and the result is bit-identical
+/// to it (and therefore to the dequantize-on-load oracle). No FMA is used:
+/// fusing would change rounding versus the oracle's separate mul and add.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+unsafe fn matvec_q8_strip_avx512<const W: usize>(
+    x: &[f32],
+    panel: &[i8],
+    nb: usize,
+    jj: usize,
+    qb: &QuantMatrix,
+    j0: usize,
+    skip: bool,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let (k, n, qblock) = (qb.rows, qb.cols, qb.block);
+    let lanes = W / 16;
+    // These asserts bound every raw-pointer read/write below.
+    assert!(
+        W.is_multiple_of(16) && lanes <= 4,
+        "strip width must be 16/32/48/64"
+    );
+    assert_eq!(out.len(), W);
+    assert!(x.len() >= k);
+    assert!(jj + W <= nb);
+    assert!(panel.len() >= k * nb);
+    let blocks = k.div_ceil(qblock.max(1));
+    assert!(blocks > 0 && qb.scales.len() >= (blocks - 1) * n + j0 + jj + W);
+    assert!(qb.offs.len() >= (blocks - 1) * n + j0 + jj + W);
+
+    let mut acc = [_mm512_setzero_ps(); 4];
+    for v in 0..lanes {
+        acc[v] = _mm512_loadu_ps(out.as_ptr().add(v * 16));
+    }
+    let mut p0 = 0;
+    let mut b = 0;
+    while p0 < k {
+        let p1 = k.min(p0 + qblock);
+        let s_base = qb.scales.as_ptr().add(b * n + j0 + jj);
+        let o_base = qb.offs.as_ptr().add(b * n + j0 + jj);
+        let mut s = [_mm512_setzero_ps(); 4];
+        let mut o = [_mm512_setzero_ps(); 4];
+        for v in 0..lanes {
+            s[v] = _mm512_loadu_ps(s_base.add(v * 16));
+            o[v] = _mm512_loadu_ps(o_base.add(v * 16));
+        }
+        for p in p0..p1 {
+            let xv = *x.get_unchecked(p);
+            if skip && xv == 0.0 {
+                continue;
+            }
+            let xs = _mm512_set1_ps(xv);
+            let q_base = panel.as_ptr().add(p * nb + jj);
+            for v in 0..lanes {
+                let qi = _mm_loadu_si128(q_base.add(v * 16) as *const __m128i);
+                let qf = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(qi));
+                let w = _mm512_add_ps(_mm512_mul_ps(qf, s[v]), o[v]);
+                acc[v] = _mm512_add_ps(acc[v], _mm512_mul_ps(xs, w));
+            }
+        }
+        p0 = p1;
+        b += 1;
+    }
+    for v in 0..lanes {
+        _mm512_storeu_ps(out.as_mut_ptr().add(v * 16), acc[v]);
+    }
 }
 
 /// Dot product of two equal-length slices.
@@ -473,6 +1024,219 @@ mod tests {
         matmul_acc(&a, &b, m, k, n, &mut dense);
         matmul_acc_sparse(&a, &b, m, k, n, &mut sparse);
         assert_eq!(dense, sparse);
+    }
+
+    /// Reference zero-skipping matvec matching the solo decode step's
+    /// semantics, for pinning [`matvec_q8_acc`].
+    fn matvec_acc_reference(x: &[f32], w: &[f32], n: usize, out: &mut [f32]) {
+        for (p, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (o, &wv) in out.iter_mut().zip(w[p * n..(p + 1) * n].iter()) {
+                *o += xv * wv;
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_one_hot_rows_pick_b_rows_exactly() {
+        // One-hot `a` rows (the embedding-gradient shape the sparse kernel
+        // exists for): row i of the product is exactly the selected row of
+        // `b`, bit for bit, and the skip branch touches nothing else.
+        let k = 9;
+        let n = 33;
+        let b = fill(k * n, 77);
+        let picks = [3usize, 0, 8, 3];
+        let mut a = vec![0.0f32; picks.len() * k];
+        for (i, &p) in picks.iter().enumerate() {
+            a[i * k + p] = 1.0;
+        }
+        let mut out = vec![0.0f32; picks.len() * n];
+        matmul_acc_sparse(&a, &b, picks.len(), k, n, &mut out);
+        for (i, &p) in picks.iter().enumerate() {
+            assert_eq!(&out[i * n..(i + 1) * n], &b[p * n..(p + 1) * n], "row {i}");
+        }
+    }
+
+    #[test]
+    fn sparse_all_zero_lhs_is_a_noop() {
+        let (m, k, n) = (3, 11, 17);
+        let b = fill(k * n, 5);
+        let init = fill(m * n, 6);
+        let mut out = init.clone();
+        matmul_acc_sparse(&vec![0.0; m * k], &b, m, k, n, &mut out);
+        assert_eq!(out, init, "zero lhs must leave the accumulator untouched");
+    }
+
+    #[test]
+    fn sparse_matches_dense_across_shapes_and_masks() {
+        // Pin the sparse kernel against the dense path over panel-straddling
+        // shapes and varying hole densities (dense agreement is exact: both
+        // accumulate each output element over k in index order).
+        for &(m, k, n, keep_every) in &[
+            (1, 1, 1, 1),
+            (4, 9, 64, 2),
+            (5, 33, 65, 3),
+            (2, 17, 130, 5),
+            (7, 40, 63, 1),
+        ] {
+            let mut a = fill(m * k, (m + k + n) as u64);
+            for (idx, v) in a.iter_mut().enumerate() {
+                if idx % keep_every != 0 {
+                    *v = 0.0;
+                }
+            }
+            let b = fill(k * n, (m * k * n) as u64);
+            let mut dense = fill(m * n, 4);
+            let mut sparse = dense.clone();
+            matmul_acc(&a, &b, m, k, n, &mut dense);
+            matmul_acc_sparse(&a, &b, m, k, n, &mut sparse);
+            assert_eq!(dense, sparse, "m={m} k={k} n={n} keep={keep_every}");
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_per_block() {
+        for &(k, n, block) in &[(7, 5, 3), (64, 64, 64), (112, 448, 64), (33, 9, 8)] {
+            let w = fill(k * n, (k * n) as u64);
+            let qm = QuantMatrix::quantize_blocked(&w, k, n, block);
+            let deq = qm.dequantize();
+            for p in 0..k {
+                for j in 0..n {
+                    let err = (w[p * n + j] - deq[p * n + j]).abs();
+                    let bound = qm.scale_at(p, j) * 0.501 + 1e-6;
+                    assert!(
+                        err <= bound,
+                        "k={k} n={n} block={block} ({p},{j}): err {err} > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_constant_blocks_are_exact() {
+        // A constant block has range 0 → scale 0; the offset alone must
+        // reproduce the value bit for bit (including a negative constant).
+        let (k, n) = (16, 5);
+        let mut w = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                w[p * n + j] = [-3.25f32, 0.0, 7.5, -0.125, 42.0][j];
+            }
+        }
+        let qm = QuantMatrix::quantize_blocked(&w, k, n, 4);
+        assert_eq!(qm.dequantize(), w);
+    }
+
+    #[test]
+    fn quant_matmul_bit_identical_to_dequant_oracle() {
+        // The central agreement claim: the fast int8 kernel over the packed
+        // matrix equals the f32 blocked kernel over the dequantized matrix,
+        // bit for bit, across panel-straddling shapes and block sizes.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 112, 448),
+            (3, 5, 7),
+            (4, 9, 64),
+            (5, 64, 65),
+            (8, 33, 130),
+        ] {
+            for block in [1, 3, 8, 64] {
+                let a = fill(m * k, 11 + (m * k + n) as u64);
+                let w = fill(k * n, 12 + (k * n) as u64);
+                let qm = QuantMatrix::quantize_blocked(&w, k, n, block);
+                let deq = qm.dequantize();
+                let init = fill(m * n, 13);
+                let mut fast = init.clone();
+                matmul_q8_acc(&a, &qm, m, &mut fast);
+                let mut oracle = init;
+                matmul_acc(&a, &deq, m, k, n, &mut oracle);
+                assert!(
+                    fast.iter()
+                        .zip(oracle.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "m={m} k={k} n={n} block={block}: fast path diverged from dequant oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quant_matmul_thread_counts_agree_exactly() {
+        let (m, k, n) = (13, 47, 129);
+        let a = fill(m * k, 31);
+        let w = fill(k * n, 32);
+        let qm = QuantMatrix::quantize(&w, k, n);
+        let mut one = vec![0.0; m * n];
+        matmul_q8_acc_threads(&a, &qm, m, &mut one, 1);
+        for threads in [2, 3, 4, 16] {
+            let mut many = vec![0.0; m * n];
+            matmul_q8_acc_threads(&a, &qm, m, &mut many, threads);
+            assert!(
+                one.iter()
+                    .zip(many.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn quant_matvec_matches_skipping_reference_on_dequant() {
+        let (k, n) = (40, 70);
+        let mut x = fill(k, 41);
+        for (idx, v) in x.iter_mut().enumerate() {
+            if idx % 3 == 0 {
+                *v = 0.0; // make the skip branch fire
+            }
+        }
+        let w = fill(k * n, 42);
+        let qm = QuantMatrix::quantize_blocked(&w, k, n, 16);
+        let deq = qm.dequantize();
+        let init = fill(n, 43);
+        let mut fast = init.clone();
+        matvec_q8_acc(&x, &qm, &mut fast);
+        let mut oracle = init;
+        matvec_acc_reference(&x, &deq, n, &mut oracle);
+        assert!(
+            fast.iter()
+                .zip(oracle.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "quant matvec diverged from skipping reference"
+        );
+    }
+
+    #[test]
+    fn quant_overwrite_variant_and_zero_dims() {
+        let (m, k, n) = (2, 6, 9);
+        let a = fill(m * k, 51);
+        let w = fill(k * n, 52);
+        let qm = QuantMatrix::quantize(&w, k, n);
+        let mut got = vec![7.0; m * n]; // stale values must be overwritten
+        matmul_q8(&a, &qm, m, &mut got);
+        let mut want = vec![0.0; m * n];
+        matmul_acc(&a, &qm.dequantize(), m, k, n, &mut want);
+        assert_eq!(got, want);
+
+        let empty = QuantMatrix::quantize(&[], 0, 4);
+        let mut out = vec![1.0; 4];
+        matmul_q8_acc(&[], &empty, 1, &mut out);
+        assert_eq!(out, vec![1.0; 4]); // k=0 accumulates nothing
+    }
+
+    #[test]
+    fn quant_packing_shrinks_weights() {
+        let (k, n) = (112, 448);
+        let w = fill(k * n, 61);
+        let qm = QuantMatrix::quantize(&w, k, n);
+        assert!(
+            (qm.packed_bytes() as f64) < 0.3 * qm.f32_bytes() as f64,
+            "packed {} vs f32 {}",
+            qm.packed_bytes(),
+            qm.f32_bytes()
+        );
     }
 
     #[test]

@@ -35,5 +35,6 @@ pub mod kernels;
 mod optim;
 mod tape;
 
+pub use kernels::{QuantMatrix, Q8_BLOCK};
 pub use optim::{clip_scale, global_grad_norm, Adam, AdamConfig, ParamTensor};
 pub use tape::{Tape, TensorRef};

@@ -7,15 +7,20 @@
 //! ```
 //!
 //! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
-//! `throughput`, `batching`, `prefix`, `telemetry`, `speculative`, `all`.
+//! `throughput`, `batching`, `prefix`, `telemetry`, `speculative`, `quant`,
+//! `all`.
 //! Profiles: `test` (seconds), `fast`, `quick` (default), `paper`.
+//!
+//! The `quant` target additionally writes its measurements to
+//! `BENCH_quant.json` in the working directory.
 
 use std::time::Instant;
 
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
-    run_decode_batching, run_decoding_ablation, run_prefix_cache, run_speculative, run_table3,
-    run_table4, run_table5, run_telemetry_overhead, run_throughput, tables, Profile, Progress, Zoo,
+    run_decode_batching, run_decoding_ablation, run_prefix_cache, run_quant, run_speculative,
+    run_table3, run_table4, run_table5, run_telemetry_overhead, run_throughput, tables, Profile,
+    Progress, QuantResult, Zoo,
 };
 
 fn main() {
@@ -57,6 +62,12 @@ fn main() {
                 "table4" => print!("{}", tables::table4_text(&run_table4(&mut zoo, progress()))),
                 _ => print!("{}", tables::table5_text(&run_table5(&mut zoo, progress()))),
             }
+        }
+        "quant" => {
+            let mut zoo = build_zoo(profile);
+            let r = run_quant(&mut zoo, 96, progress());
+            print!("{}", tables::quant_text(&r));
+            write_bench_quant(&r, profile_name, 96);
         }
         "throughput" => throughput(&profile),
         "batching" => batching(&profile),
@@ -143,4 +154,55 @@ fn telemetry(profile: &Profile) {
 fn speculative(profile: &Profile) {
     let points = run_speculative(profile, 64, &[0, 2, 4, 8]);
     print!("{}", tables::speculative_text(&points));
+}
+
+/// Writes the quantization measurements to `BENCH_quant.json` so the repo
+/// records the numbers the README/EXPERIMENTS tables quote.
+fn write_bench_quant(r: &QuantResult, profile_name: &str, tokens: usize) {
+    let mut speed = String::new();
+    for (i, s) in r.speed.iter().enumerate() {
+        if i > 0 {
+            speed.push_str(",\n");
+        }
+        speed.push_str(&format!(
+            "    {{\"size\": \"{}\", \"f32_tps\": {:.1}, \"int8_tps\": {:.1}, \
+             \"speedup\": {:.3}, \"f32_weight_bytes\": {}, \"int8_weight_bytes\": {}, \
+             \"compression\": {:.3}}}",
+            s.label,
+            s.f32_tps,
+            s.int8_tps,
+            s.speedup(),
+            s.f32_weight_bytes,
+            s.int8_weight_bytes,
+            s.compression()
+        ));
+    }
+    let metrics = |m: &ansible_wisdom::metrics::MetricsSummary| {
+        format!(
+            "{{\"schema_correct\": {:.2}, \"exact_match\": {:.2}, \"bleu\": {:.2}, \
+             \"ansible_aware\": {:.2}, \"samples\": {}}}",
+            m.schema_correct, m.exact_match, m.bleu, m.ansible_aware, m.count
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"quantized int8 inference\",\n  \"profile\": \"{}\",\n  \
+         \"decode_tokens\": {},\n  \"speed\": [\n{}\n  ],\n  \
+         \"quality\": {{\n    \"harness\": \"Table 5 (fine-tuned CodeGen-Multi, ctx 1024)\",\n    \
+         \"f32\": {},\n    \"int8\": {},\n    \
+         \"deltas\": {{\"schema_correct\": {:.2}, \"exact_match\": {:.2}, \"bleu\": {:.2}, \
+         \"ansible_aware\": {:.2}}}\n  }}\n}}\n",
+        profile_name,
+        tokens,
+        speed,
+        metrics(&r.f32_metrics),
+        metrics(&r.int8_metrics),
+        r.schema_delta(),
+        r.exact_delta(),
+        r.bleu_delta(),
+        r.aware_delta()
+    );
+    match std::fs::write("BENCH_quant.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH_quant.json]"),
+        Err(e) => eprintln!("[failed to write BENCH_quant.json: {e}]"),
+    }
 }

@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! cargo run --release --example serve -- 8731 --standard
+//! cargo run --release --example serve -- 8731 --int8   # int8-packed replicas
 //! curl -s localhost:8731/healthz
 //! curl -s localhost:8731/v1/completions -d '{"prompt":"install nginx"}'
 //! ```
 
 use std::sync::Arc;
 
-use ansible_wisdom::core::{Wisdom, WisdomConfig};
-use ansible_wisdom::server::WisdomServer;
+use ansible_wisdom::core::{Precision, Wisdom, WisdomConfig};
+use ansible_wisdom::server::{ServerConfig, WisdomServer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let port: u16 = std::env::args()
@@ -21,9 +22,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         WisdomConfig::tiny()
     };
-    println!("training model ({config:?})…");
+    let precision = if std::env::args().any(|a| a == "--int8") {
+        Precision::Int8
+    } else {
+        Precision::F32
+    };
+    println!("training model ({config:?}, serving at {precision:?})…");
     let wisdom = Arc::new(Wisdom::train(&config, None));
-    let server = WisdomServer::bind(wisdom, ("127.0.0.1", port))?;
+    let server = WisdomServer::bind_with(
+        wisdom,
+        ("127.0.0.1", port),
+        ServerConfig {
+            precision,
+            ..ServerConfig::default()
+        },
+    )?;
     println!("serving on http://127.0.0.1:{port}  (POST /v1/completions, GET /healthz)");
     server.serve();
     Ok(())

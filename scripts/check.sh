@@ -2,10 +2,12 @@
 # Repo lint gate: formatting, clippy (warnings are errors), a compile pass
 # over every test and bench target so bench-only breakage is caught without
 # running criterion, the fast decode-agreement suites (the bit-for-bit
-# guarantees behind prefill, batching, the prefix KV cache, and speculative
-# decoding), doc tests, the telemetry substrate's unit + property tests, and
-# the observability e2e tests (/metrics scrape, /healthz, /readyz over a
-# real socket). Run from the repository root before sending a change.
+# guarantees behind prefill, batching, the prefix KV cache, speculative
+# decoding, and int8 quantization), the tensor-kernel unit + property tests
+# (including the quantized GEBP's dequant-oracle identity), doc tests, the
+# telemetry substrate's unit + property tests, and the observability e2e
+# tests (/metrics scrape, /healthz, /readyz over a real socket). Run from
+# the repository root before sending a change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +19,9 @@ cargo test -q -p wisdom-model \
   --test prefill_agreement \
   --test batch_agreement \
   --test prefix_cache_agreement \
-  --test speculative_agreement
+  --test speculative_agreement \
+  --test quant_agreement
+cargo test -q -p wisdom-tensor
 cargo test --doc -q
 cargo test -q -p wisdom-telemetry
 cargo test -q --test server_e2e -- \

@@ -189,6 +189,67 @@ fn stats_endpoint_reports_speculation_config() {
 }
 
 #[test]
+fn int8_server_reports_precision_and_stays_deterministic() {
+    use ansible_wisdom::core::Precision;
+
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        worker_threads: 4,
+        max_batch_size: 4,
+        queue_depth: 16,
+        precision: Precision::Int8,
+        ..ServerConfig::default()
+    });
+
+    // Deterministic-output lane: repeated and concurrent completions of the
+    // same prompt agree bit-for-bit (batched int8 decode is deterministic at
+    // any batch composition, exactly like f32).
+    let first = request_completion(addr, "", "install nginx").expect("completion");
+    let again = request_completion(addr, "", "install nginx").expect("completion");
+    assert_eq!(first.snippet, again.snippet);
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        threads.push(std::thread::spawn(move || {
+            request_completion(addr, "", "install nginx").expect("completion")
+        }));
+    }
+    for t in threads {
+        assert_eq!(t.join().expect("thread").snippet, first.snippet);
+    }
+
+    // /v1/stats echoes the precision and the quant gauges/counters.
+    let (status, body) = get(addr, "/v1/stats").expect("get stats");
+    assert_eq!(status, 200, "{body}");
+    let j = parse_json(&body).expect("stats json");
+    assert_eq!(j.get("precision").and_then(Json::as_str), Some("int8"));
+    let quant = j.get("quant").expect("quant object");
+    let field = |k: &str| quant.get(k).and_then(Json::as_f64).expect("quant field");
+    assert!(field("weight_bytes") > 0.0, "{body}");
+    assert!(field("weight_bytes_saved") > 0.0, "{body}");
+    assert!(field("matmuls_int8") > 0.0, "{body}");
+    assert_eq!(field("matmuls_f32"), 0.0, "{body}");
+
+    // The wisdom_quant_* family shares the /metrics scrape.
+    let (status, metrics) = get(addr, "/metrics").expect("get metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("# TYPE wisdom_quant_weight_bytes gauge"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE wisdom_quant_matmuls_int8_total counter"),
+        "{metrics}"
+    );
+    handle.stop();
+
+    // The default server still reports f32.
+    let (handle, addr) = spawn_server();
+    let (_, body) = get(addr, "/v1/stats").expect("get stats");
+    let j = parse_json(&body).expect("stats json");
+    assert_eq!(j.get("precision").and_then(Json::as_str), Some("f32"));
+    handle.stop();
+}
+
+#[test]
 fn queue_overflow_returns_503_with_retry_after() {
     let (handle, addr) = spawn_server_with(ServerConfig {
         worker_threads: 8,
