@@ -25,8 +25,9 @@ pub use pipeline::{TrainPhase, Wisdom, WisdomConfig};
 pub use service::CompletionRequest;
 pub use suggestion::Suggestion;
 pub use wisdom_model::{
-    BatchConfig, BatchScheduler, BatchTelemetry, DraftKind, Precision, PrefixCacheStats,
-    PrefixCacheTelemetry, QuantTelemetry, SchedulerStats, SpeculativeConfig, SpeculativeTelemetry,
+    BatchConfig, BatchScheduler, BatchTelemetry, DecodeRequest, DraftKind, Pending, PoolStats,
+    Precision, PrefixCacheStats, PrefixCacheTelemetry, QuantTelemetry, ReplicaPool,
+    ReplicaTelemetry, SchedulerStats, SpeculativeConfig, SpeculativeTelemetry, StreamingPending,
     SubmitError,
 };
 

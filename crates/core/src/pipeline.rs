@@ -286,6 +286,20 @@ impl Wisdom {
         )
     }
 
+    /// Spawns `n` independent [`BatchScheduler`] replicas over this
+    /// assistant's model (one weights `Arc` shared by all f32 replicas),
+    /// attaching `telemetry[i]` to replica `i`. Each replica gets its own
+    /// prefix cache, queue, and decode worker — the serving layer's
+    /// prefix-affinity router places requests across them.
+    pub fn replica_pool(
+        &self,
+        cfg: BatchConfig,
+        n: usize,
+        telemetry: &[wisdom_model::ReplicaTelemetry],
+    ) -> wisdom_model::ReplicaPool {
+        wisdom_model::ReplicaPool::spawn_with(Arc::new(self.model.clone()), cfg, n, telemetry)
+    }
+
     /// [`Wisdom::complete`] through a [`BatchScheduler`]: enqueues the
     /// request and blocks for the result. The suggestion is identical to
     /// the direct path (batched decode is bit-for-bit deterministic).
@@ -300,14 +314,39 @@ impl Wisdom {
         request: &CompletionRequest,
         scheduler: &BatchScheduler,
     ) -> Result<Suggestion, SubmitError> {
-        let ids = self.tokenizer.encode(&request.prompt_text());
-        let stops = vec![self.tokenizer.eot(), self.tokenizer.sep()];
-        let pending = scheduler.submit(wisdom_model::DecodeRequest {
-            prompt: ids,
-            stops,
-            opts: self.generation_options(),
-        })?;
+        let pending = scheduler.submit(self.decode_request(request))?;
         Ok(self.suggest(request, &pending.wait()))
+    }
+
+    /// The token-level [`wisdom_model::DecodeRequest`] this assistant would
+    /// decode for `request`: prompt encoding, serving stop tokens, and the
+    /// configured generation options. Submitting it to any scheduler or
+    /// replica yields exactly the tokens [`Wisdom::complete`] decodes —
+    /// this is the request a multi-replica router places.
+    pub fn decode_request(&self, request: &CompletionRequest) -> wisdom_model::DecodeRequest {
+        wisdom_model::DecodeRequest {
+            prompt: self.tokenizer.encode(&request.prompt_text()),
+            stops: vec![self.tokenizer.eot(), self.tokenizer.sep()],
+            opts: self.generation_options(),
+        }
+    }
+
+    /// Builds the finished [`Suggestion`] for `request` from generated
+    /// token ids (the streaming path accumulates tokens itself and
+    /// finalizes here; identical to what [`Wisdom::complete`] returns for
+    /// the same output).
+    pub fn suggestion_from_tokens(&self, request: &CompletionRequest, out: &[u32]) -> Suggestion {
+        self.suggest(request, out)
+    }
+
+    /// Decodes a single generated token id to text — the per-event payload
+    /// of the SSE streaming path. Byte-level BPE means a token ending mid
+    /// UTF-8 sequence decodes lossily on its own; the stream's final event
+    /// therefore carries the full suggestion decoded at once, and *that* is
+    /// the bit-identical artifact. (The YAML corpus is ASCII, so per-token
+    /// text is exact in practice.)
+    pub fn token_text(&self, token: u32) -> String {
+        self.tokenizer.decode(&[token])
     }
 
     /// Convenience wrapper: complete a task intent against an editor

@@ -1,14 +1,16 @@
 //! The paper's experiments, one function per table/figure.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use wisdom_corpus::{PromptStyle, Sample};
 use wisdom_metrics::MetricsSummary;
 use wisdom_model::{
-    GenerationOptions, LmTextGenerator, ModelConfig, Precision, Strategy, TransformerLm,
+    BatchConfig, DecodeRequest, GenerationOptions, LmTextGenerator, ModelConfig, Precision,
+    ReplicaPool, Strategy, TransformerLm,
 };
 use wisdom_prng::Prng;
+use wisdom_server::{RoutePolicy, Router, RouterConfig};
 
 use crate::profile::Profile;
 use crate::runner::{evaluate, EvalSettings, SampleCap};
@@ -977,6 +979,318 @@ pub fn run_quant(zoo: &mut Zoo, tokens: usize, mut progress: Progress<'_>) -> Qu
     }
 }
 
+/// One arm of the multi-replica serving replay: a replica count and a
+/// routing policy, measured over the same multi-tenant editor workload.
+#[derive(Debug, Clone)]
+pub struct ServingArm {
+    /// Display label, e.g. `"2x prefix-affinity"`.
+    pub label: String,
+    /// Replica count behind the router.
+    pub replicas: usize,
+    /// Routing policy label (`"prefix-affinity"` / `"round-robin"`).
+    pub policy: String,
+    /// Aggregate generated tokens per wall-clock second across all
+    /// sessions (prefill queueing included — this is end-to-end).
+    pub aggregate_tps: f64,
+    /// Median time-to-first-token over every request, ms (client-side:
+    /// submit to first streamed token).
+    pub ttft_p50_ms: f64,
+    /// p99 time-to-first-token, ms.
+    pub ttft_p99_ms: f64,
+    /// Median TTFT over warm requests only (resend 2+ of a session, when
+    /// its prefix could be cached), ms.
+    pub warm_ttft_p50_ms: f64,
+    /// Median inter-token gap within streams, ms.
+    pub token_p50_ms: f64,
+    /// Requests completed (sessions × resends).
+    pub requests: usize,
+    /// Submissions that bounced with `QueueFull` before eventually being
+    /// admitted (the replay retries; a server would shed with 503).
+    pub shed_retries: u64,
+    /// Prefix-cache lookup hit rate over the whole arm, 0..=1.
+    pub cache_hit_rate: f64,
+    /// Prompt tokens served from cache instead of recomputed.
+    pub cache_hit_tokens: u64,
+}
+
+/// The multi-replica serving replay: workload shape plus one
+/// [`ServingArm`] per (replica count, policy) configuration.
+#[derive(Debug, Clone)]
+pub struct ServingResult {
+    /// Concurrent editor sessions.
+    pub sessions: usize,
+    /// Requests per session (the first is cold, the rest resend a grown
+    /// prompt sharing the session prefix).
+    pub resends: usize,
+    /// Tokens in each session's shared prefix.
+    pub prefix_tokens: usize,
+    /// Tokens appended to the prompt per resend.
+    pub growth_tokens: usize,
+    /// Generation budget per request.
+    pub max_new: usize,
+    /// Per-replica prefix-cache byte budget. Sized *below* the aggregate
+    /// working set so one replica LRU-thrashes while two affinity-routed
+    /// replicas each hold their half warm — on one core the scale-out win
+    /// comes from cache capacity, not parallelism.
+    pub replica_budget_bytes: usize,
+    /// Arms in order: 1× affinity, 2× affinity, 2× round-robin.
+    pub arms: Vec<ServingArm>,
+}
+
+impl ServingResult {
+    /// Aggregate-throughput ratio of 2 affinity replicas over 1.
+    pub fn scaleout(&self) -> f64 {
+        self.arms[1].aggregate_tps / self.arms[0].aggregate_tps.max(1e-9)
+    }
+
+    /// Warm-TTFT-p50 ratio of round-robin over prefix-affinity at 2
+    /// replicas (>1 means affinity is faster).
+    pub fn affinity_warm_ttft_gain(&self) -> f64 {
+        self.arms[2].warm_ttft_p50_ms / self.arms[1].warm_ttft_p50_ms.max(1e-9)
+    }
+}
+
+/// Deterministic token stream for one simulated session: distinct across
+/// sessions (so their KV windows share nothing) and stable across arms
+/// (so every arm replays the identical workload).
+fn session_token(session: usize, pos: usize, vocab: usize) -> u32 {
+    ((session * 131 + pos * 31 + 7) % vocab) as u32
+}
+
+/// Nearest-rank percentile of an unsorted sample, in place.
+fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+    samples[idx] * 1e3
+}
+
+/// Replays the editor workload against one router configuration.
+#[allow(clippy::too_many_arguments)]
+fn run_serving_arm(
+    model: &Arc<TransformerLm>,
+    replicas: usize,
+    policy: RoutePolicy,
+    budget_bytes: usize,
+    sessions: usize,
+    resends: usize,
+    prefix_tokens: usize,
+    growth_tokens: usize,
+    max_new: usize,
+    vocab: usize,
+) -> ServingArm {
+    let cfg = BatchConfig {
+        max_batch_size: 4,
+        queue_depth: 2 * sessions.max(1),
+        prefix_cache_bytes: budget_bytes,
+        ..BatchConfig::default()
+    };
+    let pool = Arc::new(ReplicaPool::spawn(Arc::clone(model), cfg, replicas));
+    let router = Router::new(
+        Arc::clone(&pool),
+        RouterConfig {
+            policy,
+            ..RouterConfig::default()
+        },
+        None,
+    );
+
+    // (resend index, ttft secs) per request; inter-token gaps; tokens; shed.
+    type SessionLog = (Vec<(usize, f64)>, Vec<f64>, usize, u64);
+    let started = Instant::now();
+    let logs: Vec<SessionLog> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let router = &router;
+                scope.spawn(move || {
+                    let mut ttfts = Vec::new();
+                    let mut gaps = Vec::new();
+                    let mut tokens = 0usize;
+                    let mut shed = 0u64;
+                    for r in 0..resends {
+                        // The editor resends its buffer with a few more
+                        // lines typed since last time.
+                        let len = prefix_tokens + r * growth_tokens;
+                        let prompt: Vec<u32> =
+                            (0..len).map(|i| session_token(s, i, vocab)).collect();
+                        let req = DecodeRequest {
+                            prompt,
+                            stops: Vec::new(),
+                            opts: GenerationOptions {
+                                max_new_tokens: max_new,
+                                strategy: Strategy::Greedy,
+                                seed: 0,
+                            },
+                        };
+                        let submitted = Instant::now();
+                        let stream = loop {
+                            match router.submit_streaming(req.clone()) {
+                                Ok(stream) => break Some(stream),
+                                Err(wisdom_model::SubmitError::QueueFull) => {
+                                    shed += 1;
+                                    std::thread::sleep(Duration::from_micros(500));
+                                }
+                                Err(wisdom_model::SubmitError::ShutDown) => break None,
+                            }
+                        };
+                        let Some(stream) = stream else { break };
+                        let mut last: Option<Instant> = None;
+                        for _token in stream.tokens.iter() {
+                            let now = Instant::now();
+                            match last {
+                                None => ttfts.push((r, (now - submitted).as_secs_f64())),
+                                Some(prev) => gaps.push((now - prev).as_secs_f64()),
+                            }
+                            last = Some(now);
+                        }
+                        tokens += stream.result.wait().len();
+                        // Think time: long enough to interleave sessions,
+                        // short enough to keep the replay tight.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    (ttfts, gaps, tokens, shed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let stats = pool.aggregate();
+    pool.shutdown();
+
+    let mut all_ttfts: Vec<f64> = Vec::new();
+    let mut warm_ttfts: Vec<f64> = Vec::new();
+    let mut all_gaps: Vec<f64> = Vec::new();
+    let (mut tokens, mut shed, mut requests) = (0usize, 0u64, 0usize);
+    for (ttfts, gaps, t, s) in logs {
+        requests += ttfts.len();
+        for (resend, secs) in ttfts {
+            all_ttfts.push(secs);
+            if resend > 0 {
+                warm_ttfts.push(secs);
+            }
+        }
+        all_gaps.extend(gaps);
+        tokens += t;
+        shed += s;
+    }
+    let (hit_rate, hit_tokens) = stats
+        .prefix_cache
+        .map(|c| {
+            let lookups = (c.hits + c.misses).max(1);
+            (c.hits as f64 / lookups as f64, c.hit_tokens)
+        })
+        .unwrap_or((0.0, 0));
+    let policy_label = match policy {
+        RoutePolicy::RoundRobin => "round-robin",
+        RoutePolicy::Rendezvous => "rendezvous",
+        RoutePolicy::PrefixAffinity => "prefix-affinity",
+    };
+    ServingArm {
+        label: format!("{replicas}x {policy_label}"),
+        replicas,
+        policy: policy_label.to_string(),
+        aggregate_tps: tokens as f64 / wall.max(1e-9),
+        ttft_p50_ms: percentile_ms(&mut all_ttfts, 0.50),
+        ttft_p99_ms: percentile_ms(&mut all_ttfts, 0.99),
+        warm_ttft_p50_ms: percentile_ms(&mut warm_ttfts, 0.50),
+        token_p50_ms: percentile_ms(&mut all_gaps, 0.50),
+        requests,
+        shed_retries: shed,
+        cache_hit_rate: hit_rate,
+        cache_hit_tokens: hit_tokens,
+    }
+}
+
+/// The multi-replica serving replay (2.7B-class config, streamed greedy
+/// decodes): `sessions` simulated editors each resend a growing prompt
+/// `resends` times over a shared session prefix, with think time between
+/// resends, through a [`Router`] fronting an in-process [`ReplicaPool`].
+///
+/// The per-replica prefix-cache budget is sized at ~60% of the workload's
+/// aggregate KV working set. One replica therefore LRU-thrashes (every
+/// session's resend evicts another's prefix before it returns), while two
+/// prefix-affinity replicas partition sessions so each half fits warm.
+/// Round-robin at two replicas duplicates the full working set on *both*
+/// caches and thrashes them both — which is exactly the effect the
+/// cache-aware router exists to avoid. On a single-core host this cache
+/// capacity, not CPU parallelism, is what replica scale-out buys.
+pub fn run_serving(profile: &Profile, sessions: usize, resends: usize) -> ServingResult {
+    let ctx = profile.ctx(1024);
+    let vocab = profile.vocab_size;
+    // 75% of the window is the session prefix; each resend types a little
+    // more; the generation budget keeps the grown prompt inside ctx.
+    let prefix_tokens = ctx * 3 / 4;
+    let growth_tokens = (ctx / 64).max(1);
+    let max_new = (ctx / 16).max(4);
+
+    let mcfg = ModelConfig::size_2_7b(vocab, ctx);
+    let model = Arc::new(TransformerLm::new(
+        mcfg,
+        &mut Prng::seed_from_u64(profile.seed),
+    ));
+    // KV bytes per cached token (K + V per layer, f32) plus the token id.
+    let bytes_per_token = mcfg.n_layers * 2 * mcfg.d_model * 4 + 4;
+    let session_tokens = prefix_tokens + (resends.saturating_sub(1)) * growth_tokens + max_new;
+    let working_set = sessions * session_tokens * bytes_per_token;
+    // 60% of the aggregate working set: far below what one replica (or
+    // either round-robin replica, which sees every session) needs, and
+    // comfortably above the ~50% each affinity-routed replica holds (the
+    // deterministic rendezvous split of these session streams is 4/4).
+    let budget_bytes = working_set * 3 / 5;
+
+    let arms = vec![
+        run_serving_arm(
+            &model,
+            1,
+            RoutePolicy::PrefixAffinity,
+            budget_bytes,
+            sessions,
+            resends,
+            prefix_tokens,
+            growth_tokens,
+            max_new,
+            vocab,
+        ),
+        run_serving_arm(
+            &model,
+            2,
+            RoutePolicy::PrefixAffinity,
+            budget_bytes,
+            sessions,
+            resends,
+            prefix_tokens,
+            growth_tokens,
+            max_new,
+            vocab,
+        ),
+        run_serving_arm(
+            &model,
+            2,
+            RoutePolicy::RoundRobin,
+            budget_bytes,
+            sessions,
+            resends,
+            prefix_tokens,
+            growth_tokens,
+            max_new,
+            vocab,
+        ),
+    ];
+    ServingResult {
+        sessions,
+        resends,
+        prefix_tokens,
+        growth_tokens,
+        max_new,
+        replica_budget_bytes: budget_bytes,
+        arms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1106,5 +1420,38 @@ mod tests {
             points[1].large_tps,
             points[0].large_tps
         );
+    }
+
+    #[test]
+    fn serving_replay_measures_all_three_arms() {
+        let r = run_serving(&Profile::test(), 3, 2);
+        assert_eq!(r.arms.len(), 3);
+        assert_eq!(r.arms[0].replicas, 1);
+        assert_eq!(r.arms[1].replicas, 2);
+        assert_eq!(r.arms[2].policy, "round-robin");
+        for arm in &r.arms {
+            assert_eq!(arm.requests, 3 * 2, "{}: every resend completes", arm.label);
+            assert!(
+                arm.aggregate_tps > 0.0 && arm.ttft_p50_ms > 0.0 && arm.warm_ttft_p50_ms > 0.0,
+                "{}: {arm:?}",
+                arm.label
+            );
+            assert!(arm.ttft_p99_ms >= arm.ttft_p50_ms, "{}: {arm:?}", arm.label);
+        }
+        assert!(r.scaleout().is_finite() && r.scaleout() > 0.0);
+        // Perf orderings (2x affinity ≥ 1.7x one replica, affinity beating
+        // round-robin on warm TTFT) only hold at the quick-profile scale on
+        // a release build; the `-- serving` run recorded in EXPERIMENTS.md
+        // and BENCH_serving.json is the reference. Here we only check the
+        // harness measures and that the workload replays identically.
+        assert_eq!(r.arms[0].requests, r.arms[2].requests);
+    }
+
+    #[test]
+    fn serving_percentiles_use_nearest_rank() {
+        let mut s = vec![0.004, 0.001, 0.005, 0.002, 0.003];
+        assert!((percentile_ms(&mut s, 0.50) - 3.0).abs() < 1e-9);
+        assert!((percentile_ms(&mut s, 0.99) - 5.0).abs() < 1e-9);
+        assert_eq!(percentile_ms(&mut [], 0.5), 0.0);
     }
 }

@@ -1,8 +1,8 @@
 //! Plain-text renderers for the paper's tables.
 
 use crate::experiments::{
-    BatchingPoint, PrefixCachePoint, QuantResult, Row, SpeculativePoint, TelemetryOverhead,
-    ThroughputResult, TypeRow,
+    BatchingPoint, PrefixCachePoint, QuantResult, Row, ServingResult, SpeculativePoint,
+    TelemetryOverhead, ThroughputResult, TypeRow,
 };
 use crate::zoo::TABLE2;
 
@@ -272,6 +272,46 @@ pub fn quant_text(r: &QuantResult) -> String {
     out
 }
 
+/// Renders the multi-replica serving replay (SLO view).
+pub fn serving_text(r: &ServingResult) -> String {
+    let mut out = format!(
+        "Multi-replica serving replay: {} sessions x {} resends, {}-token session prefix \
+         (+{}/resend), {} new tokens/request, 2.7B-class\n\
+         Per-replica prefix-cache budget {:.2} MB (~60% of the aggregate KV working set: \
+         replicas scale cache capacity, not CPU)\n",
+        r.sessions,
+        r.resends,
+        r.prefix_tokens,
+        r.growth_tokens,
+        r.max_new,
+        r.replica_budget_bytes as f64 / 1e6,
+    );
+    out.push_str(&format!(
+        "{:<20} {:>10} {:>10} {:>10} {:>13} {:>10} {:>6} {:>9}\n",
+        "Arm", "tok/s", "TTFT p50", "TTFT p99", "warm TTFT p50", "token p50", "shed", "cache hit"
+    ));
+    for a in &r.arms {
+        out.push_str(&format!(
+            "{:<20} {:>10.1} {:>8.1}ms {:>8.1}ms {:>11.1}ms {:>8.2}ms {:>6} {:>8.0}%\n",
+            a.label,
+            a.aggregate_tps,
+            a.ttft_p50_ms,
+            a.ttft_p99_ms,
+            a.warm_ttft_p50_ms,
+            a.token_p50_ms,
+            a.shed_retries,
+            a.cache_hit_rate * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "scale-out: {:.2}x aggregate tok/s (2x affinity vs 1x)   \
+         warm TTFT p50: affinity {:.2}x faster than round-robin at 2x\n",
+        r.scaleout(),
+        r.affinity_warm_ttft_gain()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +446,43 @@ mod tests {
         assert!(t.contains("4.00x"), "{t}");
         assert!(t.contains("-1.50"), "BLEU delta: {t}");
         assert!(t.contains("+0.00"), "unchanged deltas print signed: {t}");
+    }
+
+    #[test]
+    fn serving_text_shows_scaleout_and_slo_columns() {
+        let arm = |label: &str, replicas: usize, policy: &str, tps: f64, warm: f64| {
+            crate::experiments::ServingArm {
+                label: label.to_string(),
+                replicas,
+                policy: policy.to_string(),
+                aggregate_tps: tps,
+                ttft_p50_ms: 40.0,
+                ttft_p99_ms: 90.0,
+                warm_ttft_p50_ms: warm,
+                token_p50_ms: 8.25,
+                requests: 40,
+                shed_retries: 0,
+                cache_hit_rate: 0.5,
+                cache_hit_tokens: 1000,
+            }
+        };
+        let t = serving_text(&crate::experiments::ServingResult {
+            sessions: 8,
+            resends: 5,
+            prefix_tokens: 96,
+            growth_tokens: 4,
+            max_new: 8,
+            replica_budget_bytes: 2_850_000,
+            arms: vec![
+                arm("1x prefix-affinity", 1, "prefix-affinity", 100.0, 60.0),
+                arm("2x prefix-affinity", 2, "prefix-affinity", 200.0, 20.0),
+                arm("2x round-robin", 2, "round-robin", 110.0, 50.0),
+            ],
+        });
+        assert!(t.contains("2.00x aggregate"), "{t}");
+        assert!(t.contains("2.50x faster"), "{t}");
+        assert!(t.contains("8 sessions x 5 resends"), "{t}");
+        assert!(t.contains("8.25ms"), "{t}");
     }
 
     #[test]

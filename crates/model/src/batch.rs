@@ -88,6 +88,20 @@ struct Seq {
     /// Current dynamic draft length (grows on full acceptance, halves on
     /// full rejection).
     draft_len: usize,
+    /// Streaming sink: every emitted token is also sent here the moment it
+    /// is chosen, so an HTTP handler can forward it as an SSE event while
+    /// decoding continues. Dropped receivers are ignored — an abandoned
+    /// stream never stalls or perturbs the batch.
+    sink: Option<mpsc::Sender<u32>>,
+}
+
+/// Forwards freshly emitted tokens to the sequence's streaming sink, if any.
+fn emit_streamed(sink: &Option<mpsc::Sender<u32>>, tokens: &[u32]) {
+    if let Some(tx) = sink {
+        for &t in tokens {
+            let _ = tx.send(t);
+        }
+    }
 }
 
 /// Reports history tokens past the drafter's watermark to its
@@ -193,6 +207,31 @@ impl<'m> DecodeBatch<'m> {
     /// recorded at admission, and TTFT is measured from `submitted` instead
     /// of from the start of prefill.
     pub fn admit_at(&mut self, tag: usize, req: DecodeRequest, submitted: Option<Instant>) {
+        self.admit_full(tag, req, submitted, None);
+    }
+
+    /// [`Self::admit_at`] with a streaming sink: every token the sequence
+    /// emits is also sent on `sink` as soon as it is chosen (before the next
+    /// forward pass), enabling SSE streaming. The sink is dropped when the
+    /// sequence retires, which disconnects the receiver — that is the
+    /// end-of-stream signal. Generated tokens are unaffected.
+    pub fn admit_streaming(
+        &mut self,
+        tag: usize,
+        req: DecodeRequest,
+        submitted: Option<Instant>,
+        sink: mpsc::Sender<u32>,
+    ) {
+        self.admit_full(tag, req, submitted, Some(sink));
+    }
+
+    fn admit_full(
+        &mut self,
+        tag: usize,
+        req: DecodeRequest,
+        submitted: Option<Instant>,
+        sink: Option<mpsc::Sender<u32>>,
+    ) {
         assert!(
             !matches!(req.opts.strategy, Strategy::Beam { .. }),
             "beam requests take the direct generate path"
@@ -247,6 +286,7 @@ impl<'m> DecodeBatch<'m> {
             history,
             observed,
             draft_len: self.speculation.max_draft,
+            sink,
         });
         if let Some(t) = &self.telemetry {
             t.batch_occupancy.set(self.seqs.len() as f64);
@@ -295,6 +335,7 @@ impl<'m> DecodeBatch<'m> {
                 continue;
             }
             seq.out.push(next);
+            emit_streamed(&seq.sink, &[next]);
             if seq.drafter.is_some() {
                 seq.history.push(next);
             }
@@ -350,6 +391,7 @@ impl<'m> DecodeBatch<'m> {
             seq.draft_len =
                 adapt_draft_len(seq.draft_len, draft.len(), v.accepted.len(), max_draft);
             seq.out.extend_from_slice(&v.accepted);
+            emit_streamed(&seq.sink, &v.accepted);
             seq.history.extend_from_slice(&v.accepted);
             seq.pos += 1 + v.accepted.len();
             seq.logits = v.logits;
@@ -583,7 +625,26 @@ impl Pending {
     }
 }
 
-type Job = (DecodeRequest, mpsc::Sender<Vec<u32>>, Instant);
+/// A submitted request's pending result plus its live token stream.
+///
+/// Tokens arrive on `tokens` as they are decoded; the channel disconnects
+/// when the sequence retires (end of stream). `result` resolves with the
+/// complete output — always bit-identical to the concatenation of the
+/// streamed tokens, and to the non-streaming path for the same request.
+#[derive(Debug)]
+pub struct StreamingPending {
+    /// Per-token stream, in emission order.
+    pub tokens: mpsc::Receiver<u32>,
+    /// The complete output, resolved when the sequence retires.
+    pub result: Pending,
+}
+
+struct Job {
+    req: DecodeRequest,
+    reply: mpsc::Sender<Vec<u32>>,
+    sink: Option<mpsc::Sender<u32>>,
+    submitted: Instant,
+}
 
 struct SchedulerState {
     jobs: VecDeque<Job>,
@@ -782,6 +843,48 @@ impl BatchScheduler {
             let _ = tx.send(out);
             return Ok(Pending { rx });
         }
+        self.enqueue(req, None).map(|rx| Pending { rx })
+    }
+
+    /// [`Self::submit`] returning a live token stream alongside the pending
+    /// result: each decoded token is delivered on
+    /// [`StreamingPending::tokens`] the moment it is chosen, and the channel
+    /// disconnects when the sequence retires. The final result is
+    /// bit-identical to [`Self::submit`] for the same request.
+    ///
+    /// Beam requests decode on the calling thread (as in [`Self::submit`])
+    /// and deliver their whole output through the stream at once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::submit`].
+    pub fn submit_streaming(&self, req: DecodeRequest) -> Result<StreamingPending, SubmitError> {
+        let (sink, tokens) = mpsc::channel();
+        if matches!(req.opts.strategy, Strategy::Beam { .. }) {
+            let out = self.model.generate(&req.prompt, &req.stops, &req.opts);
+            for &t in &out {
+                let _ = sink.send(t);
+            }
+            drop(sink);
+            let (tx, rx) = mpsc::channel();
+            let _ = tx.send(out);
+            return Ok(StreamingPending {
+                tokens,
+                result: Pending { rx },
+            });
+        }
+        let rx = self.enqueue(req, Some(sink))?;
+        Ok(StreamingPending {
+            tokens,
+            result: Pending { rx },
+        })
+    }
+
+    fn enqueue(
+        &self,
+        req: DecodeRequest,
+        sink: Option<mpsc::Sender<u32>>,
+    ) -> Result<mpsc::Receiver<Vec<u32>>, SubmitError> {
         let mut state = self.shared.state.lock().expect("scheduler lock");
         if state.shutdown {
             return Err(SubmitError::ShutDown);
@@ -793,12 +896,43 @@ impl BatchScheduler {
             return Err(SubmitError::QueueFull);
         }
         let (tx, rx) = mpsc::channel();
-        state.jobs.push_back((req, tx, Instant::now()));
+        state.jobs.push_back(Job {
+            req,
+            reply: tx,
+            sink,
+            submitted: Instant::now(),
+        });
         if let Some(t) = &self.telemetry {
             t.queue_depth.set(state.jobs.len() as f64);
         }
         self.shared.job_ready.notify_one();
-        Ok(Pending { rx })
+        Ok(rx)
+    }
+
+    /// How many leading tokens of `prompt`'s generation window are resident
+    /// in this scheduler's prefix cache right now — the cached-prefix
+    /// summary a multi-replica router scores replicas with. Read-only: no
+    /// hit/miss counters move and no LRU state is touched. Returns 0 when
+    /// the cache is disabled.
+    pub fn cached_prefix_tokens(&self, prompt: &[u32], max_new: usize) -> usize {
+        let Some(cache) = &self.prefix_cache else {
+            return 0;
+        };
+        let window = self.model.generation_window(prompt, max_new);
+        cache.probe(window)
+    }
+
+    /// Median per-round decode latency in seconds observed so far, from the
+    /// attached telemetry's token-latency histogram. `None` when the
+    /// scheduler is uninstrumented or no decode round has completed yet —
+    /// callers (the `Retry-After` estimator) fall back to a configured
+    /// constant.
+    pub fn decode_token_p50(&self) -> Option<f64> {
+        let snap = self.telemetry.as_ref()?.token_latency.snapshot();
+        if snap.count() == 0 {
+            return None;
+        }
+        Some(snap.p50())
     }
 
     /// Blocking convenience wrapper: waits for queue space instead of
@@ -935,11 +1069,11 @@ fn worker_loop(
             taken
         };
         // Prefill (the expensive part of admission) runs outside the lock.
-        for (req, tx, submitted) in admitted {
+        for job in admitted {
             let tag = next_tag;
             next_tag += 1;
-            replies.insert(tag, tx);
-            engine.admit_at(tag, req, Some(submitted));
+            replies.insert(tag, job.reply);
+            engine.admit_full(tag, job.req, Some(job.submitted), job.sink);
         }
         shared.in_flight.store(engine.len(), Ordering::Relaxed);
         for (tag, out) in engine.step() {
@@ -1259,6 +1393,55 @@ mod tests {
             generate_batch_speculative(&model, requests, 2, None, spec),
             plain
         );
+    }
+
+    #[test]
+    fn streamed_tokens_match_the_pending_result() {
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn(Arc::clone(&model), BatchConfig::default());
+        let req = |p: &[u32]| DecodeRequest {
+            prompt: p.to_vec(),
+            stops: vec![0],
+            opts: greedy(6),
+        };
+        // Streamed and plain submissions of the same request, concurrently.
+        let streamed = sched.submit_streaming(req(&[1, 2, 3])).expect("submit");
+        let plain = sched.submit(req(&[1, 2, 3])).expect("submit");
+        let tokens: Vec<u32> = streamed.tokens.iter().collect();
+        let result = streamed.result.wait();
+        assert_eq!(tokens, result, "stream must carry exactly the output");
+        assert_eq!(result, plain.wait(), "streaming must not change tokens");
+        assert_eq!(result, model.generate(&[1, 2, 3], &[0], &greedy(6)));
+
+        // Dropping the token receiver must not stall or corrupt decoding.
+        let abandoned = sched.submit_streaming(req(&[4, 5])).expect("submit");
+        drop(abandoned.tokens);
+        assert_eq!(
+            abandoned.result.wait(),
+            model.generate(&[4, 5], &[0], &greedy(6))
+        );
+    }
+
+    #[test]
+    fn streaming_beam_requests_deliver_whole_output() {
+        let model = Arc::new(tiny_model());
+        let sched = BatchScheduler::spawn(Arc::clone(&model), BatchConfig::default());
+        let opts = GenerationOptions {
+            max_new_tokens: 4,
+            strategy: Strategy::Beam { width: 2 },
+            ..Default::default()
+        };
+        let streamed = sched
+            .submit_streaming(DecodeRequest {
+                prompt: vec![1, 2],
+                stops: vec![0],
+                opts,
+            })
+            .expect("beam submit");
+        let tokens: Vec<u32> = streamed.tokens.iter().collect();
+        let solo = model.generate(&[1, 2], &[0], &opts);
+        assert_eq!(tokens, solo);
+        assert_eq!(streamed.result.wait(), solo);
     }
 
     #[test]

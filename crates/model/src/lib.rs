@@ -30,6 +30,7 @@ mod config;
 mod decode;
 mod ngram;
 mod prefix_cache;
+mod replica;
 mod retrieval;
 mod speculative;
 mod telemetry;
@@ -38,7 +39,8 @@ mod transformer;
 
 pub use batch::{
     generate_batch, generate_batch_instrumented, generate_batch_speculative, generate_batch_with,
-    BatchConfig, BatchScheduler, DecodeBatch, DecodeRequest, Pending, SchedulerStats, SubmitError,
+    BatchConfig, BatchScheduler, DecodeBatch, DecodeRequest, Pending, SchedulerStats,
+    StreamingPending, SubmitError,
 };
 pub use checkpoint::{load_checkpoint, save_checkpoint, LoadCheckpointError};
 pub use config::ModelConfig;
@@ -47,6 +49,7 @@ pub use ngram::{NgramLm, NgramTextGenerator};
 pub use prefix_cache::{
     CachedPrefix, PrefixCacheConfig, PrefixCacheStats, PrefixKvCache, PrefixPin,
 };
+pub use replica::{PoolStats, ReplicaPool, ReplicaTelemetry};
 pub use retrieval::RetrievalModel;
 pub use speculative::{
     DraftKind, NgramSpeculator, SelfDraftSpeculator, SpeculativeConfig, SpeculativeDecoder,

@@ -511,6 +511,39 @@ impl PrefixKvCache {
         })
     }
 
+    /// The number of leading `window` tokens currently resident in the
+    /// tree, without disturbing anything: no hit/miss counters, no LRU
+    /// touch, no pinning. This is the cached-prefix summary a multi-replica
+    /// router consults when scoring replicas for prefix affinity — a probe
+    /// must not advertise itself as reuse (that would inflate the hit rate)
+    /// nor refresh recency (that would let routing queries keep segments
+    /// alive that no admission ever splices).
+    pub fn probe(&self, window: &[u32]) -> usize {
+        let inner = self.core.inner.lock().expect("prefix cache lock");
+        let mut node_id = ROOT;
+        let mut matched = 0usize;
+        while matched < window.len() {
+            let Some(&child) = inner.node(node_id).children.get(&window[matched]) else {
+                break;
+            };
+            let node = inner.node(child);
+            let rest = &window[matched..];
+            let take = node
+                .seg
+                .tokens
+                .iter()
+                .zip(rest.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            matched += take;
+            if take < node.seg.rows() {
+                break;
+            }
+            node_id = child;
+        }
+        matched
+    }
+
     /// Records `window`'s K/V rows (taken from `cache`, which must hold at
     /// least `window.len()` positions) in the tree, sharing existing
     /// segments and splitting edges where the window diverges mid-edge.
@@ -669,6 +702,29 @@ mod tests {
         assert_eq!(hit.len(), 3);
         // Diverging first token misses.
         assert!(cache.lookup(&[2, 2, 3], 2).is_none());
+    }
+
+    #[test]
+    fn probe_reports_resident_prefix_without_touching_stats() {
+        let model = tiny_model();
+        let cache = PrefixKvCache::default();
+        let window = [1u32, 2, 3, 4, 5];
+        let (kv, _) = model.prefill(&window);
+        let _pin = cache.insert(&window, &kv);
+        let before = cache.stats();
+
+        // Full residency, mid-edge partial match, and a clean miss.
+        assert_eq!(cache.probe(&[1, 2, 3, 4, 5, 6, 7]), 5);
+        assert_eq!(cache.probe(&[1, 2, 3, 9]), 3);
+        assert_eq!(cache.probe(&[2, 2, 3]), 0);
+        assert_eq!(cache.probe(&[]), 0);
+
+        // Probing is invisible: no hit/miss movement, no byte churn.
+        let after = cache.stats();
+        assert_eq!(
+            (before.hits, before.misses, before.hit_tokens, before.bytes),
+            (after.hits, after.misses, after.hit_tokens, after.bytes)
+        );
     }
 
     #[test]

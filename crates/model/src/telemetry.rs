@@ -39,46 +39,63 @@ pub struct BatchTelemetry {
 impl BatchTelemetry {
     /// Registers (or re-resolves) the scheduler metric family in `registry`.
     pub fn register(registry: &Registry) -> BatchTelemetry {
+        Self::register_labeled(registry, &[])
+    }
+
+    /// [`Self::register`] with a label set on every series — the
+    /// multi-replica pool registers one bundle per replica with
+    /// `[("replica", "<i>")]`, so the same family names carry per-replica
+    /// series side by side.
+    pub fn register_labeled(registry: &Registry, labels: &[(&str, &str)]) -> BatchTelemetry {
         let buckets = Histogram::latency_buckets();
         BatchTelemetry {
-            queue_wait: registry.histogram(
+            queue_wait: registry.histogram_with(
                 "wisdom_queue_wait_seconds",
                 "Time from request submission to admission into the decode batch.",
+                labels,
                 &buckets,
             ),
-            ttft: registry.histogram(
+            ttft: registry.histogram_with(
                 "wisdom_ttft_seconds",
                 "Time from request submission to the first generated token.",
+                labels,
                 &buckets,
             ),
-            token_latency: registry.histogram(
+            token_latency: registry.histogram_with(
                 "wisdom_decode_token_seconds",
                 "Duration of one batched decode round (per-token latency).",
+                labels,
                 &buckets,
             ),
-            batch_occupancy: registry.gauge(
+            batch_occupancy: registry.gauge_with(
                 "wisdom_batch_occupancy",
                 "Sequences currently being decoded together.",
+                labels,
             ),
-            queue_depth: registry.gauge(
+            queue_depth: registry.gauge_with(
                 "wisdom_queue_depth",
                 "Requests waiting in the bounded submission queue.",
+                labels,
             ),
-            admitted: registry.counter(
+            admitted: registry.counter_with(
                 "wisdom_requests_admitted_total",
                 "Requests admitted into the decode batch.",
+                labels,
             ),
-            completed: registry.counter(
+            completed: registry.counter_with(
                 "wisdom_requests_completed_total",
                 "Requests decoded to completion.",
+                labels,
             ),
-            shed: registry.counter(
+            shed: registry.counter_with(
                 "wisdom_requests_shed_total",
                 "Submissions rejected because the queue was full.",
+                labels,
             ),
-            wakeups: registry.counter(
+            wakeups: registry.counter_with(
                 "wisdom_scheduler_wakeups_total",
                 "Decode-worker condvar wakeups.",
+                labels,
             ),
         }
     }
@@ -112,38 +129,52 @@ impl PrefixCacheTelemetry {
     /// Registers (or re-resolves) the prefix-cache metric family in
     /// `registry`.
     pub fn register(registry: &Registry) -> PrefixCacheTelemetry {
+        Self::register_labeled(registry, &[])
+    }
+
+    /// [`Self::register`] with a label set on every series (per-replica
+    /// caches label with `[("replica", "<i>")]`).
+    pub fn register_labeled(registry: &Registry, labels: &[(&str, &str)]) -> PrefixCacheTelemetry {
         PrefixCacheTelemetry {
-            hits: registry.counter(
+            hits: registry.counter_with(
                 "wisdom_prefix_cache_hits_total",
                 "Prefix-cache lookups that matched at least one token.",
+                labels,
             ),
-            misses: registry.counter(
+            misses: registry.counter_with(
                 "wisdom_prefix_cache_misses_total",
                 "Prefix-cache lookups that matched nothing.",
+                labels,
             ),
-            hit_tokens: registry.counter(
+            hit_tokens: registry.counter_with(
                 "wisdom_prefix_cache_hit_tokens_total",
                 "Prompt tokens served from the prefix cache instead of recomputed.",
+                labels,
             ),
-            evicted_segments: registry.counter(
+            evicted_segments: registry.counter_with(
                 "wisdom_prefix_cache_evicted_segments_total",
                 "Prefix-cache segments discarded by LRU eviction.",
+                labels,
             ),
-            bytes: registry.gauge(
+            bytes: registry.gauge_with(
                 "wisdom_prefix_cache_bytes",
                 "Bytes currently owned by the prefix-cache tree.",
+                labels,
             ),
-            segments: registry.gauge(
+            segments: registry.gauge_with(
                 "wisdom_prefix_cache_segments",
                 "Segments currently in the prefix-cache tree.",
+                labels,
             ),
-            pinned_bytes: registry.gauge(
+            pinned_bytes: registry.gauge_with(
                 "wisdom_prefix_cache_pinned_bytes",
                 "Prefix-cache bytes pinned by in-flight sequences.",
+                labels,
             ),
-            budget_bytes: registry.gauge(
+            budget_bytes: registry.gauge_with(
                 "wisdom_prefix_cache_budget_bytes",
                 "Configured prefix-cache byte budget.",
+                labels,
             ),
         }
     }
@@ -177,32 +208,44 @@ impl SpeculativeTelemetry {
     /// Registers (or re-resolves) the speculative-decoding metric family
     /// in `registry`.
     pub fn register(registry: &Registry) -> SpeculativeTelemetry {
+        Self::register_labeled(registry, &[])
+    }
+
+    /// [`Self::register`] with a label set on every series (per-replica
+    /// speculation labels with `[("replica", "<i>")]`).
+    pub fn register_labeled(registry: &Registry, labels: &[(&str, &str)]) -> SpeculativeTelemetry {
         let length_buckets = [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0];
         SpeculativeTelemetry {
-            proposed: registry.counter(
+            proposed: registry.counter_with(
                 "wisdom_speculative_proposed_tokens_total",
                 "Draft tokens proposed to the verifier.",
+                labels,
             ),
-            accepted: registry.counter(
+            accepted: registry.counter_with(
                 "wisdom_speculative_accepted_tokens_total",
                 "Draft tokens accepted by the verifier.",
+                labels,
             ),
-            rejected: registry.counter(
+            rejected: registry.counter_with(
                 "wisdom_speculative_rejected_tokens_total",
                 "Draft tokens rejected and rolled back.",
+                labels,
             ),
-            verify_passes: registry.counter(
+            verify_passes: registry.counter_with(
                 "wisdom_speculative_verify_passes_total",
                 "Batched draft-verification passes run.",
+                labels,
             ),
-            acceptance_length: registry.histogram(
+            acceptance_length: registry.histogram_with(
                 "wisdom_speculative_acceptance_length",
                 "Accepted draft tokens per verify pass.",
+                labels,
                 &length_buckets,
             ),
-            draft_overhead: registry.histogram(
+            draft_overhead: registry.histogram_with(
                 "wisdom_speculative_draft_seconds",
                 "Time spent proposing drafts, per decode round.",
+                labels,
                 &Histogram::latency_buckets(),
             ),
         }
@@ -234,22 +277,32 @@ impl QuantTelemetry {
     /// Registers (or re-resolves) the quantization metric family in
     /// `registry`.
     pub fn register(registry: &Registry) -> QuantTelemetry {
+        Self::register_labeled(registry, &[])
+    }
+
+    /// [`Self::register`] with a label set on every series (per-replica
+    /// quantization labels with `[("replica", "<i>")]`).
+    pub fn register_labeled(registry: &Registry, labels: &[(&str, &str)]) -> QuantTelemetry {
         QuantTelemetry {
-            weight_bytes: registry.gauge(
+            weight_bytes: registry.gauge_with(
                 "wisdom_quant_weight_bytes",
                 "Packed int8 weight bytes resident (values plus per-block scales).",
+                labels,
             ),
-            weight_bytes_saved: registry.gauge(
+            weight_bytes_saved: registry.gauge_with(
                 "wisdom_quant_weight_bytes_saved",
                 "f32 weight bytes replaced by int8 packing, minus the packed bytes.",
+                labels,
             ),
-            matmuls_int8: registry.counter(
+            matmuls_int8: registry.counter_with(
                 "wisdom_quant_matmuls_int8_total",
                 "Weight projections run through the quantized int8 kernels.",
+                labels,
             ),
-            matmuls_f32: registry.counter(
+            matmuls_f32: registry.counter_with(
                 "wisdom_quant_matmuls_f32_total",
                 "Weight projections run through the f32 blocked kernels.",
+                labels,
             ),
         }
     }
@@ -280,6 +333,25 @@ mod tests {
         qa.weight_bytes.set(128.0);
         assert_eq!(qb.matmuls_int8.get(), 1);
         assert_eq!(qb.weight_bytes.get(), 128.0);
+    }
+
+    #[test]
+    fn labeled_bundles_keep_per_replica_series_distinct() {
+        let registry = Registry::new();
+        let r0 = BatchTelemetry::register_labeled(&registry, &[("replica", "0")]);
+        let r1 = BatchTelemetry::register_labeled(&registry, &[("replica", "1")]);
+        r0.admitted.inc();
+        r0.admitted.inc();
+        r1.admitted.inc();
+        assert_eq!(r0.admitted.get(), 2);
+        assert_eq!(r1.admitted.get(), 1);
+        let text = registry.render();
+        assert!(text.contains("wisdom_requests_admitted_total{replica=\"0\"} 2"));
+        assert!(text.contains("wisdom_requests_admitted_total{replica=\"1\"} 1"));
+        // Re-registering the same label set re-resolves the same handles.
+        let again = BatchTelemetry::register_labeled(&registry, &[("replica", "0")]);
+        again.admitted.inc();
+        assert_eq!(r0.admitted.get(), 3);
     }
 
     #[test]

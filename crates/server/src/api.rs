@@ -11,6 +11,21 @@
 //!   exposition format;
 //! * `GET /healthz` → `ok` (liveness: never touches the model or a lock);
 //! * `GET /readyz` → `ready`, or 503 until the decode worker is up.
+//!
+//! Completions accept `"stream": true` to switch the response to
+//! server-sent events over chunked transfer encoding: one `data:` event
+//! per decoded token, then a final event carrying the exact JSON object a
+//! non-streaming request would have returned, then `data: [DONE]`.
+//!
+//! With `ServerConfig::replicas` > 1, completions are spread over a
+//! [`ReplicaPool`] by a cache-aware [`Router`]: each replica owns its own
+//! decode worker and prefix KV cache, and requests are placed on the
+//! replica already holding the longest prefix of their prompt.
+//!
+//! Connections are keep-alive when the client asks for it
+//! (`Connection: keep-alive`), bounded by
+//! `ServerConfig::keepalive_max_requests`; legacy read-to-EOF clients that
+//! omit the header keep the old close-per-request behavior.
 
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -18,12 +33,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use wisdom_core::{
-    BatchConfig, BatchScheduler, CompletionRequest, Precision, SchedulerStats, SpeculativeConfig,
-    SubmitError, Wisdom,
+    BatchConfig, BatchScheduler, CompletionRequest, Precision, ReplicaTelemetry, SchedulerStats,
+    SpeculativeConfig, SubmitError, Suggestion, Wisdom,
 };
 
-use crate::http::{read_request, Request, Response, MAX_BODY_BYTES};
+use crate::http::{
+    finish_chunked, read_request_opt, write_sse_event, write_sse_head, Request, Response,
+    MAX_BODY_BYTES,
+};
 use crate::json::{parse_json, Json};
+use crate::router::{estimate_retry_after, RoutePolicy, Router, RouterConfig, RouterTelemetry};
 use crate::telemetry::{ServerTelemetry, METRICS_CONTENT_TYPE};
 
 /// Server sizing and limits.
@@ -53,6 +72,16 @@ pub struct ServerConfig {
     /// the scheduler's model copy to per-block int8 at startup); echoed in
     /// `GET /v1/stats`. Requires the batched path (`max_batch_size` > 1).
     pub precision: Precision,
+    /// Independent scheduler replicas behind the router, each with its own
+    /// decode worker and prefix KV cache sized by `prefix_cache_bytes`.
+    /// Requires the batched path (`max_batch_size` > 1); clamped to ≥ 1.
+    pub replicas: usize,
+    /// How the router places completions over the replicas.
+    pub route_policy: RoutePolicy,
+    /// Requests served per keep-alive connection before the server answers
+    /// with `connection: close` (bounds how long one client can pin a
+    /// handler thread).
+    pub keepalive_max_requests: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +96,9 @@ impl Default for ServerConfig {
             prefix_cache_bytes: 64 << 20,
             speculative: SpeculativeConfig::disabled(),
             precision: Precision::F32,
+            replicas: 1,
+            route_policy: RoutePolicy::PrefixAffinity,
+            keepalive_max_requests: 32,
         }
     }
 }
@@ -80,7 +112,10 @@ pub struct WisdomServer {
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
-    scheduler: Option<Arc<BatchScheduler>>,
+    router: Option<Arc<Router>>,
+    /// Per-replica telemetry bundles the pool's schedulers record into;
+    /// `/v1/stats` sums quantization gauges across them.
+    bundles: Arc<Vec<ReplicaTelemetry>>,
     telemetry: Arc<ServerTelemetry>,
     /// Test hook: while set, `GET /readyz` reports 503 regardless of the
     /// decode worker's actual state.
@@ -92,7 +127,7 @@ pub struct WisdomServer {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
-    scheduler: Option<Arc<BatchScheduler>>,
+    router: Option<Arc<Router>>,
     telemetry: Arc<ServerTelemetry>,
     forced_unready: Arc<AtomicBool>,
 }
@@ -119,8 +154,8 @@ impl ServerHandle {
     /// running batch, making queue-overflow (503) behavior deterministic.
     #[doc(hidden)]
     pub fn set_admission_paused(&self, paused: bool) {
-        if let Some(s) = &self.scheduler {
-            s.set_admission_paused(paused);
+        if let Some(r) = &self.router {
+            r.pool().set_admission_paused(paused);
         }
     }
 
@@ -169,8 +204,18 @@ impl WisdomServer {
         config: ServerConfig,
         telemetry: ServerTelemetry,
     ) -> std::io::Result<WisdomServer> {
-        let scheduler = (config.max_batch_size > 1).then(|| {
-            let scheduler = wisdom.scheduler_full(
+        let mut bundles = Vec::new();
+        let router = (config.max_batch_size > 1).then(|| {
+            let replicas = config.replicas.max(1);
+            bundles = telemetry.replica_bundles(replicas);
+            if !config.speculative.enabled() {
+                // Match the single-scheduler server: no speculative series
+                // movement when speculation is off.
+                for bundle in &mut bundles {
+                    bundle.speculative = None;
+                }
+            }
+            let pool = wisdom.replica_pool(
                 BatchConfig {
                     max_batch_size: config.max_batch_size,
                     queue_depth: config.queue_depth,
@@ -178,24 +223,31 @@ impl WisdomServer {
                     speculative: config.speculative,
                     precision: config.precision,
                 },
-                Some(telemetry.batch.clone()),
-                config
-                    .speculative
-                    .enabled()
-                    .then(|| telemetry.speculative.clone()),
-                Some(telemetry.quant.clone()),
+                replicas,
+                &bundles,
             );
-            if let Some(cache) = scheduler.prefix_cache() {
-                cache.set_telemetry(telemetry.prefix_cache.clone());
-            }
-            Arc::new(scheduler)
+            let label = match config.route_policy {
+                RoutePolicy::PrefixAffinity => "prefix_affinity",
+                RoutePolicy::RoundRobin => "round_robin",
+                RoutePolicy::Rendezvous => "rendezvous",
+            };
+            let router_telemetry = RouterTelemetry::register(telemetry.registry(), label);
+            Arc::new(Router::new(
+                Arc::new(pool),
+                RouterConfig {
+                    policy: config.route_policy,
+                    ..RouterConfig::default()
+                },
+                Some(router_telemetry),
+            ))
         });
         Ok(WisdomServer {
             wisdom,
             listener: TcpListener::bind(addr)?,
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
-            scheduler,
+            router,
+            bundles: Arc::new(bundles),
             telemetry: Arc::new(telemetry),
             forced_unready: Arc::new(AtomicBool::new(false)),
         })
@@ -206,7 +258,7 @@ impl WisdomServer {
         ServerHandle {
             addr: self.listener.local_addr().expect("bound listener"),
             shutdown: Arc::clone(&self.shutdown),
-            scheduler: self.scheduler.clone(),
+            router: self.router.clone(),
             telemetry: Arc::clone(&self.telemetry),
             forced_unready: Arc::clone(&self.forced_unready),
         }
@@ -221,7 +273,8 @@ impl WisdomServer {
             listener,
             shutdown,
             config,
-            scheduler,
+            router,
+            bundles,
             telemetry,
             forced_unready,
         } = self;
@@ -232,7 +285,8 @@ impl WisdomServer {
             for _ in 0..workers {
                 let rx = Arc::clone(&rx);
                 let wisdom = &wisdom;
-                let scheduler = scheduler.as_deref();
+                let router = router.as_deref();
+                let bundles = &bundles;
                 let telemetry = &telemetry;
                 let forced_unready = &forced_unready;
                 scope.spawn(move || loop {
@@ -241,7 +295,8 @@ impl WisdomServer {
                     let Ok(mut conn) = conn else { break };
                     handle_connection(
                         wisdom,
-                        scheduler,
+                        router,
+                        bundles,
                         &config,
                         telemetry,
                         forced_unready,
@@ -260,53 +315,135 @@ impl WisdomServer {
             // exit, then the scope joins them.
             drop(tx);
         });
-        if let Some(s) = &scheduler {
-            s.shutdown();
+        if let Some(r) = &router {
+            r.pool().shutdown();
         }
     }
 }
 
+/// Serves one connection: a keep-alive loop when the client asks for it
+/// (bounded by `keepalive_max_requests`), one request otherwise. Streaming
+/// completions take over the socket (SSE commits the connection to chunked
+/// encoding) and always close afterwards.
 fn handle_connection(
     wisdom: &Wisdom,
-    scheduler: Option<&BatchScheduler>,
+    router: Option<&Router>,
+    bundles: &[ReplicaTelemetry],
     config: &ServerConfig,
     telemetry: &ServerTelemetry,
     forced_unready: &AtomicBool,
     conn: &mut TcpStream,
 ) {
-    let started = Instant::now();
     let _ = conn.set_read_timeout(Some(config.io_timeout));
     let _ = conn.set_write_timeout(Some(config.io_timeout));
-    match read_request(conn, config.max_body_bytes) {
-        Ok(request) => {
-            let ready = !forced_unready.load(Ordering::SeqCst)
-                && scheduler.is_none_or(BatchScheduler::worker_ready);
-            let response = route_full(
-                wisdom,
-                scheduler,
-                config.retry_after_secs,
-                Some(telemetry),
-                ready,
-                &request,
-            );
-            let _ = response.write_to(conn);
-            telemetry.observe_request(
-                &request.method,
-                &request.path,
-                response.status,
-                started.elapsed().as_secs_f64(),
-            );
+    let mut served = 0usize;
+    loop {
+        let started = Instant::now();
+        match read_request_opt(conn, config.max_body_bytes) {
+            // Clean EOF between requests: the client is done.
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                served += 1;
+                let ready = !forced_unready.load(Ordering::SeqCst)
+                    && router.is_none_or(|r| r.pool().worker_ready());
+                if wants_streaming(&request) {
+                    let status = stream_completion(
+                        wisdom,
+                        router,
+                        config.retry_after_secs,
+                        telemetry,
+                        conn,
+                        &request,
+                    );
+                    telemetry.observe_request(
+                        &request.method,
+                        &request.path,
+                        status,
+                        started.elapsed().as_secs_f64(),
+                    );
+                    break;
+                }
+                let keep =
+                    wants_keep_alive(&request) && served < config.keepalive_max_requests.max(1);
+                let response = respond(
+                    wisdom,
+                    router,
+                    bundles,
+                    config,
+                    Some(telemetry),
+                    ready,
+                    &request,
+                );
+                let _ = response.write_to_with(conn, keep);
+                telemetry.observe_request(
+                    &request.method,
+                    &request.path,
+                    response.status,
+                    started.elapsed().as_secs_f64(),
+                );
+                if !keep {
+                    break;
+                }
+            }
+            Err(e) => {
+                let response = Response::text(e.status, e.to_string());
+                let _ = response.write_to(conn);
+                // No parsed path to attribute: folds into the "other" route.
+                telemetry.observe_request("-", "-", e.status, started.elapsed().as_secs_f64());
+                telemetry.logger.info(
+                    "http",
+                    &[("error", &e.to_string()), ("status", &e.status.to_string())],
+                );
+                break;
+            }
         }
-        Err(e) => {
-            let response = Response::text(e.status, e.to_string());
-            let _ = response.write_to(conn);
-            // No parsed path to attribute: folds into the "other" route.
-            telemetry.observe_request("-", "-", e.status, started.elapsed().as_secs_f64());
-            telemetry.logger.info(
-                "http",
-                &[("error", &e.to_string()), ("status", &e.status.to_string())],
-            );
+    }
+}
+
+/// Whether the client explicitly asked to reuse the connection. Absent
+/// header means close — the pre-keep-alive clients read bodies to EOF and
+/// would hang on a held-open socket.
+fn wants_keep_alive(request: &Request) -> bool {
+    request
+        .headers
+        .get("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+}
+
+/// Whether this is a completion request with `"stream": true`.
+fn wants_streaming(request: &Request) -> bool {
+    request.method == "POST"
+        && request.path == "/v1/completions"
+        && parse_json(&request.body_text())
+            .ok()
+            .and_then(|p| p.get("stream").and_then(Json::as_bool))
+            == Some(true)
+}
+
+/// Routes one request for the serving loop: pool-aware completions and
+/// stats when a router is present, everything else via [`route_full`].
+fn respond(
+    wisdom: &Wisdom,
+    router: Option<&Router>,
+    bundles: &[ReplicaTelemetry],
+    config: &ServerConfig,
+    telemetry: Option<&ServerTelemetry>,
+    ready: bool,
+    request: &Request,
+) -> Response {
+    match (request.method.as_str(), request.path.as_str(), router) {
+        ("POST", "/v1/completions", Some(router)) => {
+            completions_pooled(wisdom, router, config.retry_after_secs, request)
         }
+        ("GET", "/v1/stats", Some(router)) => pool_stats(router, bundles, config),
+        _ => route_full(
+            wisdom,
+            None,
+            config.retry_after_secs,
+            telemetry,
+            ready,
+            request,
+        ),
     }
 }
 
@@ -475,43 +612,245 @@ fn lint(request: &Request) -> Response {
     )
 }
 
+/// The `/v1/completions` response object. Shared by the non-streaming
+/// response body and the final SSE event, which is what makes streamed and
+/// non-streamed responses byte-identical.
+fn completion_payload(suggestion: &Suggestion) -> Json {
+    let lint = suggestion
+        .lint
+        .iter()
+        .map(|v| Json::Str(v.to_string()))
+        .collect();
+    Json::obj(vec![
+        ("completion", Json::Str(suggestion.body.clone())),
+        ("snippet", Json::Str(suggestion.snippet.clone())),
+        ("schema_correct", Json::Bool(suggestion.schema_correct)),
+        ("lint", Json::Arr(lint)),
+        ("model", Json::Str("wisdom".to_string())),
+    ])
+}
+
+/// Parses the completion payload shared by all decode paths, or the 400
+/// explaining what was wrong with it.
+fn parse_completion(request: &Request) -> Result<CompletionRequest, Response> {
+    let payload =
+        parse_json(&request.body_text()).map_err(|e| Response::text(400, e.to_string()))?;
+    let Some(prompt) = payload.get("prompt").and_then(Json::as_str) else {
+        return Err(Response::text(400, "missing required field 'prompt'"));
+    };
+    let context = payload.get("context").and_then(Json::as_str).unwrap_or("");
+    Ok(CompletionRequest::new(context, prompt))
+}
+
 fn completions(
     wisdom: &Wisdom,
     scheduler: Option<&BatchScheduler>,
     retry_after_secs: u64,
     request: &Request,
 ) -> Response {
-    let payload = match parse_json(&request.body_text()) {
-        Ok(p) => p,
-        Err(e) => return Response::text(400, e.to_string()),
+    let completion_request = match parse_completion(request) {
+        Ok(r) => r,
+        Err(response) => return response,
     };
-    let Some(prompt) = payload.get("prompt").and_then(Json::as_str) else {
-        return Response::text(400, "missing required field 'prompt'");
-    };
-    let context = payload.get("context").and_then(Json::as_str).unwrap_or("");
-    let completion_request = CompletionRequest::new(context, prompt);
     let suggestion = match scheduler {
         Some(s) => match wisdom.try_complete_batched(&completion_request, s) {
             Ok(suggestion) => suggestion,
             Err(e @ (SubmitError::QueueFull | SubmitError::ShutDown)) => {
+                let secs = estimate_retry_after(
+                    s.stats().queue_depth,
+                    s.decode_token_p50(),
+                    retry_after_secs,
+                    RouterConfig::default().retry_after_max_secs,
+                );
                 return Response::text(503, e.to_string())
-                    .with_header("retry-after", retry_after_secs.to_string());
+                    .with_header("retry-after", secs.to_string());
             }
         },
         None => wisdom.complete(&completion_request),
     };
-    let lint = suggestion
-        .lint
+    Response::json(completion_payload(&suggestion).to_text())
+}
+
+/// Router-placed completions: submit to the replica the router picks,
+/// spill to others on overflow, 503 with an estimated `Retry-After` when
+/// every replica is full.
+fn completions_pooled(
+    wisdom: &Wisdom,
+    router: &Router,
+    retry_after_fallback: u64,
+    request: &Request,
+) -> Response {
+    let completion_request = match parse_completion(request) {
+        Ok(r) => r,
+        Err(response) => return response,
+    };
+    match router.submit(wisdom.decode_request(&completion_request)) {
+        Ok(pending) => {
+            let suggestion = wisdom.suggestion_from_tokens(&completion_request, &pending.wait());
+            Response::json(completion_payload(&suggestion).to_text())
+        }
+        Err(e) => Response::text(503, e.to_string()).with_header(
+            "retry-after",
+            router.retry_after_secs(retry_after_fallback).to_string(),
+        ),
+    }
+}
+
+/// Streams a completion as server-sent events, writing directly to the
+/// socket: one `{"token": …}` event per decoded token, the exact
+/// non-streaming JSON object as the final data event, then `[DONE]`.
+/// Returns the status to log. Validation failures are written as ordinary
+/// (non-chunked) responses before any SSE bytes commit the stream.
+fn stream_completion(
+    wisdom: &Wisdom,
+    router: Option<&Router>,
+    retry_after_fallback: u64,
+    telemetry: &ServerTelemetry,
+    conn: &mut TcpStream,
+    request: &Request,
+) -> u16 {
+    let reject = |conn: &mut TcpStream, response: Response| {
+        let status = response.status;
+        let _ = response.write_to(conn);
+        status
+    };
+    let completion_request = match parse_completion(request) {
+        Ok(r) => r,
+        Err(response) => return reject(conn, response),
+    };
+    let Some(router) = router else {
+        return reject(
+            conn,
+            Response::text(
+                501,
+                "streaming requires the batched scheduler (max_batch_size > 1)",
+            ),
+        );
+    };
+    let stream = match router.submit_streaming(wisdom.decode_request(&completion_request)) {
+        Ok(stream) => stream,
+        Err(e) => {
+            return reject(
+                conn,
+                Response::text(503, e.to_string()).with_header(
+                    "retry-after",
+                    router.retry_after_secs(retry_after_fallback).to_string(),
+                ),
+            );
+        }
+    };
+    // From here the head has committed the connection to a chunked 200;
+    // write failures (client gone) only abort the body.
+    let started = Instant::now();
+    if write_sse_head(conn).is_err() {
+        let _ = stream.result.wait();
+        return 200;
+    }
+    let mut previous: Option<Instant> = None;
+    for token in stream.tokens.iter() {
+        let now = Instant::now();
+        match previous {
+            None => telemetry
+                .stream_ttft
+                .observe(started.elapsed().as_secs_f64()),
+            Some(p) => telemetry
+                .stream_token
+                .observe(now.duration_since(p).as_secs_f64()),
+        }
+        previous = Some(now);
+        let event = Json::obj(vec![("token", Json::Str(wisdom.token_text(token)))]).to_text();
+        if write_sse_event(conn, &event).is_err() {
+            break;
+        }
+    }
+    let suggestion = wisdom.suggestion_from_tokens(&completion_request, &stream.result.wait());
+    let _ = write_sse_event(conn, &completion_payload(&suggestion).to_text());
+    let _ = write_sse_event(conn, "[DONE]");
+    let _ = finish_chunked(conn);
+    200
+}
+
+/// `/v1/stats` over a replica pool: the single-scheduler JSON shape with
+/// pool-summed values, plus `replica_count` and a per-replica breakdown.
+fn pool_stats(router: &Router, bundles: &[ReplicaTelemetry], config: &ServerConfig) -> Response {
+    let agg = router.pool().aggregate();
+    let num = |n: usize| Json::Num(n as f64);
+    let count = |n: u64| Json::Num(n as f64);
+    let pc = agg.prefix_cache.unwrap_or_default();
+    let quant_bundles = || bundles.iter().filter_map(|b| b.quant.as_ref());
+    let replicas = agg
+        .replicas
         .iter()
-        .map(|v| Json::Str(v.to_string()))
+        .map(|s| {
+            let rpc = s.prefix_cache.unwrap_or_default();
+            Json::obj(vec![
+                ("queue_depth", num(s.queue_depth)),
+                ("in_flight", num(s.in_flight)),
+                ("wakeups", count(s.wakeups)),
+                ("prefix_cache_hits", count(rpc.hits)),
+                ("prefix_cache_bytes", num(rpc.bytes)),
+            ])
+        })
         .collect();
     Response::json(
         Json::obj(vec![
-            ("completion", Json::Str(suggestion.body.clone())),
-            ("snippet", Json::Str(suggestion.snippet.clone())),
-            ("schema_correct", Json::Bool(suggestion.schema_correct)),
-            ("lint", Json::Arr(lint)),
-            ("model", Json::Str("wisdom".to_string())),
+            ("queue_depth", num(agg.queue_depth)),
+            ("in_flight", num(agg.in_flight)),
+            ("max_batch_size", num(config.max_batch_size)),
+            ("queue_capacity", num(config.queue_depth)),
+            (
+                "prefix_cache",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(agg.prefix_cache.is_some())),
+                    ("hits", count(pc.hits)),
+                    ("misses", count(pc.misses)),
+                    ("hit_tokens", count(pc.hit_tokens)),
+                    ("evicted_segments", count(pc.evicted_segments)),
+                    ("bytes", num(pc.bytes)),
+                    ("segments", num(pc.segments)),
+                    ("budget_bytes", num(pc.budget_bytes)),
+                ]),
+            ),
+            (
+                "speculative",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(config.speculative.enabled())),
+                    ("k", num(config.speculative.max_draft)),
+                    (
+                        "draft",
+                        Json::Str(config.speculative.draft_label().to_string()),
+                    ),
+                ]),
+            ),
+            (
+                "precision",
+                Json::Str(config.precision.as_str().to_string()),
+            ),
+            (
+                "quant",
+                Json::obj(vec![
+                    (
+                        "weight_bytes",
+                        num(quant_bundles().map(|q| q.weight_bytes.get()).sum::<f64>() as usize),
+                    ),
+                    (
+                        "weight_bytes_saved",
+                        num(quant_bundles()
+                            .map(|q| q.weight_bytes_saved.get())
+                            .sum::<f64>() as usize),
+                    ),
+                    (
+                        "matmuls_int8",
+                        count(quant_bundles().map(|q| q.matmuls_int8.get()).sum()),
+                    ),
+                    (
+                        "matmuls_f32",
+                        count(quant_bundles().map(|q| q.matmuls_f32.get()).sum()),
+                    ),
+                ]),
+            ),
+            ("replica_count", num(router.pool().len())),
+            ("replicas", Json::Arr(replicas)),
         ])
         .to_text(),
     )

@@ -144,6 +144,207 @@ pub fn post_raw(
     read_response(&mut stream)
 }
 
+/// A persistent keep-alive connection to the server: sequential requests
+/// share one TCP socket, skipping per-request connection setup (the hot
+/// path for an editor firing completion requests as the user types).
+///
+/// Every request advertises `connection: keep-alive`; responses are read
+/// content-length framed (never to EOF), so the socket stays usable. The
+/// server bounds requests per connection
+/// (`ServerConfig::keepalive_max_requests`) and answers the last one with
+/// `connection: close`; [`HttpConnection::post`] keeps working across that
+/// by transparently reconnecting.
+#[derive(Debug)]
+pub struct HttpConnection {
+    addr: std::net::SocketAddr,
+    stream: Option<TcpStream>,
+    /// Sockets this connection has opened in its lifetime (1 = every
+    /// request so far reused the first socket). Tests assert on this.
+    connects: usize,
+}
+
+impl HttpConnection {
+    /// Opens a connection to the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] on connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<HttpConnection, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::BadResponse("unresolvable address".to_string()))?;
+        let stream = TcpStream::connect(addr)?;
+        Ok(HttpConnection {
+            addr,
+            stream: Some(stream),
+            connects: 1,
+        })
+    }
+
+    /// How many TCP sockets this connection has opened so far.
+    pub fn connects(&self) -> usize {
+        self.connects
+    }
+
+    /// Performs one `POST` on the persistent socket and returns
+    /// `(status, headers, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on network or framing problems.
+    pub fn post(
+        &mut self,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, ResponseHeaders, String), ClientError> {
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nhost: localhost\r\nconnection: keep-alive\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.round_trip(&request)
+    }
+
+    /// Performs one `GET` on the persistent socket and returns
+    /// `(status, headers, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on network or framing problems.
+    pub fn get(&mut self, path: &str) -> Result<(u16, ResponseHeaders, String), ClientError> {
+        let request =
+            format!("GET {path} HTTP/1.1\r\nhost: localhost\r\nconnection: keep-alive\r\n\r\n");
+        self.round_trip(&request)
+    }
+
+    fn round_trip(&mut self, request: &str) -> Result<(u16, ResponseHeaders, String), ClientError> {
+        let stream = match &mut self.stream {
+            Some(s) => s,
+            None => {
+                self.stream = Some(TcpStream::connect(self.addr)?);
+                self.connects += 1;
+                self.stream.as_mut().expect("just connected")
+            }
+        };
+        stream.write_all(request.as_bytes())?;
+        stream.flush()?;
+        let (status, headers, body) = read_framed_response(stream)?;
+        let closing = headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
+        if closing {
+            self.stream = None;
+        }
+        Ok((status, headers, body))
+    }
+}
+
+/// Posts `body` to an SSE streaming endpoint and collects the `data:`
+/// event payloads in arrival order (the final `[DONE]` marker excluded).
+/// Non-200 responses come back as `(status, error body)` with no events.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on network or framing problems.
+pub fn post_sse(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    body: &str,
+) -> Result<(u16, Vec<String>), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let (status, headers, body) = read_framed_response(&mut stream)?;
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if !chunked {
+        return Ok((status, vec![body]));
+    }
+    let events = body
+        .split("\n\n")
+        .filter_map(|e| e.strip_prefix("data: "))
+        .filter(|payload| *payload != "[DONE]")
+        .map(str::to_string)
+        .collect();
+    Ok((status, events))
+}
+
+/// Reads exactly one response without consuming past it: headers
+/// byte-by-byte to the blank line, then a content-length body or chunked
+/// chunks to the terminal zero chunk. This is what keeps a keep-alive
+/// socket reusable — nothing beyond the response is pulled off the wire.
+fn read_framed_response(
+    stream: &mut TcpStream,
+) -> Result<(u16, ResponseHeaders, String), ClientError> {
+    let head = read_until_blank_line(stream)?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::BadResponse("no status line".to_string()))?;
+    let headers: ResponseHeaders = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_lowercase(), v.trim().to_string()))
+        .collect();
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let body = if find("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        let mut body = Vec::new();
+        loop {
+            let size_line = read_line_crlf(stream)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| ClientError::BadResponse(format!("bad chunk size {size_line:?}")))?;
+            let mut chunk = vec![0u8; size + 2];
+            stream.read_exact(&mut chunk)?;
+            if size == 0 {
+                break;
+            }
+            chunk.truncate(size);
+            body.extend_from_slice(&chunk);
+        }
+        body
+    } else {
+        let length: usize = find("content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::BadResponse("missing content-length".to_string()))?;
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body)?;
+        body
+    };
+    Ok((status, headers, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn read_until_blank_line(stream: &mut TcpStream) -> Result<String, ClientError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte)?;
+        head.push(byte[0]);
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+fn read_line_crlf(stream: &mut TcpStream) -> Result<String, ClientError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while !line.ends_with(b"\r\n") {
+        stream.read_exact(&mut byte)?;
+        line.push(byte[0]);
+    }
+    Ok(String::from_utf8_lossy(&line).into_owned())
+}
+
 /// Reads a full HTTP response off `stream` and splits it into status,
 /// lower-cased headers, and body.
 fn read_response(stream: &mut TcpStream) -> Result<(u16, ResponseHeaders, String), ClientError> {

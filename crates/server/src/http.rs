@@ -1,5 +1,7 @@
 //! A minimal HTTP/1.1 server and request/response types over `std::net`,
-//! sufficient for the completions REST API (no TLS, no chunked encoding).
+//! sufficient for the completions REST API: persistent connections
+//! (explicit `Connection: keep-alive`), chunked transfer encoding for the
+//! SSE streaming path, no TLS.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -90,19 +92,32 @@ impl Response {
         }
     }
 
-    /// Writes the response to a stream.
+    /// Writes the response to a stream, closing the connection afterwards.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        self.write_to_with(stream, false)
+    }
+
+    /// [`Self::write_to`] with an explicit connection disposition:
+    /// `keep_alive` advertises `connection: keep-alive` so the client may
+    /// send another request on the same socket (the body is always
+    /// content-length framed, so the boundary is unambiguous either way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to_with(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         )?;
         for (name, value) in &self.headers {
             write!(stream, "{name}: {value}\r\n")?;
@@ -111,6 +126,46 @@ impl Response {
         stream.write_all(&self.body)?;
         stream.flush()
     }
+}
+
+/// Writes the head of a chunked `text/event-stream` response — the SSE
+/// streaming path of `POST /v1/completions`. Events follow via
+/// [`write_sse_event`]; the stream ends with [`finish_chunked`]. Streaming
+/// responses always close the connection: their length is unknown up
+/// front, and the chunked framing already marks the end of the body.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_sse_head(stream: &mut impl Write) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\ncache-control: no-cache\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Writes one SSE event (`data: <payload>\n\n`) as a single HTTP chunk and
+/// flushes, so the client sees the event as soon as the token exists.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_sse_event(stream: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let event = format!("data: {payload}\n\n");
+    write!(stream, "{:x}\r\n", event.len())?;
+    stream.write_all(event.as_bytes())?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (the zero-length chunk).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn finish_chunked(stream: &mut impl Write) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
 }
 
 /// Default request-body cap for [`read_request`] (1 MiB).
@@ -168,9 +223,34 @@ fn io_err(e: &std::io::Error) -> ParseHttpError {
 /// Returns [`ParseHttpError`] on malformed or oversized requests, missing
 /// `Content-Length` on a request with a body, or I/O failure/timeouts.
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ParseHttpError> {
+    match read_request_opt(stream, max_body)? {
+        Some(request) => Ok(request),
+        None => Err(bad("connection closed before a request")),
+    }
+}
+
+/// [`read_request`] distinguishing a clean end of connection: returns
+/// `Ok(None)` when the peer closed the socket before sending anything —
+/// the normal way a keep-alive client finishes — instead of a parse error.
+///
+/// Requests must arrive one at a time (write, await the response, write the
+/// next): each call builds a fresh buffered reader, so bytes of a pipelined
+/// second request read ahead of the first would be lost. The server
+/// advertises this by only honoring explicit `Connection: keep-alive`.
+///
+/// # Errors
+///
+/// Same as [`read_request`].
+pub fn read_request_opt(
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> Result<Option<Request>, ParseHttpError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| io_err(&e))?;
+    let n = reader.read_line(&mut line).map_err(|e| io_err(&e))?;
+    if n == 0 {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -211,12 +291,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     if length > 0 {
         reader.read_exact(&mut body).map_err(|e| io_err(&e))?;
     }
-    Ok(Request {
+    Ok(Some(Request {
         method,
         path,
         headers,
         body,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -293,6 +373,58 @@ mod tests {
         let err = read_request(&mut conn, max_body).unwrap_err();
         drop(client.join().unwrap());
         err
+    }
+
+    #[test]
+    fn keep_alive_disposition_is_explicit() {
+        let mut out = Vec::new();
+        Response::json("{}").write_to_with(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nconnection: keep-alive\r\n"), "{text}");
+        let mut out = Vec::new();
+        Response::json("{}").write_to_with(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nconnection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn sse_stream_is_well_formed_chunked() {
+        let mut out = Vec::new();
+        write_sse_head(&mut out).unwrap();
+        write_sse_event(&mut out, "{\"token\":\"a\"}").unwrap();
+        write_sse_event(&mut out, "[DONE]").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: text/event-stream\r\n"));
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        // Each event is one chunk: hex length, CRLF, `data: …\n\n`, CRLF.
+        let event = "data: {\"token\":\"a\"}\n\n";
+        assert!(
+            text.contains(&format!("{:x}\r\n{event}\r\n", event.len())),
+            "{text}"
+        );
+        assert!(text.ends_with("data: [DONE]\n\n\r\n0\r\n\r\n"), "{text}");
+    }
+
+    #[test]
+    fn clean_eof_reads_as_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let c = TcpStream::connect(addr).unwrap();
+            drop(c);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(read_request_opt(&mut conn, 1024).unwrap(), None);
+        client.join().unwrap();
+        // The strict variant reports the same condition as a 400.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || drop(TcpStream::connect(addr).unwrap()));
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(read_request(&mut conn, 1024).unwrap_err().status, 400);
+        client.join().unwrap();
     }
 
     #[test]

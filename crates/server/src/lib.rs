@@ -28,10 +28,21 @@ mod api;
 mod client;
 mod http;
 mod json;
+mod router;
 mod telemetry;
 
 pub use api::{route, route_full, route_with, ServerConfig, ServerHandle, WisdomServer};
-pub use client::{get, post, post_raw, request_completion, ClientError, CompletionResponse};
-pub use http::{read_request, ParseHttpError, Request, Response, MAX_BODY_BYTES};
+pub use client::{
+    get, post, post_raw, post_sse, request_completion, ClientError, CompletionResponse,
+    HttpConnection,
+};
+pub use http::{
+    finish_chunked, read_request, read_request_opt, write_sse_event, write_sse_head,
+    ParseHttpError, Request, Response, MAX_BODY_BYTES,
+};
 pub use json::{parse_json, Json, ParseJsonError};
+pub use router::{
+    estimate_retry_after, rendezvous_pick, Placement, RoutePolicy, Router, RouterConfig,
+    RouterTelemetry,
+};
 pub use telemetry::{ServerTelemetry, METRICS_CONTENT_TYPE};

@@ -9,7 +9,9 @@
 
 use std::sync::Arc;
 
-use wisdom_core::{BatchTelemetry, PrefixCacheTelemetry, QuantTelemetry, SpeculativeTelemetry};
+use wisdom_core::{
+    BatchTelemetry, PrefixCacheTelemetry, QuantTelemetry, ReplicaTelemetry, SpeculativeTelemetry,
+};
 use wisdom_telemetry::{Counter, Histogram, Logger, Registry};
 
 /// The Prometheus text exposition content type served by `GET /metrics`.
@@ -56,6 +58,11 @@ pub struct ServerTelemetry {
     request_duration: Vec<(&'static str, Arc<Histogram>)>,
     /// `wisdom_http_requests_total` — every request, any route or status.
     pub requests_total: Arc<Counter>,
+    /// Time to first streamed SSE token, measured at the HTTP layer
+    /// (includes queueing and prefill — what the editor user feels).
+    pub stream_ttft: Arc<Histogram>,
+    /// Gap between consecutive streamed SSE tokens of one response.
+    pub stream_token: Arc<Histogram>,
 }
 
 impl ServerTelemetry {
@@ -93,6 +100,16 @@ impl ServerTelemetry {
             "wisdom_http_requests_total",
             "HTTP requests handled, any route or status.",
         );
+        let stream_ttft = registry.histogram(
+            "wisdom_stream_ttft_seconds",
+            "Time to first streamed token, measured at the HTTP layer.",
+            &buckets,
+        );
+        let stream_token = registry.histogram(
+            "wisdom_stream_token_seconds",
+            "Gap between consecutive streamed tokens of one response.",
+            &buckets,
+        );
         ServerTelemetry {
             registry,
             batch,
@@ -102,7 +119,44 @@ impl ServerTelemetry {
             logger,
             request_duration,
             requests_total,
+            stream_ttft,
+            stream_token,
         }
+    }
+
+    /// Telemetry bundles for an `n`-replica pool. One replica reuses the
+    /// unlabeled server-wide bundles (scrape output identical to the
+    /// single-scheduler server); more than one registers a labeled
+    /// `replica="i"` series set per replica in the same families, so one
+    /// scrape shows both per-replica and (summed by the scraper)
+    /// aggregate behavior.
+    pub fn replica_bundles(&self, n: usize) -> Vec<ReplicaTelemetry> {
+        if n <= 1 {
+            return vec![ReplicaTelemetry {
+                batch: Some(self.batch.clone()),
+                prefix_cache: Some(self.prefix_cache.clone()),
+                speculative: Some(self.speculative.clone()),
+                quant: Some(self.quant.clone()),
+            }];
+        }
+        (0..n)
+            .map(|i| {
+                let idx = i.to_string();
+                let labels: &[(&str, &str)] = &[("replica", &idx)];
+                ReplicaTelemetry {
+                    batch: Some(BatchTelemetry::register_labeled(&self.registry, labels)),
+                    prefix_cache: Some(PrefixCacheTelemetry::register_labeled(
+                        &self.registry,
+                        labels,
+                    )),
+                    speculative: Some(SpeculativeTelemetry::register_labeled(
+                        &self.registry,
+                        labels,
+                    )),
+                    quant: Some(QuantTelemetry::register_labeled(&self.registry, labels)),
+                }
+            })
+            .collect()
     }
 
     /// The registry backing `GET /metrics`.

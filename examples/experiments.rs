@@ -8,19 +8,19 @@
 //!
 //! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
 //! `throughput`, `batching`, `prefix`, `telemetry`, `speculative`, `quant`,
-//! `all`.
+//! `serving`, `all`.
 //! Profiles: `test` (seconds), `fast`, `quick` (default), `paper`.
 //!
-//! The `quant` target additionally writes its measurements to
-//! `BENCH_quant.json` in the working directory.
+//! The `quant` and `serving` targets additionally write their measurements
+//! to `BENCH_quant.json` / `BENCH_serving.json` in the working directory.
 
 use std::time::Instant;
 
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
-    run_decode_batching, run_decoding_ablation, run_prefix_cache, run_quant, run_speculative,
-    run_table3, run_table4, run_table5, run_telemetry_overhead, run_throughput, tables, Profile,
-    Progress, QuantResult, Zoo,
+    run_decode_batching, run_decoding_ablation, run_prefix_cache, run_quant, run_serving,
+    run_speculative, run_table3, run_table4, run_table5, run_telemetry_overhead, run_throughput,
+    tables, Profile, Progress, QuantResult, ServingResult, Zoo,
 };
 
 fn main() {
@@ -68,6 +68,11 @@ fn main() {
             let r = run_quant(&mut zoo, 96, progress());
             print!("{}", tables::quant_text(&r));
             write_bench_quant(&r, profile_name, 96);
+        }
+        "serving" => {
+            let r = run_serving(&profile, 8, 10);
+            print!("{}", tables::serving_text(&r));
+            write_bench_serving(&r, profile_name);
         }
         "throughput" => throughput(&profile),
         "batching" => batching(&profile),
@@ -204,5 +209,60 @@ fn write_bench_quant(r: &QuantResult, profile_name: &str, tokens: usize) {
     match std::fs::write("BENCH_quant.json", &json) {
         Ok(()) => eprintln!("[wrote BENCH_quant.json]"),
         Err(e) => eprintln!("[failed to write BENCH_quant.json: {e}]"),
+    }
+}
+
+/// Writes the serving-replay measurements to `BENCH_serving.json` so the
+/// repo records the multi-replica SLO numbers the README quotes.
+fn write_bench_serving(r: &ServingResult, profile_name: &str) {
+    let mut arms = String::new();
+    for (i, a) in r.arms.iter().enumerate() {
+        if i > 0 {
+            arms.push_str(",\n");
+        }
+        arms.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"replicas\": {}, \"policy\": \"{}\", \
+             \"aggregate_tps\": {:.1}, \"ttft_p50_ms\": {:.2}, \"ttft_p99_ms\": {:.2}, \
+             \"warm_ttft_p50_ms\": {:.2}, \"token_p50_ms\": {:.3}, \"requests\": {}, \
+             \"shed_retries\": {}, \"cache_hit_rate\": {:.3}, \"cache_hit_tokens\": {}}}",
+            a.label,
+            a.replicas,
+            a.policy,
+            a.aggregate_tps,
+            a.ttft_p50_ms,
+            a.ttft_p99_ms,
+            a.warm_ttft_p50_ms,
+            a.token_p50_ms,
+            a.requests,
+            a.shed_retries,
+            a.cache_hit_rate,
+            a.cache_hit_tokens
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"multi-replica serving replay (2.7B-class, streamed greedy)\",\n  \
+         \"profile\": \"{}\",\n  \
+         \"workload\": {{\"sessions\": {}, \"resends\": {}, \"prefix_tokens\": {}, \
+         \"growth_tokens\": {}, \"max_new_tokens\": {}, \
+         \"replica_prefix_cache_bytes\": {}}},\n  \
+         \"note\": \"single-core host: scale-out wins come from aggregate prefix-cache \
+         capacity under affinity routing, not CPU parallelism\",\n  \
+         \"arms\": [\n{}\n  ],\n  \
+         \"scaleout_tps_2x_vs_1x\": {:.3},\n  \
+         \"warm_ttft_p50_affinity_gain_vs_round_robin\": {:.3}\n}}\n",
+        profile_name,
+        r.sessions,
+        r.resends,
+        r.prefix_tokens,
+        r.growth_tokens,
+        r.max_new,
+        r.replica_budget_bytes,
+        arms,
+        r.scaleout(),
+        r.affinity_warm_ttft_gain()
+    );
+    match std::fs::write("BENCH_serving.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH_serving.json]"),
+        Err(e) => eprintln!("[failed to write BENCH_serving.json: {e}]"),
     }
 }

@@ -5,9 +5,11 @@
 # guarantees behind prefill, batching, the prefix KV cache, speculative
 # decoding, and int8 quantization), the tensor-kernel unit + property tests
 # (including the quantized GEBP's dequant-oracle identity), doc tests, the
-# telemetry substrate's unit + property tests, and the observability e2e
-# tests (/metrics scrape, /healthz, /readyz over a real socket). Run from
-# the repository root before sending a change.
+# telemetry substrate's unit + property tests, the router agreement suite
+# (rendezvous stability + multi-replica/single-replica bit-identity), and
+# the observability/serving e2e tests (/metrics scrape, /healthz, /readyz,
+# SSE streaming vs plain bit-identity, keep-alive socket reuse — all over
+# real sockets). Run from the repository root before sending a change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +26,9 @@ cargo test -q -p wisdom-model \
 cargo test -q -p wisdom-tensor
 cargo test --doc -q
 cargo test -q -p wisdom-telemetry
+cargo test -q -p wisdom-server --test router_props
 cargo test -q --test server_e2e -- \
   metrics_scrape_mid_load_counts_requests \
-  health_and_readiness_endpoints
+  health_and_readiness_endpoints \
+  streaming_completion_is_bit_identical_to_the_plain_response \
+  keep_alive_connection_reuses_one_socket_for_sequential_requests

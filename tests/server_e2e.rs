@@ -487,6 +487,163 @@ fn metrics_scrape_mid_load_counts_requests() {
 }
 
 #[test]
+fn keep_alive_connection_reuses_one_socket_for_sequential_requests() {
+    use ansible_wisdom::server::HttpConnection;
+
+    let (handle, addr) = spawn_server();
+    let mut conn = HttpConnection::connect(addr).expect("connect");
+
+    let (status, headers, body) = conn
+        .post("/v1/completions", r#"{"prompt":"install nginx"}"#)
+        .expect("first request");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v == "keep-alive"),
+        "server must advertise keep-alive back: {headers:?}"
+    );
+
+    let (status, _, body) = conn
+        .post("/v1/completions", r#"{"prompt":"start nginx service"}"#)
+        .expect("second request");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = conn.get("/v1/stats").expect("third request");
+    assert_eq!(status, 200, "{body}");
+
+    // All three rode the socket opened by `connect` — the server never
+    // closed it between requests.
+    assert_eq!(conn.connects(), 1, "requests must reuse one TCP socket");
+    handle.stop();
+}
+
+#[test]
+fn keep_alive_connections_are_bounded_per_socket() {
+    use ansible_wisdom::server::HttpConnection;
+
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        keepalive_max_requests: 2,
+        ..ServerConfig::default()
+    });
+    let mut conn = HttpConnection::connect(addr).expect("connect");
+    for _ in 0..4 {
+        let (status, _, body) = conn.get("/healthz").expect("request");
+        assert_eq!(status, 200, "{body}");
+    }
+    // 2 requests per socket → 4 requests need 2 sockets; the client
+    // reconnected transparently when the server said `connection: close`.
+    assert_eq!(conn.connects(), 2);
+    handle.stop();
+}
+
+#[test]
+fn streaming_completion_is_bit_identical_to_the_plain_response() {
+    use ansible_wisdom::server::post_sse;
+    use ansible_wisdom::telemetry::sample_value;
+
+    let (handle, addr) = spawn_server();
+    let body = r#"{"prompt":"install nginx"}"#;
+    let (status, _, plain) = post_raw(addr, "/v1/completions", body).expect("plain");
+    assert_eq!(status, 200, "{plain}");
+
+    let streamed = r#"{"prompt":"install nginx","stream":true}"#;
+    let (status, events) = post_sse(addr, "/v1/completions", streamed).expect("stream");
+    assert_eq!(status, 200);
+    assert!(
+        events.len() >= 2,
+        "want at least one token event plus the final object: {events:?}"
+    );
+    // Every event before the last is a single-token object.
+    for event in &events[..events.len() - 1] {
+        let token = parse_json(event).expect("token event json");
+        assert!(
+            token.get("token").and_then(Json::as_str).is_some(),
+            "bad token event: {event}"
+        );
+    }
+    // The final event is byte-for-byte the non-streaming response body.
+    assert_eq!(events.last().map(String::as_str), Some(plain.as_str()));
+
+    // Stream latency histograms saw the stream.
+    let (_, metrics) = get(addr, "/metrics").expect("metrics");
+    let ttft = sample_value(&metrics, "wisdom_stream_ttft_seconds_count").expect("ttft series");
+    assert!(ttft >= 1.0, "{metrics}");
+    assert!(
+        sample_value(&metrics, "wisdom_stream_token_seconds_count").is_some(),
+        "{metrics}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn streaming_rejects_bad_payloads_without_starting_a_stream() {
+    use ansible_wisdom::server::post_sse;
+
+    let (handle, addr) = spawn_server();
+    let (status, events) =
+        post_sse(addr, "/v1/completions", r#"{"stream":true}"#).expect("missing prompt");
+    assert_eq!(status, 400);
+    assert_eq!(events.len(), 1, "plain error body, no SSE events");
+    handle.stop();
+}
+
+#[test]
+fn multi_replica_server_is_deterministic_and_reports_per_replica_stats() {
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        worker_threads: 6,
+        max_batch_size: 2,
+        queue_depth: 16,
+        replicas: 2,
+        ..ServerConfig::default()
+    });
+    let wisdom = tiny_wisdom();
+    // Enough distinct prompts that the rendezvous fallback exercises both
+    // replicas; every completion must match the direct path bit-for-bit.
+    let mut threads = Vec::new();
+    for i in 0..6 {
+        threads.push(std::thread::spawn(move || {
+            let prompt = format!("install package number{i}");
+            (
+                prompt.clone(),
+                request_completion(addr, "", &prompt).expect("completion"),
+            )
+        }));
+    }
+    for t in threads {
+        let (prompt, got) = t.join().expect("client thread");
+        assert_eq!(
+            got.snippet,
+            wisdom.complete_task("", &prompt).snippet,
+            "prompt {prompt:?}"
+        );
+    }
+
+    let (status, body) = get(addr, "/v1/stats").expect("stats");
+    assert_eq!(status, 200, "{body}");
+    let j = parse_json(&body).expect("stats json");
+    assert_eq!(j.get("replica_count").and_then(Json::as_f64), Some(2.0));
+    assert!(
+        matches!(j.get("replicas"), Some(Json::Arr(items)) if items.len() == 2),
+        "{body}"
+    );
+    // The pool aggregate keeps the legacy shape.
+    assert_eq!(j.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+    let pc = j.get("prefix_cache").expect("prefix_cache object");
+    assert_eq!(pc.get("enabled").and_then(Json::as_bool), Some(true));
+
+    // Per-replica series are labeled; router counters carry the policy.
+    let (status, metrics) = get(addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("replica=\"0\""), "{metrics}");
+    assert!(metrics.contains("replica=\"1\""), "{metrics}");
+    assert!(
+        metrics.contains("wisdom_router_requests_total{policy=\"prefix_affinity\"}"),
+        "{metrics}"
+    );
+    handle.stop();
+}
+
+#[test]
 fn oversized_request_body_is_rejected_with_413() {
     use std::io::{Read, Write};
     let (handle, addr) = spawn_server();
