@@ -25,6 +25,7 @@ fn requests(model: &TransformerLm, n: usize, tokens: usize) -> Vec<DecodeRequest
                 max_new_tokens: tokens,
                 ..Default::default()
             },
+            grammar: None,
         })
         .collect()
 }

@@ -57,6 +57,7 @@ fn bench(c: &mut Criterion) {
                         strategy: Strategy::Greedy,
                         seed: 0,
                     },
+                    grammar: None,
                 })
                 .expect("warmup submit")
         })

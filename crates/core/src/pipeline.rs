@@ -1,12 +1,13 @@
 //! The build pipeline: everything between "no model" and "a serving Wisdom
 //! assistant", mirroring §4 of the paper at configurable scale.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use wisdom_corpus::{Corpus, CorpusSpec, PromptStyle, SplitSamples};
 use wisdom_model::{
-    finetune, pack_documents, pretrain, BatchConfig, BatchScheduler, FinetuneConfig,
-    GenerationOptions, ModelConfig, PretrainConfig, SftSample, SubmitError, TransformerLm,
+    finetune, pack_documents, pretrain, BatchConfig, BatchScheduler, Constraint, FinetuneConfig,
+    GenerationOptions, GrammarIndex, ModelConfig, PretrainConfig, SftSample, SubmitError,
+    TransformerLm,
 };
 use wisdom_prng::Prng;
 use wisdom_tokenizer::BpeTokenizer;
@@ -98,6 +99,10 @@ pub struct Wisdom {
     config: WisdomConfig,
     tokenizer: Arc<BpeTokenizer>,
     model: TransformerLm,
+    /// Compiled grammar indices, one slot per non-`None` [`Constraint`],
+    /// built against the tokenizer on first use and shared by every request
+    /// decoding under that constraint.
+    grammars: [OnceLock<Arc<GrammarIndex>>; 2],
 }
 
 impl Wisdom {
@@ -187,6 +192,7 @@ impl Wisdom {
             config: *config,
             tokenizer,
             model,
+            grammars: [OnceLock::new(), OnceLock::new()],
         }
     }
 
@@ -200,7 +206,23 @@ impl Wisdom {
             config,
             tokenizer,
             model,
+            grammars: [OnceLock::new(), OnceLock::new()],
         }
+    }
+
+    /// The compiled grammar for `constraint`, built against this
+    /// assistant's tokenizer on first use and cached for every later
+    /// request. `None` for [`Constraint::None`].
+    pub fn grammar_for(&self, constraint: Constraint) -> Option<Arc<GrammarIndex>> {
+        let slot = match constraint {
+            Constraint::None => return None,
+            Constraint::Yaml => &self.grammars[0],
+            Constraint::Ansible => &self.grammars[1],
+        };
+        Some(Arc::clone(slot.get_or_init(|| {
+            GrammarIndex::build(&self.tokenizer, constraint)
+                .expect("non-None constraints always compile")
+        })))
     }
 
     /// The pipeline configuration.
@@ -235,11 +257,28 @@ impl Wisdom {
     /// editor context and intent, generates greedily, truncates to the
     /// first task, and lints the result.
     pub fn complete(&self, request: &CompletionRequest) -> Suggestion {
+        self.complete_constrained(request, Constraint::None)
+    }
+
+    /// [`Wisdom::complete`] decoding under `constraint`: every sampled
+    /// token is masked through the compiled grammar, so the suggestion
+    /// parses (and for [`Constraint::Ansible`] lints clean) by
+    /// construction. [`Constraint::None`] is exactly [`Wisdom::complete`].
+    pub fn complete_constrained(
+        &self,
+        request: &CompletionRequest,
+        constraint: Constraint,
+    ) -> Suggestion {
         let ids = self.tokenizer.encode(&request.prompt_text());
         let stops = [self.tokenizer.eot(), self.tokenizer.sep()];
-        let out = self
-            .model
-            .generate(&ids, &stops, &self.generation_options());
+        let grammar = self.grammar_for(constraint);
+        let out = self.model.generate_constrained(
+            &ids,
+            &stops,
+            &self.generation_options(),
+            grammar.as_ref(),
+            None,
+        );
         self.suggest(request, &out)
     }
 
@@ -277,12 +316,27 @@ impl Wisdom {
         spec_telemetry: Option<wisdom_model::SpeculativeTelemetry>,
         quant_telemetry: Option<wisdom_model::QuantTelemetry>,
     ) -> BatchScheduler {
+        self.scheduler_instrumented(cfg, telemetry, spec_telemetry, quant_telemetry, None)
+    }
+
+    /// [`Wisdom::scheduler_full`] also recording grammar-constrained
+    /// decoding metrics (masked-token counts, mask-build latency, cached
+    /// states, forced fast-path hits) into `grammar_telemetry`.
+    pub fn scheduler_instrumented(
+        &self,
+        cfg: BatchConfig,
+        telemetry: Option<wisdom_model::BatchTelemetry>,
+        spec_telemetry: Option<wisdom_model::SpeculativeTelemetry>,
+        quant_telemetry: Option<wisdom_model::QuantTelemetry>,
+        grammar_telemetry: Option<wisdom_model::GrammarTelemetry>,
+    ) -> BatchScheduler {
         BatchScheduler::spawn_full(
             Arc::new(self.model.clone()),
             cfg,
             telemetry,
             spec_telemetry,
             quant_telemetry,
+            grammar_telemetry,
         )
     }
 
@@ -314,7 +368,23 @@ impl Wisdom {
         request: &CompletionRequest,
         scheduler: &BatchScheduler,
     ) -> Result<Suggestion, SubmitError> {
-        let pending = scheduler.submit(self.decode_request(request))?;
+        self.try_complete_batched_constrained(request, scheduler, Constraint::None)
+    }
+
+    /// [`Wisdom::try_complete_batched`] decoding under `constraint`: the
+    /// submitted request carries the compiled grammar, so the scheduler
+    /// masks every pick through it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Wisdom::try_complete_batched`].
+    pub fn try_complete_batched_constrained(
+        &self,
+        request: &CompletionRequest,
+        scheduler: &BatchScheduler,
+        constraint: Constraint,
+    ) -> Result<Suggestion, SubmitError> {
+        let pending = scheduler.submit(self.decode_request_constrained(request, constraint))?;
         Ok(self.suggest(request, &pending.wait()))
     }
 
@@ -324,10 +394,24 @@ impl Wisdom {
     /// replica yields exactly the tokens [`Wisdom::complete`] decodes —
     /// this is the request a multi-replica router places.
     pub fn decode_request(&self, request: &CompletionRequest) -> wisdom_model::DecodeRequest {
+        self.decode_request_constrained(request, Constraint::None)
+    }
+
+    /// [`Wisdom::decode_request`] decoding under `constraint`: the request
+    /// carries the compiled grammar, so whichever scheduler or replica
+    /// decodes it masks every pick through it. The server resolves each
+    /// HTTP request's `"constraint"` field (default: the configured one)
+    /// and builds its decode requests here.
+    pub fn decode_request_constrained(
+        &self,
+        request: &CompletionRequest,
+        constraint: Constraint,
+    ) -> wisdom_model::DecodeRequest {
         wisdom_model::DecodeRequest {
             prompt: self.tokenizer.encode(&request.prompt_text()),
             stops: vec![self.tokenizer.eot(), self.tokenizer.sep()],
             opts: self.generation_options(),
+            grammar: self.grammar_for(constraint),
         }
     }
 
@@ -423,6 +507,7 @@ impl Wisdom {
             config,
             tokenizer,
             model,
+            grammars: [OnceLock::new(), OnceLock::new()],
         })
     }
 }

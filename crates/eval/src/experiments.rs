@@ -3,11 +3,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use wisdom_corpus::{PromptStyle, Sample};
+use wisdom_corpus::{GenType, PromptStyle, Sample};
 use wisdom_metrics::MetricsSummary;
 use wisdom_model::{
-    BatchConfig, DecodeRequest, GenerationOptions, LmTextGenerator, ModelConfig, Precision,
-    ReplicaPool, Strategy, TransformerLm,
+    BatchConfig, Constraint, DecodeRequest, GenerationOptions, LmTextGenerator, ModelConfig,
+    Precision, ReplicaPool, Strategy, TransformerLm,
 };
 use wisdom_prng::Prng;
 use wisdom_server::{RoutePolicy, Router, RouterConfig};
@@ -520,6 +520,7 @@ fn measure_batched_tps(model: &TransformerLm, batch: usize, tokens: usize) -> (f
                     .collect(),
                 stops: Vec::new(),
                 opts,
+                grammar: None,
             })
             .collect()
     };
@@ -697,6 +698,7 @@ pub fn run_telemetry_overhead(profile: &Profile, batch: usize, tokens: usize) ->
                     .collect(),
                 stops: Vec::new(),
                 opts,
+                grammar: None,
             })
             .collect()
     };
@@ -979,6 +981,141 @@ pub fn run_quant(zoo: &mut Zoo, tokens: usize, mut progress: Progress<'_>) -> Qu
     }
 }
 
+/// One generation type scored with and without the grammar constraint.
+#[derive(Debug, Clone)]
+pub struct GrammarTypeRow {
+    /// "ALL" or the generation-type label.
+    pub label: String,
+    /// Number of test samples of this type (before capping).
+    pub count: usize,
+    /// Metrics for plain (unconstrained) greedy decode.
+    pub unconstrained: MetricsSummary,
+    /// The same model and harness decoding under the Ansible automaton.
+    pub constrained: MetricsSummary,
+}
+
+impl GrammarTypeRow {
+    /// Schema Correct change from constraining (constrained minus plain).
+    pub fn schema_delta(&self) -> f64 {
+        self.constrained.schema_correct - self.unconstrained.schema_correct
+    }
+
+    /// Ansible Aware change from constraining.
+    pub fn aware_delta(&self) -> f64 {
+        self.constrained.ansible_aware - self.unconstrained.ansible_aware
+    }
+
+    /// BLEU change from constraining.
+    pub fn bleu_delta(&self) -> f64 {
+        self.constrained.bleu - self.unconstrained.bleu
+    }
+}
+
+/// The grammar-constrained decoding experiment: Table 5 per-type metrics
+/// with and without the automaton, plus the correctness audit over the
+/// constrained completions themselves.
+#[derive(Debug, Clone)]
+pub struct GrammarResult {
+    /// The constraint the comparison decodes under (`"ansible"`).
+    pub constraint: String,
+    /// Per-type rows, `"ALL"` first (the Table 5 shape, doubled).
+    pub rows: Vec<GrammarTypeRow>,
+    /// Constrained completions audited in the verification pass.
+    pub completions: usize,
+    /// How many of them parse with `wisdom-yaml`.
+    pub parsed: usize,
+    /// How many lint clean (strict Schema Correct checker).
+    pub lint_clean: usize,
+}
+
+/// The grammar experiment: the paper's reference fine-tuned model
+/// (CodeGen-Multi 350M, ctx 1024) evaluated on the Table 5 harness twice —
+/// plain greedy decode vs the same weights decoding under the compiled
+/// Ansible automaton — so the per-generation-type Schema Correct / Ansible
+/// Aware deltas quantify what constraint masking buys. A final pass
+/// re-generates constrained completions and checks each one parses and
+/// lints clean, pinning the subsystem's correctness contract on real
+/// harness prompts.
+pub fn run_grammar(zoo: &mut Zoo, mut progress: Progress<'_>) -> GrammarResult {
+    use wisdom_model::TextGenerator;
+
+    let base = *spec("CodeGen-Multi", SizeClass::S350m).expect("base exists");
+    phase(&mut progress, "finetune CodeGen-Multi ctx1024");
+    let model = zoo.finetuned(&base, 1024, PromptStyle::NameCompletion, 1.0, None);
+    let per_type_cap = (zoo.profile.eval_max_samples / 3).max(8);
+    let settings = EvalSettings {
+        cap: SampleCap::PerType(per_type_cap),
+        ..EvalSettings::for_profile(&zoo.profile)
+    };
+    let test: Vec<Sample> = zoo.split.test.clone();
+    let refs: Vec<&Sample> = test.iter().collect();
+
+    phase(&mut progress, "evaluate unconstrained reference");
+    let plain_gen =
+        LmTextGenerator::new("CodeGen-Multi", model.clone(), Arc::clone(&zoo.tokenizer));
+    let plain = evaluate(&plain_gen, &refs, &settings);
+
+    phase(&mut progress, "evaluate ansible-constrained decode");
+    let constrained_gen =
+        LmTextGenerator::new("CodeGen-Multi [ansible]", model, Arc::clone(&zoo.tokenizer))
+            .with_constraint(Constraint::Ansible);
+    let constrained = evaluate(&constrained_gen, &refs, &settings);
+
+    let mut rows = vec![GrammarTypeRow {
+        label: "ALL".to_string(),
+        count: test.len(),
+        unconstrained: plain.overall,
+        constrained: constrained.overall,
+    }];
+    for ((gt, u), (_, c)) in plain.by_type.iter().zip(&constrained.by_type) {
+        rows.push(GrammarTypeRow {
+            label: gt.to_string(),
+            count: test.iter().filter(|s| s.gen_type == *gt).count(),
+            unconstrained: *u,
+            constrained: *c,
+        });
+    }
+
+    // Correctness audit: regenerate a per-type slice of constrained
+    // completions and check every one parses and lints clean after the
+    // harness's own post-processing and document reconstruction.
+    phase(&mut progress, "verify constrained completions parse + lint");
+    let audit_cap = per_type_cap.min(8);
+    let mut audit: Vec<&Sample> = Vec::new();
+    for gt in GenType::ALL {
+        audit.extend(test.iter().filter(|s| s.gen_type == gt).take(audit_cap));
+    }
+    let prompts: Vec<String> = audit
+        .iter()
+        .map(|s| s.prompt_text(settings.style))
+        .collect();
+    let opts = GenerationOptions {
+        max_new_tokens: settings.max_new_tokens,
+        strategy: Strategy::Greedy,
+        seed: settings.seed,
+    };
+    let outs = constrained_gen.complete_batch(&prompts, &opts);
+    let mut parsed = 0usize;
+    let mut lint_clean = 0usize;
+    for (sample, raw) in audit.iter().zip(&outs) {
+        let doc = sample.scoring_document(&crate::runner::postprocess(sample, raw));
+        if wisdom_yaml::parse(&doc).is_ok() {
+            parsed += 1;
+        }
+        if wisdom_metrics::schema_correct(&doc) {
+            lint_clean += 1;
+        }
+    }
+
+    GrammarResult {
+        constraint: Constraint::Ansible.to_string(),
+        rows,
+        completions: audit.len(),
+        parsed,
+        lint_clean,
+    }
+}
+
 /// One arm of the multi-replica serving replay: a replica count and a
 /// routing policy, measured over the same multi-tenant editor workload.
 #[derive(Debug, Clone)]
@@ -1123,6 +1260,7 @@ fn run_serving_arm(
                                 strategy: Strategy::Greedy,
                                 seed: 0,
                             },
+                            grammar: None,
                         };
                         let submitted = Instant::now();
                         let stream = loop {

@@ -1,8 +1,8 @@
 //! Plain-text renderers for the paper's tables.
 
 use crate::experiments::{
-    BatchingPoint, PrefixCachePoint, QuantResult, Row, ServingResult, SpeculativePoint,
-    TelemetryOverhead, ThroughputResult, TypeRow,
+    BatchingPoint, GrammarResult, PrefixCachePoint, QuantResult, Row, ServingResult,
+    SpeculativePoint, TelemetryOverhead, ThroughputResult, TypeRow,
 };
 use crate::zoo::TABLE2;
 
@@ -268,6 +268,39 @@ pub fn quant_text(r: &QuantResult) -> String {
         r.exact_delta(),
         r.bleu_delta(),
         r.aware_delta()
+    ));
+    out
+}
+
+/// Renders the grammar-constrained decoding experiment: per-generation-type
+/// quality with and without the automaton, plus the correctness audit.
+pub fn grammar_text(r: &GrammarResult) -> String {
+    let mut out = format!(
+        "Grammar-constrained decoding: fine-tuned CodeGen-Multi (ctx 1024), greedy decode \
+         plain vs `{}` automaton, Table 5 harness\n",
+        r.constraint
+    );
+    out.push_str(&format!(
+        "{:<12} {:>5} {:>12} {:>12} {:>8} {:>11} {:>11} {:>8} {:>7}\n",
+        "Type", "n", "Schema", "Schema[g]", "dSchema", "Aware", "Aware[g]", "dAware", "dBLEU"
+    ));
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>12.2} {:>12.2} {:>+8.2} {:>11.2} {:>11.2} {:>+8.2} {:>+7.2}\n",
+            row.label,
+            row.count,
+            row.unconstrained.schema_correct,
+            row.constrained.schema_correct,
+            row.schema_delta(),
+            row.unconstrained.ansible_aware,
+            row.constrained.ansible_aware,
+            row.aware_delta(),
+            row.bleu_delta()
+        ));
+    }
+    out.push_str(&format!(
+        "Correctness audit over constrained completions: {}/{} parse, {}/{} lint clean\n",
+        r.parsed, r.completions, r.lint_clean, r.completions
     ));
     out
 }

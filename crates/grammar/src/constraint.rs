@@ -1,0 +1,72 @@
+//! The user-facing constraint selector.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which grammar, if any, constrains a decode.
+///
+/// * `None` — unconstrained sampling (the default).
+/// * `Yaml` — structural YAML only: indentation-consistent mappings,
+///   sequences and scalars, so every completion parses with `crates/yaml`.
+/// * `Ansible` — the full play/task schema: completions additionally lint
+///   clean under `crates/ansible` (known keys, value kinds, required
+///   module parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Constraint {
+    #[default]
+    None,
+    Yaml,
+    Ansible,
+}
+
+impl Constraint {
+    pub const ALL: [Constraint; 3] = [Constraint::None, Constraint::Yaml, Constraint::Ansible];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Constraint::None => "none",
+            Constraint::Yaml => "yaml",
+            Constraint::Ansible => "ansible",
+        }
+    }
+
+    /// Whether decoding is actually constrained.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, Constraint::None)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Constraint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" | "off" => Ok(Constraint::None),
+            "yaml" => Ok(Constraint::Yaml),
+            "ansible" => Ok(Constraint::Ansible),
+            other => Err(format!(
+                "unknown constraint {other:?} (expected none, yaml or ansible)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_strings() {
+        for c in Constraint::ALL {
+            assert_eq!(c.as_str().parse::<Constraint>().unwrap(), c);
+        }
+        assert_eq!("off".parse::<Constraint>().unwrap(), Constraint::None);
+        assert!("json".parse::<Constraint>().is_err());
+    }
+}

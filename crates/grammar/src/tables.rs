@@ -1,0 +1,298 @@
+//! Compiled grammar tables: the module, keyword, and parameter candidate
+//! lists the automaton consults, with per-key value-shape specs.
+//!
+//! The tables are derived at startup from the same sources the linter uses —
+//! [`wisdom_ansible::MODULES`], [`wisdom_ansible::TASK_KEYWORDS`] and
+//! [`wisdom_ansible::PLAY_KEYWORDS`] — so the grammar can never drift from
+//! the schema it is supposed to satisfy. Keyword value shapes are probed
+//! through the public [`KindSet::accepts`] predicate with representative
+//! values rather than re-encoding the kind bits.
+
+use wisdom_ansible::{KindSet, ParamKind, ParamSpec, MODULES, PLAY_KEYWORDS, TASK_KEYWORDS};
+use wisdom_yaml::Value;
+
+/// Which scalar/block shapes a value position accepts.
+///
+/// This is the grammar-side projection of the linter's `KindSet` /
+/// `ParamKind` checks onto the small family of value machines the automaton
+/// can actually drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ValueSpec {
+    /// Letter-start plain scalar (guaranteed to resolve to `Str`).
+    pub plain: bool,
+    /// Digit-start integer scalar (`0`, or `[1-9][0-9]*`).
+    pub digits: bool,
+    /// A YAML boolean word (`true`/`yes`/…) may terminate the scalar.
+    pub bools: bool,
+    /// A null is acceptable: either the bare `key:` form or a `null` word.
+    pub nulls: bool,
+    /// A block sequence value (`key:` + indented `- item` lines).
+    pub list: bool,
+    /// A `{{ var }}` Jinja template scalar.
+    pub jinja: bool,
+    /// Relaxed (YAML-only) mode: any resolution is fine, digit-start free
+    /// text allowed, no bad-word tracking.
+    pub relaxed: bool,
+}
+
+impl ValueSpec {
+    pub(crate) const fn none() -> Self {
+        ValueSpec {
+            plain: false,
+            digits: false,
+            bools: false,
+            nulls: false,
+            list: false,
+            jinja: false,
+            relaxed: false,
+        }
+    }
+
+    /// Whether any inline (same-line) scalar form exists.
+    pub(crate) fn has_inline(&self) -> bool {
+        self.plain || self.digits || self.bools || self.jinja || self.relaxed
+    }
+}
+
+/// Free-form module argument strings (`command: ls -la`): must resolve `Str`.
+pub(crate) const FREE_FORM_SPEC: ValueSpec = ValueSpec {
+    plain: true,
+    jinja: true,
+    ..ValueSpec::none()
+};
+
+/// Generic block-sequence items: strict plain scalars so every item is a
+/// `Str` (this keeps `roles:` entries valid too).
+pub(crate) const ITEM_SPEC: ValueSpec = ValueSpec {
+    plain: true,
+    jinja: true,
+    ..ValueSpec::none()
+};
+
+/// `- name:` values for generated sibling tasks/plays. `name` is a string
+/// keyword: ints are accepted (`KindSet` folds numbers into strings), nulls
+/// are skipped by the linter, booleans are not accepted.
+pub(crate) const NAME_SPEC: ValueSpec = ValueSpec {
+    plain: true,
+    digits: true,
+    nulls: true,
+    jinja: true,
+    ..ValueSpec::none()
+};
+
+/// Relaxed scalars for the YAML-only constraint mode.
+pub(crate) const YAML_SPEC: ValueSpec = ValueSpec {
+    nulls: true,
+    jinja: true,
+    relaxed: true,
+    ..ValueSpec::none()
+};
+
+fn spec_from_kinds(kinds: &KindSet) -> ValueSpec {
+    ValueSpec {
+        plain: kinds.accepts(&Value::Str("plainvalue".into())),
+        digits: kinds.accepts(&Value::Int(1)),
+        bools: kinds.accepts(&Value::Bool(true)),
+        // The linter skips type checks on null keyword values.
+        nulls: true,
+        list: kinds.accepts(&Value::Seq(Vec::new())),
+        // Jinja template strings are accepted for every keyword kind.
+        jinja: true,
+        relaxed: false,
+    }
+}
+
+fn spec_from_param_kind(kind: ParamKind) -> ValueSpec {
+    match kind {
+        // `Str` params also accept ints/floats.
+        ParamKind::Str => ValueSpec {
+            plain: true,
+            digits: true,
+            jinja: true,
+            ..ValueSpec::none()
+        },
+        ParamKind::Bool => ValueSpec {
+            bools: true,
+            jinja: true,
+            ..ValueSpec::none()
+        },
+        ParamKind::Int => ValueSpec {
+            digits: true,
+            jinja: true,
+            ..ValueSpec::none()
+        },
+        ParamKind::List => ValueSpec {
+            list: true,
+            jinja: true,
+            ..ValueSpec::none()
+        },
+        ParamKind::Map => ValueSpec {
+            jinja: true,
+            ..ValueSpec::none()
+        },
+        ParamKind::Any => ValueSpec {
+            plain: true,
+            digits: true,
+            bools: true,
+            nulls: true,
+            list: true,
+            jinja: true,
+            relaxed: false,
+        },
+    }
+}
+
+/// One module key spelling (both the FQCN and the short alias are separate
+/// entries pointing at the same parameter schema).
+#[derive(Debug)]
+pub(crate) struct ModuleEntry {
+    /// The key as written in YAML (`apt` or `ansible.builtin.apt`).
+    pub key: &'static str,
+    pub free_form: bool,
+    pub params: &'static [ParamSpec],
+    /// Bitmask over `params` of the required ones.
+    pub required_mask: u16,
+    /// Derived value spec per parameter (same order as `params`).
+    pub param_specs: Vec<ValueSpec>,
+}
+
+#[derive(Debug)]
+pub(crate) struct KwEntry {
+    pub name: &'static str,
+    pub spec: ValueSpec,
+}
+
+/// Reserved bit in `Frame::Play::used` for the structural `tasks:` key,
+/// which is offered as a candidate but handled outside the keyword table.
+pub(crate) const TASKS_BIT: u64 = 1 << 63;
+
+/// Everything the automaton needs, compiled once.
+#[derive(Debug)]
+pub(crate) struct Tables {
+    /// Module key spellings (FQCN + short alias entries).
+    pub modules: Vec<ModuleEntry>,
+    /// Task keywords minus `name` (the prompt supplies the name line).
+    pub task_kws: Vec<KwEntry>,
+    /// Play keywords minus `name` and the structural task-list keys
+    /// (`tasks` is offered separately; `pre_tasks`/`post_tasks`/`handlers`
+    /// are omitted because their items would need full task grammars).
+    pub play_kws: Vec<KwEntry>,
+    /// Index into `play_kws` of the required `hosts` keyword.
+    pub hosts_bit: u8,
+}
+
+impl Tables {
+    pub(crate) fn build() -> Tables {
+        let mut modules = Vec::new();
+        for spec in MODULES {
+            assert!(
+                spec.params.len() <= 16,
+                "module {} has more than 16 params; widen the used mask",
+                spec.fqcn
+            );
+            let mut required_mask = 0u16;
+            for (i, p) in spec.params.iter().enumerate() {
+                if p.required {
+                    required_mask |= 1 << i;
+                }
+            }
+            let param_specs: Vec<ValueSpec> = spec
+                .params
+                .iter()
+                .map(|p| spec_from_param_kind(p.kind))
+                .collect();
+            for key in [spec.fqcn, spec.short] {
+                if key.is_empty() {
+                    continue;
+                }
+                modules.push(ModuleEntry {
+                    key,
+                    free_form: spec.free_form,
+                    params: spec.params,
+                    required_mask,
+                    param_specs: param_specs.clone(),
+                });
+            }
+        }
+
+        let task_kws: Vec<KwEntry> = TASK_KEYWORDS
+            .iter()
+            .filter(|k| k.name != "name")
+            .map(|k| KwEntry {
+                name: k.name,
+                spec: spec_from_kinds(&k.kinds),
+            })
+            .collect();
+        assert!(task_kws.len() <= 63, "task keyword bitmask overflow");
+
+        let mut play_kws: Vec<KwEntry> = Vec::new();
+        for k in PLAY_KEYWORDS {
+            match k.name {
+                "name" | "tasks" | "pre_tasks" | "post_tasks" | "handlers" => continue,
+                // `roles` items must be strings or role mappings, and a null
+                // or jinja value is rejected, so it is list-only here.
+                "roles" => play_kws.push(KwEntry {
+                    name: "roles",
+                    spec: ValueSpec {
+                        list: true,
+                        ..ValueSpec::none()
+                    },
+                }),
+                _ => play_kws.push(KwEntry {
+                    name: k.name,
+                    spec: spec_from_kinds(&k.kinds),
+                }),
+            }
+        }
+        assert!(play_kws.len() <= 62, "play keyword bitmask overflow");
+        let hosts_bit = play_kws
+            .iter()
+            .position(|k| k.name == "hosts")
+            .expect("hosts keyword present") as u8;
+
+        Tables {
+            modules,
+            task_kws,
+            play_kws,
+            hosts_bit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_build_and_look_sane() {
+        let t = Tables::build();
+        assert!(t.modules.iter().any(|m| m.key == "apt"));
+        assert!(t.modules.iter().any(|m| m.key == "ansible.builtin.apt"));
+        assert!(t.task_kws.iter().all(|k| k.name != "name"));
+        assert!(t.play_kws.iter().all(|k| k.name != "tasks"));
+        assert_eq!(t.play_kws[t.hosts_bit as usize].name, "hosts");
+    }
+
+    #[test]
+    fn keyword_specs_match_lint_probes() {
+        let t = Tables::build();
+        let when = t.task_kws.iter().find(|k| k.name == "when").unwrap();
+        assert!(when.spec.plain && when.spec.bools && when.spec.list);
+        let become_kw = t.task_kws.iter().find(|k| k.name == "become").unwrap();
+        assert!(!become_kw.spec.plain && become_kw.spec.bools);
+        let vars = t.task_kws.iter().find(|k| k.name == "vars").unwrap();
+        assert!(!vars.spec.plain && !vars.spec.list && vars.spec.jinja);
+        let retries = t.task_kws.iter().find(|k| k.name == "retries").unwrap();
+        assert!(retries.spec.digits && retries.spec.plain);
+    }
+
+    #[test]
+    fn module_required_masks() {
+        let t = Tables::build();
+        let apt = t.modules.iter().find(|m| m.key == "apt").unwrap();
+        assert_eq!(apt.required_mask.count_ones(), 1);
+        assert!(apt.params[apt.required_mask.trailing_zeros() as usize].name == "name");
+        let command = t.modules.iter().find(|m| m.key == "command").unwrap();
+        assert!(command.free_form);
+    }
+}

@@ -34,16 +34,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use wisdom_grammar::{Constraint, GrammarCursor, GrammarIndex};
 use wisdom_prng::Prng;
 
 use crate::decode::{GenerationOptions, Strategy};
 use crate::prefix_cache::{PrefixCacheStats, PrefixKvCache, PrefixPin};
 use crate::speculative::{adapt_draft_len, verify_draft, SpeculativeConfig, Speculator};
-use crate::telemetry::{BatchTelemetry, QuantTelemetry, SpeculativeTelemetry};
-use crate::transformer::{argmax, sample_top_k, KvCache, Precision, TransformerLm};
+use crate::telemetry::{BatchTelemetry, GrammarTelemetry, QuantTelemetry, SpeculativeTelemetry};
+use crate::transformer::{pick_token, KvCache, Precision, TransformerLm};
 
 /// One generation request at the token level.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DecodeRequest {
     /// Prompt token ids (left-truncated to the context window like
     /// [`TransformerLm::generate`]).
@@ -52,6 +53,32 @@ pub struct DecodeRequest {
     pub stops: Vec<u32>,
     /// Budget, strategy, and sampling seed.
     pub opts: GenerationOptions,
+    /// Grammar the completion must satisfy: a shared compiled
+    /// [`GrammarIndex`] whose per-sequence cursor masks every logit row, or
+    /// `None` for unconstrained decoding. Beam requests ignore it.
+    pub grammar: Option<Arc<GrammarIndex>>,
+}
+
+impl DecodeRequest {
+    /// The constraint this request decodes under ([`Constraint::None`] when
+    /// no grammar is attached).
+    pub fn constraint(&self) -> Constraint {
+        self.grammar
+            .as_ref()
+            .map_or(Constraint::None, |g| g.constraint())
+    }
+}
+
+impl PartialEq for DecodeRequest {
+    fn eq(&self, other: &Self) -> bool {
+        // Two indices of the same constraint kind build identical masks for
+        // identical vocabularies, so the constraint kind is the request-level
+        // identity of the grammar handle.
+        self.prompt == other.prompt
+            && self.stops == other.stops
+            && self.opts == other.opts
+            && self.constraint() == other.constraint()
+    }
 }
 
 /// One in-flight sequence inside a [`DecodeBatch`].
@@ -88,6 +115,10 @@ struct Seq {
     /// Current dynamic draft length (grows on full acceptance, halves on
     /// full rejection).
     draft_len: usize,
+    /// Grammar position for constrained sequences: masks every logit row
+    /// before the pick and advances past each emitted token. `None` for
+    /// unconstrained sequences.
+    grammar: Option<GrammarCursor>,
     /// Streaming sink: every emitted token is also sent here the moment it
     /// is chosen, so an HTTP handler can forward it as an SSE event while
     /// decoding continues. Dropped receivers are ignored — an abandoned
@@ -131,6 +162,9 @@ pub struct DecodeBatch<'m> {
     /// Speculation metric handles (verify counters, acceptance histogram,
     /// draft-overhead timer).
     spec_telemetry: Option<SpeculativeTelemetry>,
+    /// Grammar metric handles (masked-token counter, mask-build latency,
+    /// cached states, forced-token fast-path hits).
+    grammar_telemetry: Option<GrammarTelemetry>,
 }
 
 impl<'m> DecodeBatch<'m> {
@@ -143,6 +177,7 @@ impl<'m> DecodeBatch<'m> {
             telemetry: None,
             speculation: SpeculativeConfig::disabled(),
             spec_telemetry: None,
+            grammar_telemetry: None,
         }
     }
 
@@ -158,6 +193,7 @@ impl<'m> DecodeBatch<'m> {
             telemetry: None,
             speculation: SpeculativeConfig::disabled(),
             spec_telemetry: None,
+            grammar_telemetry: None,
         }
     }
 
@@ -179,6 +215,13 @@ impl<'m> DecodeBatch<'m> {
     /// counters, acceptance-length histogram, draft-overhead timer).
     pub fn set_speculative_telemetry(&mut self, telemetry: SpeculativeTelemetry) {
         self.spec_telemetry = Some(telemetry);
+    }
+
+    /// Attaches grammar metric handles (masked-token counter, mask-build
+    /// latency histogram, cached-state gauge, forced fast-path counter).
+    /// Generated tokens are unaffected.
+    pub fn set_grammar_telemetry(&mut self, telemetry: GrammarTelemetry) {
+        self.grammar_telemetry = Some(telemetry);
     }
 
     /// Number of sequences currently in flight.
@@ -268,6 +311,16 @@ impl<'m> DecodeBatch<'m> {
             Vec::new()
         };
         let observed = history.len();
+        // Budget mirrors the solo loop's effective room: the request's
+        // token budget capped by what the context window can still absorb.
+        let ctx = self.model.config().context_window;
+        let grammar = req.grammar.as_ref().map(|g| {
+            GrammarCursor::new(
+                Arc::clone(g),
+                window,
+                req.opts.max_new_tokens.min(ctx.saturating_sub(pos)),
+            )
+        });
         self.seqs.push(Seq {
             tag,
             cache,
@@ -286,6 +339,7 @@ impl<'m> DecodeBatch<'m> {
             history,
             observed,
             draft_len: self.speculation.max_draft,
+            grammar,
             sink,
         });
         if let Some(t) = &self.telemetry {
@@ -306,6 +360,7 @@ impl<'m> DecodeBatch<'m> {
         let model = self.model;
         let telemetry = self.telemetry.as_ref();
         let spec_telemetry = self.spec_telemetry.as_ref();
+        let grammar_telemetry = self.grammar_telemetry.as_ref();
         // Dense-batch backoff: once the live batch outgrows the configured
         // bound, the batched step already amortizes the weight traffic
         // across rows, so per-sequence verify passes stop paying off and
@@ -323,16 +378,19 @@ impl<'m> DecodeBatch<'m> {
                 seq.done = true;
                 continue;
             }
-            let next = match seq.strategy {
-                Strategy::Greedy => argmax(&seq.logits),
-                Strategy::TopK { k, temperature } => {
-                    sample_top_k(&seq.logits, k, temperature, &mut seq.rng)
-                }
-                Strategy::Beam { .. } => unreachable!("rejected at admit"),
-            };
+            let next = pick_token(
+                &mut seq.logits,
+                seq.strategy,
+                &mut seq.rng,
+                seq.grammar.as_ref(),
+                grammar_telemetry,
+            );
             if seq.stops.contains(&next) {
                 seq.done = true;
                 continue;
+            }
+            if let Some(g) = &mut seq.grammar {
+                g.advance(next);
             }
             seq.out.push(next);
             emit_streamed(&seq.sink, &[next]);
@@ -363,6 +421,15 @@ impl<'m> DecodeBatch<'m> {
                         let draft_start = Instant::now();
                         let mut draft = drafter.draft(&seq.history, k);
                         draft.truncate(k);
+                        // A constrained drafter proposes only legal
+                        // continuations: pre-truncating at the first token
+                        // the mask would reject keeps every verify row
+                        // useful and raises the acceptance rate.
+                        if let Some(g) = &seq.grammar {
+                            if g.is_active() {
+                                draft.truncate(g.legal_prefix_len(&draft));
+                            }
+                        }
                         if let Some(t) = spec_telemetry {
                             t.draft_overhead
                                 .observe(draft_start.elapsed().as_secs_f64());
@@ -380,7 +447,16 @@ impl<'m> DecodeBatch<'m> {
         let ran_forward = !speculating.is_empty() || !stepping.is_empty();
         for (seq, draft) in speculating {
             let first = *seq.out.last().expect("sampled token");
-            let v = verify_draft(model, &mut seq.cache, seq.pos, first, &draft, &seq.stops);
+            let v = verify_draft(
+                model,
+                &mut seq.cache,
+                seq.pos,
+                first,
+                &draft,
+                &seq.stops,
+                seq.grammar.as_mut(),
+                grammar_telemetry,
+            );
             if let Some(t) = spec_telemetry {
                 t.verify_passes.inc();
                 t.proposed.add(draft.len() as u64);
@@ -576,6 +652,11 @@ pub struct BatchConfig {
     /// current precision, so replicas can serve mixed precisions from one
     /// f32 checkpoint.
     pub precision: Precision,
+    /// Default grammar constraint for requests that do not attach their own
+    /// [`GrammarIndex`]. The scheduler itself only stores it (building an
+    /// index needs the tokenizer); the serving layer reads it to decide
+    /// which compiled grammar to attach to each [`DecodeRequest`].
+    pub constraint: Constraint,
 }
 
 impl Default for BatchConfig {
@@ -586,6 +667,7 @@ impl Default for BatchConfig {
             prefix_cache_bytes: 64 << 20,
             speculative: SpeculativeConfig::disabled(),
             precision: Precision::F32,
+            constraint: Constraint::None,
         }
     }
 }
@@ -715,7 +797,7 @@ impl BatchScheduler {
         cfg: BatchConfig,
         telemetry: Option<BatchTelemetry>,
     ) -> Self {
-        Self::spawn_full(model, cfg, telemetry, None, None)
+        Self::spawn_full(model, cfg, telemetry, None, None, None)
     }
 
     /// [`Self::spawn_with`] also recording speculation metrics (verify
@@ -732,6 +814,7 @@ impl BatchScheduler {
         telemetry: Option<BatchTelemetry>,
         spec_telemetry: Option<SpeculativeTelemetry>,
         quant_telemetry: Option<QuantTelemetry>,
+        grammar_telemetry: Option<GrammarTelemetry>,
     ) -> Self {
         let cfg = BatchConfig {
             max_batch_size: cfg.max_batch_size.max(1),
@@ -739,6 +822,7 @@ impl BatchScheduler {
             prefix_cache_bytes: cfg.prefix_cache_bytes,
             speculative: cfg.speculative,
             precision: cfg.precision,
+            constraint: cfg.constraint,
         };
         let model = if model.precision() != cfg.precision || quant_telemetry.is_some() {
             let mut m = (*model).clone();
@@ -781,6 +865,7 @@ impl BatchScheduler {
                     worker_cache,
                     worker_telemetry,
                     spec_telemetry,
+                    grammar_telemetry,
                 )
             })
             .expect("spawn decode worker");
@@ -944,6 +1029,7 @@ impl BatchScheduler {
                 prompt: prompt.to_vec(),
                 stops: stops.to_vec(),
                 opts: *opts,
+                grammar: None,
             };
             match self.submit(req) {
                 Ok(pending) => return pending.wait(),
@@ -1005,6 +1091,7 @@ impl fmt::Debug for BatchScheduler {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     model: &TransformerLm,
     shared: &Shared,
@@ -1012,6 +1099,7 @@ fn worker_loop(
     prefix_cache: Option<Arc<PrefixKvCache>>,
     telemetry: Option<BatchTelemetry>,
     spec_telemetry: Option<SpeculativeTelemetry>,
+    grammar_telemetry: Option<GrammarTelemetry>,
 ) {
     let mut engine = match prefix_cache {
         Some(cache) => DecodeBatch::with_prefix_cache(model, cache),
@@ -1023,6 +1111,9 @@ fn worker_loop(
     engine.set_speculation(cfg.speculative);
     if let Some(t) = spec_telemetry {
         engine.set_speculative_telemetry(t);
+    }
+    if let Some(t) = grammar_telemetry {
+        engine.set_grammar_telemetry(t);
     }
     let mut next_tag = 0usize;
     let mut replies: HashMap<usize, mpsc::Sender<Vec<u32>>> = HashMap::new();
@@ -1120,6 +1211,7 @@ mod tests {
                 prompt: p.clone(),
                 stops: vec![0],
                 opts: greedy(6),
+                grammar: None,
             })
             .collect();
         let batched = generate_batch(&model, requests, 3);
@@ -1154,6 +1246,7 @@ mod tests {
             prompt: vec![1, 2],
             stops: vec![],
             opts: greedy(3),
+            grammar: None,
         };
         let a = sched.submit(req()).expect("queued 1");
         let b = sched.submit(req()).expect("queued 2");
@@ -1174,6 +1267,7 @@ mod tests {
                 prompt: vec![1],
                 stops: vec![],
                 opts: greedy(4),
+                grammar: None,
             })
             .expect("queued");
         sched.shutdown();
@@ -1184,6 +1278,7 @@ mod tests {
                     prompt: vec![1],
                     stops: vec![],
                     opts: greedy(4),
+                    grammar: None,
                 })
                 .unwrap_err(),
             SubmitError::ShutDown
@@ -1258,6 +1353,7 @@ mod tests {
             prompt: vec![1, 2],
             stops: vec![],
             opts: greedy(2),
+            grammar: None,
         };
         let queued = sched.submit(req()).expect("fills the queue");
         assert_eq!(sched.submit(req()).unwrap_err(), SubmitError::QueueFull);
@@ -1276,6 +1372,7 @@ mod tests {
             prompt: p.to_vec(),
             stops: vec![0],
             opts: greedy(5),
+            grammar: None,
         };
         let requests = vec![req(&[1, 2, 3]), req(&[4, 5]), req(&[6])];
         let plain = generate_batch(&model, requests.clone(), 2);
@@ -1300,6 +1397,7 @@ mod tests {
                 prompt: p,
                 stops: vec![0],
                 opts: greedy(8),
+                grammar: None,
             })
             .collect();
         let plain = generate_batch(&model, requests.clone(), 2);
@@ -1322,6 +1420,7 @@ mod tests {
             },
             None,
             Some(spec_telemetry.clone()),
+            None,
             None,
         );
         let out = sched.generate(&[1, 2, 3, 1, 2, 3], &[0], &greedy(8));
@@ -1354,6 +1453,7 @@ mod tests {
             None,
             None,
             Some(qt.clone()),
+            None,
         );
         assert_eq!(sched.config().precision, Precision::Int8);
         assert!(qt.weight_bytes.get() > 0.0);
@@ -1386,6 +1486,7 @@ mod tests {
                 prompt: p,
                 stops: vec![0],
                 opts: greedy(6),
+                grammar: None,
             })
             .collect();
         let plain = generate_batch(&model, requests.clone(), 2);
@@ -1403,6 +1504,7 @@ mod tests {
             prompt: p.to_vec(),
             stops: vec![0],
             opts: greedy(6),
+            grammar: None,
         };
         // Streamed and plain submissions of the same request, concurrently.
         let streamed = sched.submit_streaming(req(&[1, 2, 3])).expect("submit");
@@ -1436,6 +1538,7 @@ mod tests {
                 prompt: vec![1, 2],
                 stops: vec![0],
                 opts,
+                grammar: None,
             })
             .expect("beam submit");
         let tokens: Vec<u32> = streamed.tokens.iter().collect();
@@ -1458,6 +1561,7 @@ mod tests {
                 prompt: vec![1, 2],
                 stops: vec![0],
                 opts,
+                grammar: None,
             })
             .expect("beam submit");
         assert_eq!(pending.wait(), model.generate(&[1, 2], &[0], &opts));

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use wisdom_grammar::{Constraint, GrammarIndex};
 use wisdom_tokenizer::BpeTokenizer;
 
 use crate::batch::{generate_batch_with, DecodeRequest};
@@ -121,6 +122,9 @@ pub struct LmTextGenerator {
     name: String,
     model: TransformerLm,
     tokenizer: Arc<BpeTokenizer>,
+    /// Compiled grammar every completion decodes under; `None` leaves the
+    /// decode paths exactly as before.
+    grammar: Option<Arc<GrammarIndex>>,
 }
 
 impl LmTextGenerator {
@@ -134,7 +138,29 @@ impl LmTextGenerator {
             name: name.into(),
             model,
             tokenizer,
+            grammar: None,
         }
+    }
+
+    /// Returns this generator decoding under `constraint`: the grammar is
+    /// compiled against the tokenizer once and every subsequent
+    /// `complete`/`complete_batch` masks its picks through it.
+    /// [`Constraint::None`] removes any constraint.
+    pub fn with_constraint(mut self, constraint: Constraint) -> Self {
+        self.grammar = GrammarIndex::build(&self.tokenizer, constraint);
+        self
+    }
+
+    /// The constraint completions decode under.
+    pub fn constraint(&self) -> Constraint {
+        self.grammar
+            .as_ref()
+            .map_or(Constraint::None, |g| g.constraint())
+    }
+
+    /// The compiled grammar, when a constraint is set.
+    pub fn grammar(&self) -> Option<&Arc<GrammarIndex>> {
+        self.grammar.as_ref()
     }
 
     /// The underlying model.
@@ -152,7 +178,9 @@ impl TextGenerator for LmTextGenerator {
     fn complete(&self, prompt: &str, opts: &GenerationOptions) -> String {
         let ids = self.tokenizer.encode(prompt);
         let stops = [self.tokenizer.eot(), self.tokenizer.sep()];
-        let out = self.model.generate(&ids, &stops, opts);
+        let out = self
+            .model
+            .generate_constrained(&ids, &stops, opts, self.grammar.as_ref(), None);
         self.tokenizer.decode(&out)
     }
 
@@ -170,6 +198,7 @@ impl TextGenerator for LmTextGenerator {
                 prompt: self.tokenizer.encode(p),
                 stops: stops.clone(),
                 opts: *opts,
+                grammar: self.grammar.clone(),
             })
             .collect();
         let prefix_cache = Arc::new(PrefixKvCache::default());

@@ -55,9 +55,15 @@ pub use speculative::{
     DraftKind, NgramSpeculator, SelfDraftSpeculator, SpeculativeConfig, SpeculativeDecoder,
     SpeculativeReport, Speculator,
 };
-pub use telemetry::{BatchTelemetry, PrefixCacheTelemetry, QuantTelemetry, SpeculativeTelemetry};
+pub use telemetry::{
+    BatchTelemetry, GrammarTelemetry, PrefixCacheTelemetry, QuantTelemetry, SpeculativeTelemetry,
+};
+// Re-exported so the serving layers (`wisdom-core`, `wisdom-server`) can
+// build and attach grammar constraints without a direct `wisdom-grammar`
+// dependency.
 pub use train::{
     finetune, finetune_with_epochs, pack_documents, pretrain, EpochFn, FinetuneConfig,
     PretrainConfig, ProgressFn, SftSample,
 };
 pub use transformer::{KvCache, Precision, TransformerLm};
+pub use wisdom_grammar::{Constraint, GrammarCursor, GrammarIndex, GrammarStats, MaskOutcome};

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use crate::batch::{BatchConfig, BatchScheduler, SchedulerStats};
 use crate::prefix_cache::PrefixCacheStats;
 use crate::telemetry::{
-    BatchTelemetry, PrefixCacheTelemetry, QuantTelemetry, SpeculativeTelemetry,
+    BatchTelemetry, GrammarTelemetry, PrefixCacheTelemetry, QuantTelemetry, SpeculativeTelemetry,
 };
 use crate::transformer::TransformerLm;
 
@@ -38,6 +38,8 @@ pub struct ReplicaTelemetry {
     pub speculative: Option<SpeculativeTelemetry>,
     /// Quantization metrics.
     pub quant: Option<QuantTelemetry>,
+    /// Grammar-constrained-decoding metrics.
+    pub grammar: Option<GrammarTelemetry>,
 }
 
 /// Aggregated load across a pool, plus the per-replica snapshots it was
@@ -94,6 +96,7 @@ impl ReplicaPool {
                 t.batch,
                 t.speculative,
                 t.quant,
+                t.grammar,
             );
             if let (Some(pc), Some(cache)) = (t.prefix_cache, scheduler.prefix_cache()) {
                 cache.set_telemetry(pc);
@@ -262,6 +265,7 @@ mod tests {
             prompt: vec![1, 2, 3],
             stops: vec![0],
             opts: greedy(6),
+            grammar: None,
         };
         let streamed = pool
             .replica(1)
@@ -287,6 +291,7 @@ mod tests {
                 prompt: vec![1],
                 stops: vec![],
                 opts: greedy(2),
+                grammar: None,
             })
             .unwrap_err();
         assert_eq!(err, crate::batch::SubmitError::ShutDown);

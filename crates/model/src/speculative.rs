@@ -35,11 +35,15 @@
 //! their forward passes across sequences, so they degrade gracefully to
 //! plain batched decoding.
 
+use std::sync::Arc;
 use std::time::Instant;
+
+use wisdom_grammar::{GrammarCursor, GrammarIndex};
 
 use crate::decode::{GenerationOptions, Strategy};
 use crate::ngram::NgramLm;
-use crate::transformer::{argmax, KvCache, TransformerLm};
+use crate::telemetry::GrammarTelemetry;
+use crate::transformer::{argmax, mask_logits, KvCache, TransformerLm};
 
 /// Which draft proposer speculative decoding uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -350,6 +354,15 @@ pub(crate) struct Verified {
 /// the state sequential greedy decoding would have reached after emitting
 /// `first` and the accepted tokens — and `logits` is bit-identical to the
 /// logits that sequential path would be holding.
+///
+/// When `grammar` is supplied (a cursor already advanced past `first`), each
+/// verify row is masked before its argmax — the same mask the sequential
+/// constrained loop would apply at that position — and the cursor is
+/// advanced past every accepted token, so constrained speculative output
+/// stays bit-identical to constrained sequential greedy. The bonus row is
+/// returned unmasked; the caller's next pick masks it with the cursor in
+/// exactly this post-verify state.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_draft(
     model: &TransformerLm,
     cache: &mut KvCache,
@@ -357,6 +370,8 @@ pub(crate) fn verify_draft(
     first: u32,
     draft: &[u32],
     stops: &[u32],
+    mut grammar: Option<&mut GrammarCursor>,
+    grammar_telemetry: Option<&GrammarTelemetry>,
 ) -> Verified {
     debug_assert_eq!(cache.len(), pos);
     let mut suffix = Vec::with_capacity(draft.len() + 1);
@@ -367,8 +382,9 @@ pub(crate) fn verify_draft(
     let mut stopped = false;
     for (i, &d) in draft.iter().enumerate() {
         // Row `i` holds the logits after suffix token `i` — the plain loop
-        // in the same state would sample exactly this argmax next.
-        let t = argmax(&rows[i]);
+        // in the same state would sample exactly this (masked) argmax next.
+        let forced = mask_logits(grammar.as_deref(), &mut rows[i], grammar_telemetry);
+        let t = forced.unwrap_or_else(|| argmax(&rows[i]));
         if t != d {
             break;
         }
@@ -377,6 +393,9 @@ pub(crate) fn verify_draft(
             break;
         }
         accepted.push(t);
+        if let Some(g) = grammar.as_deref_mut() {
+            g.advance(t);
+        }
     }
     cache.truncate(pos + 1 + accepted.len());
     let logits = std::mem::take(&mut rows[accepted.len()]);
@@ -466,9 +485,26 @@ impl<'m> SpeculativeDecoder<'m> {
         stops: &[u32],
         opts: &GenerationOptions,
     ) -> (Vec<u32>, SpeculativeReport) {
+        self.generate_constrained(prompt, stops, opts, None, None)
+    }
+
+    /// [`Self::generate_with_report`] under an optional grammar constraint:
+    /// the same masks the sequential constrained loop applies gate both the
+    /// emitted token and every verify-row argmax, drafts are pre-truncated
+    /// to their grammar-legal prefix, and the output is bit-identical to
+    /// [`TransformerLm::generate_constrained`] with the same arguments.
+    pub fn generate_constrained(
+        &self,
+        prompt: &[u32],
+        stops: &[u32],
+        opts: &GenerationOptions,
+        grammar: Option<&Arc<GrammarIndex>>,
+        grammar_telemetry: Option<&GrammarTelemetry>,
+    ) -> (Vec<u32>, SpeculativeReport) {
         if !self.speculates(opts) {
             return (
-                self.model.generate(prompt, stops, opts),
+                self.model
+                    .generate_constrained(prompt, stops, opts, grammar, grammar_telemetry),
                 SpeculativeReport::default(),
             );
         }
@@ -476,7 +512,14 @@ impl<'m> SpeculativeDecoder<'m> {
         let mut speculator = self
             .cfg
             .build_speculator(self.model.config().vocab_size, window);
-        self.generate_with(prompt, stops, opts, speculator.as_mut())
+        self.generate_constrained_with(
+            prompt,
+            stops,
+            opts,
+            speculator.as_mut(),
+            grammar,
+            grammar_telemetry,
+        )
     }
 
     /// [`Self::generate_with_report`] with a caller-supplied (typically
@@ -488,9 +531,23 @@ impl<'m> SpeculativeDecoder<'m> {
         opts: &GenerationOptions,
         speculator: &mut dyn Speculator,
     ) -> (Vec<u32>, SpeculativeReport) {
+        self.generate_constrained_with(prompt, stops, opts, speculator, None, None)
+    }
+
+    /// [`Self::generate_constrained`] with a caller-supplied drafter.
+    pub fn generate_constrained_with(
+        &self,
+        prompt: &[u32],
+        stops: &[u32],
+        opts: &GenerationOptions,
+        speculator: &mut dyn Speculator,
+        grammar: Option<&Arc<GrammarIndex>>,
+        grammar_telemetry: Option<&GrammarTelemetry>,
+    ) -> (Vec<u32>, SpeculativeReport) {
         if !self.speculates(opts) {
             return (
-                self.model.generate(prompt, stops, opts),
+                self.model
+                    .generate_constrained(prompt, stops, opts, grammar, grammar_telemetry),
                 SpeculativeReport::default(),
             );
         }
@@ -499,6 +556,13 @@ impl<'m> SpeculativeDecoder<'m> {
         let window = model.generation_window(prompt, opts.max_new_tokens);
         let (mut cache, mut logits) = model.prefill(window);
         let mut pos = window.len();
+        let mut cursor = grammar.map(|g| {
+            GrammarCursor::new(
+                Arc::clone(g),
+                window,
+                opts.max_new_tokens.min(ctx.saturating_sub(pos)),
+            )
+        });
         let mut history = window.to_vec();
         // Tokens up to this index were already reported to the drafter.
         let mut seen = history.len();
@@ -507,10 +571,15 @@ impl<'m> SpeculativeDecoder<'m> {
         let mut report = SpeculativeReport::default();
 
         while out.len() < opts.max_new_tokens && pos < ctx {
-            // Identical to the plain greedy loop: sample, stop-check, emit.
-            let next = argmax(&logits);
+            // Identical to the constrained greedy loop: mask, pick,
+            // stop-check, emit.
+            let forced = mask_logits(cursor.as_ref(), &mut logits, grammar_telemetry);
+            let next = forced.unwrap_or_else(|| argmax(&logits));
             if stops.contains(&next) {
                 break;
+            }
+            if let Some(c) = cursor.as_mut() {
+                c.advance(next);
             }
             out.push(next);
             history.push(next);
@@ -527,6 +596,14 @@ impl<'m> SpeculativeDecoder<'m> {
             let draft_start = Instant::now();
             let mut draft = speculator.draft(&history, k);
             draft.truncate(k);
+            // Constrained drafting: drop everything past the first token the
+            // grammar mask would reject, so verify rows are never wasted on
+            // tokens the constrained pick could not choose anyway.
+            if let Some(c) = &cursor {
+                if c.is_active() {
+                    draft.truncate(c.legal_prefix_len(&draft));
+                }
+            }
             report.draft_seconds += draft_start.elapsed().as_secs_f64();
             if draft.is_empty() {
                 report.fallback_steps += 1;
@@ -535,7 +612,16 @@ impl<'m> SpeculativeDecoder<'m> {
             } else {
                 report.verify_passes += 1;
                 report.proposed += draft.len() as u64;
-                let v = verify_draft(model, &mut cache, pos, next, &draft, stops);
+                let v = verify_draft(
+                    model,
+                    &mut cache,
+                    pos,
+                    next,
+                    &draft,
+                    stops,
+                    cursor.as_mut(),
+                    grammar_telemetry,
+                );
                 report.accepted += v.accepted.len() as u64;
                 report.rejected += (draft.len() - v.accepted.len()) as u64;
                 k_now = adapt_draft_len(k_now, draft.len(), v.accepted.len(), self.cfg.max_draft);

@@ -308,6 +308,63 @@ impl QuantTelemetry {
     }
 }
 
+/// Handles for grammar-constrained decoding
+/// ([`wisdom_grammar::GrammarCursor`] masking inside the decode loops).
+///
+/// Mask application is on the per-token hot path, so the bundle mirrors the
+/// others: pre-resolved `Arc` handles, recorded only when a cursor is
+/// actually active — unconstrained decoding records nothing.
+#[derive(Debug, Clone)]
+pub struct GrammarTelemetry {
+    /// `wisdom_grammar_masked_tokens_total` — vocabulary entries set to
+    /// `-inf` across all constrained logit rows.
+    pub masked_tokens: Arc<Counter>,
+    /// `wisdom_grammar_mask_build_seconds` — latency of computing a fresh
+    /// allowed-token mask (cache hits are not observed).
+    pub mask_build: Arc<Histogram>,
+    /// `wisdom_grammar_states_cached` — automaton states currently in the
+    /// shared mask cache.
+    pub states_cached: Arc<Gauge>,
+    /// `wisdom_grammar_forced_fast_path_total` — picks resolved by the
+    /// single-legal-token fast path (no argmax / no sampling).
+    pub forced_fast_path: Arc<Counter>,
+}
+
+impl GrammarTelemetry {
+    /// Registers (or re-resolves) the grammar metric family in `registry`.
+    pub fn register(registry: &Registry) -> GrammarTelemetry {
+        Self::register_labeled(registry, &[])
+    }
+
+    /// [`Self::register`] with a label set on every series (per-replica
+    /// grammar metrics label with `[("replica", "<i>")]`).
+    pub fn register_labeled(registry: &Registry, labels: &[(&str, &str)]) -> GrammarTelemetry {
+        GrammarTelemetry {
+            masked_tokens: registry.counter_with(
+                "wisdom_grammar_masked_tokens_total",
+                "Vocabulary entries masked to -inf across constrained logit rows.",
+                labels,
+            ),
+            mask_build: registry.histogram_with(
+                "wisdom_grammar_mask_build_seconds",
+                "Latency of building a fresh allowed-token mask (cache misses only).",
+                labels,
+                &Histogram::latency_buckets(),
+            ),
+            states_cached: registry.gauge_with(
+                "wisdom_grammar_states_cached",
+                "Automaton states currently held in the shared mask cache.",
+                labels,
+            ),
+            forced_fast_path: registry.counter_with(
+                "wisdom_grammar_forced_fast_path_total",
+                "Token picks resolved by the single-legal-token fast path.",
+                labels,
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +390,12 @@ mod tests {
         qa.weight_bytes.set(128.0);
         assert_eq!(qb.matmuls_int8.get(), 1);
         assert_eq!(qb.weight_bytes.get(), 128.0);
+        let ga = GrammarTelemetry::register(&registry);
+        let gb = GrammarTelemetry::register(&registry);
+        ga.masked_tokens.add(5);
+        ga.forced_fast_path.inc();
+        assert_eq!(gb.masked_tokens.get(), 5);
+        assert_eq!(gb.forced_fast_path.get(), 1);
     }
 
     #[test]
@@ -361,8 +424,13 @@ mod tests {
         let _ = PrefixCacheTelemetry::register(&registry);
         let _ = SpeculativeTelemetry::register(&registry);
         let _ = QuantTelemetry::register(&registry);
+        let _ = GrammarTelemetry::register(&registry);
         let text = registry.render();
         for name in [
+            "wisdom_grammar_masked_tokens_total",
+            "wisdom_grammar_mask_build_seconds",
+            "wisdom_grammar_states_cached",
+            "wisdom_grammar_forced_fast_path_total",
             "wisdom_quant_weight_bytes",
             "wisdom_quant_weight_bytes_saved",
             "wisdom_quant_matmuls_int8_total",

@@ -12,9 +12,11 @@ use wisdom_tensor::{
     clip_scale, global_grad_norm, Adam, ParamTensor, QuantMatrix, Tape, TensorRef,
 };
 
+use wisdom_grammar::{GrammarCursor, GrammarIndex};
+
 use crate::config::ModelConfig;
 use crate::decode::{GenerationOptions, Strategy};
-use crate::telemetry::QuantTelemetry;
+use crate::telemetry::{GrammarTelemetry, QuantTelemetry};
 
 /// Numeric precision of the weight matrices the inference path multiplies
 /// against (activations, embeddings, biases, and layer norms stay f32 in
@@ -868,6 +870,26 @@ impl TransformerLm {
     /// Returns only the newly generated ids (without the prompt and without
     /// the stop token).
     pub fn generate(&self, prompt: &[u32], stops: &[u32], opts: &GenerationOptions) -> Vec<u32> {
+        self.generate_constrained(prompt, stops, opts, None, None)
+    }
+
+    /// [`Self::generate`] with an optional grammar constraint: each logit
+    /// row is masked through a [`GrammarCursor`] before the pick, so every
+    /// emitted token is legal under the grammar and the completion always
+    /// closes into a parseable, lint-clean document. Whenever the
+    /// unconstrained argmax is already grammar-legal the pick — and hence
+    /// the whole greedy output — is bit-identical to [`Self::generate`].
+    ///
+    /// Beam search is exempt: it scores whole continuations rather than
+    /// per-row picks, and falls through unconstrained.
+    pub fn generate_constrained(
+        &self,
+        prompt: &[u32],
+        stops: &[u32],
+        opts: &GenerationOptions,
+        grammar: Option<&Arc<GrammarIndex>>,
+        grammar_telemetry: Option<&GrammarTelemetry>,
+    ) -> Vec<u32> {
         let ctx = self.cfg.context_window;
         let window = self.generation_window(prompt, opts.max_new_tokens);
         let (mut cache, mut logits) = self.prefill(window);
@@ -875,18 +897,28 @@ impl TransformerLm {
         if let Strategy::Beam { width } = opts.strategy {
             return self.beam_generate(logits, cache, pos, stops, width.max(1), opts);
         }
+        let mut cursor = grammar.map(|g| {
+            GrammarCursor::new(
+                Arc::clone(g),
+                window,
+                opts.max_new_tokens.min(ctx.saturating_sub(pos)),
+            )
+        });
         let mut rng = Prng::seed_from_u64(opts.seed);
         let mut out = Vec::new();
         while out.len() < opts.max_new_tokens && pos < ctx {
-            let next = match opts.strategy {
-                Strategy::Greedy => argmax(&logits),
-                Strategy::TopK { k, temperature } => {
-                    sample_top_k(&logits, k, temperature, &mut rng)
-                }
-                Strategy::Beam { .. } => unreachable!("handled above"),
-            };
+            let next = pick_token(
+                &mut logits,
+                opts.strategy,
+                &mut rng,
+                cursor.as_ref(),
+                grammar_telemetry,
+            );
             if stops.contains(&next) {
                 break;
+            }
+            if let Some(c) = cursor.as_mut() {
+                c.advance(next);
             }
             out.push(next);
             logits = self.step(next, pos, &mut cache);
@@ -1416,6 +1448,61 @@ fn layer_norm_row(x: &[f32], gain: &[f32], bias: &[f32]) -> Vec<f32> {
         .zip(gain.iter().zip(bias.iter()))
         .map(|(&xv, (&g, &b))| (xv - mean) * rstd * g + b)
         .collect()
+}
+
+/// Masks one logit row through an active grammar cursor, recording the
+/// grammar metrics, and returns the forced token when exactly one
+/// continuation is legal. Returns `None` (and touches nothing) for absent,
+/// bypassed, or finished cursors.
+pub(crate) fn mask_logits(
+    grammar: Option<&GrammarCursor>,
+    logits: &mut [f32],
+    telemetry: Option<&GrammarTelemetry>,
+) -> Option<u32> {
+    let cursor = grammar?;
+    if !cursor.is_active() {
+        return None;
+    }
+    let start = telemetry.map(|_| std::time::Instant::now());
+    let outcome = cursor.apply(logits);
+    if let Some(t) = telemetry {
+        t.masked_tokens.add(u64::from(outcome.masked));
+        if !outcome.cache_hit {
+            if let Some(at) = start {
+                t.mask_build.observe(at.elapsed().as_secs_f64());
+            }
+            t.states_cached
+                .set(cursor.index().stats().states_cached as f64);
+        }
+        if outcome.forced.is_some() {
+            t.forced_fast_path.inc();
+        }
+    }
+    outcome.forced
+}
+
+/// The one token pick shared by the solo generate loop and the batched
+/// decode engine: grammar mask (when a cursor is active), forced-token fast
+/// path, then the strategy's usual argmax / seeded top-k. A single
+/// implementation is what keeps constrained solo, batched, and speculative
+/// decoding in token-for-token agreement.
+pub(crate) fn pick_token(
+    logits: &mut [f32],
+    strategy: Strategy,
+    rng: &mut Prng,
+    grammar: Option<&GrammarCursor>,
+    telemetry: Option<&GrammarTelemetry>,
+) -> u32 {
+    if let Some(forced) = mask_logits(grammar, logits, telemetry) {
+        // The mask left exactly one legal token; argmax/sampling over the
+        // masked row could only return it, so skip both (and the rng draw).
+        return forced;
+    }
+    match strategy {
+        Strategy::Greedy => argmax(logits),
+        Strategy::TopK { k, temperature } => sample_top_k(logits, k, temperature, rng),
+        Strategy::Beam { .. } => unreachable!("beam search expands beams, not single rows"),
+    }
 }
 
 pub(crate) fn argmax(xs: &[f32]) -> u32 {

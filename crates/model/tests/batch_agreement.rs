@@ -49,6 +49,7 @@ fn request(prompt: &[u32], opts: GenerationOptions) -> DecodeRequest {
         prompt: prompt.to_vec(),
         stops: STOPS.to_vec(),
         opts,
+        grammar: None,
     }
 }
 

@@ -41,6 +41,7 @@ fn request(prompt: &[u32], max_new: usize) -> DecodeRequest {
         prompt: prompt.to_vec(),
         stops: vec![0],
         opts: greedy(max_new),
+        grammar: None,
     }
 }
 

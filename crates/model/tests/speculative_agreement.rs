@@ -45,6 +45,7 @@ fn request(prompt: &[u32], max_new: usize) -> DecodeRequest {
         prompt: prompt.to_vec(),
         stops: vec![0],
         opts: greedy(max_new),
+        grammar: None,
     }
 }
 
@@ -145,6 +146,7 @@ fn mixed_strategies_only_speculate_the_greedy_lanes() {
             prompt: vec![4, 5, 6],
             stops: vec![0],
             opts: topk,
+            grammar: None,
         },
         request(&[7, 8, 7, 8], 6),
     ];

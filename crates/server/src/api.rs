@@ -17,6 +17,12 @@
 //! per decoded token, then a final event carrying the exact JSON object a
 //! non-streaming request would have returned, then `data: [DONE]`.
 //!
+//! Completions also accept `"constraint": "none" | "yaml" | "ansible"` to
+//! pick the grammar the decode is masked through per request
+//! (unrecognized values get a 400); requests without the field decode
+//! under [`ServerConfig::constraint`]. `GET /v1/stats` echoes the default
+//! and the pool's grammar counters.
+//!
 //! With `ServerConfig::replicas` > 1, completions are spread over a
 //! [`ReplicaPool`] by a cache-aware [`Router`]: each replica owns its own
 //! decode worker and prefix KV cache, and requests are placed on the
@@ -33,8 +39,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use wisdom_core::{
-    BatchConfig, BatchScheduler, CompletionRequest, Precision, ReplicaTelemetry, SchedulerStats,
-    SpeculativeConfig, SubmitError, Suggestion, Wisdom,
+    BatchConfig, BatchScheduler, CompletionRequest, Constraint, Precision, ReplicaTelemetry,
+    SchedulerStats, SpeculativeConfig, SubmitError, Suggestion, Wisdom,
 };
 
 use crate::http::{
@@ -72,6 +78,10 @@ pub struct ServerConfig {
     /// the scheduler's model copy to per-block int8 at startup); echoed in
     /// `GET /v1/stats`. Requires the batched path (`max_batch_size` > 1).
     pub precision: Precision,
+    /// Default grammar constraint completions decode under; individual
+    /// requests override it with a `"constraint"` field. Echoed in
+    /// `GET /v1/stats`.
+    pub constraint: Constraint,
     /// Independent scheduler replicas behind the router, each with its own
     /// decode worker and prefix KV cache sized by `prefix_cache_bytes`.
     /// Requires the batched path (`max_batch_size` > 1); clamped to ≥ 1.
@@ -96,6 +106,7 @@ impl Default for ServerConfig {
             prefix_cache_bytes: 64 << 20,
             speculative: SpeculativeConfig::disabled(),
             precision: Precision::F32,
+            constraint: Constraint::None,
             replicas: 1,
             route_policy: RoutePolicy::PrefixAffinity,
             keepalive_max_requests: 32,
@@ -222,6 +233,7 @@ impl WisdomServer {
                     prefix_cache_bytes: config.prefix_cache_bytes,
                     speculative: config.speculative,
                     precision: config.precision,
+                    constraint: config.constraint,
                 },
                 replicas,
                 &bundles,
@@ -351,6 +363,7 @@ fn handle_connection(
                         wisdom,
                         router,
                         config.retry_after_secs,
+                        config.constraint,
                         telemetry,
                         conn,
                         &request,
@@ -432,14 +445,19 @@ fn respond(
     request: &Request,
 ) -> Response {
     match (request.method.as_str(), request.path.as_str(), router) {
-        ("POST", "/v1/completions", Some(router)) => {
-            completions_pooled(wisdom, router, config.retry_after_secs, request)
-        }
+        ("POST", "/v1/completions", Some(router)) => completions_pooled(
+            wisdom,
+            router,
+            config.retry_after_secs,
+            config.constraint,
+            request,
+        ),
         ("GET", "/v1/stats", Some(router)) => pool_stats(router, bundles, config),
-        _ => route_full(
+        _ => route_constrained(
             wisdom,
             None,
             config.retry_after_secs,
+            config.constraint,
             telemetry,
             ready,
             request,
@@ -464,15 +482,14 @@ pub fn route_with(
     route_full(wisdom, scheduler, retry_after_secs, None, ready, request)
 }
 
-/// The full router: [`route_with`] plus the observability surface. With a
-/// [`ServerTelemetry`], `GET /metrics` renders the registry and
-/// `GET /v1/stats` is served from the same registry handles; `ready` is
-/// what `GET /readyz` reports (the caller derives it from the decode
-/// worker, so a probe never touches the model or the scheduler lock).
-pub fn route_full(
+/// [`route_full`] with a default grammar constraint: completions without a
+/// `"constraint"` field decode under `default_constraint` instead of
+/// unconstrained.
+fn route_constrained(
     wisdom: &Wisdom,
     scheduler: Option<&BatchScheduler>,
     retry_after_secs: u64,
+    default_constraint: Constraint,
     telemetry: Option<&ServerTelemetry>,
     ready: bool,
     request: &Request,
@@ -491,12 +508,42 @@ pub fn route_full(
             Some(t) => Response::text(200, t.render()).with_content_type(METRICS_CONTENT_TYPE),
             None => Response::text(404, "metrics are not enabled on this server"),
         },
-        ("GET", "/v1/stats") => stats(scheduler, telemetry),
-        ("POST", "/v1/completions") => completions(wisdom, scheduler, retry_after_secs, request),
+        ("GET", "/v1/stats") => stats(scheduler, telemetry, default_constraint),
+        ("POST", "/v1/completions") => completions(
+            wisdom,
+            scheduler,
+            retry_after_secs,
+            default_constraint,
+            request,
+        ),
         ("POST", "/v1/lint") => lint(request),
         ("POST", _) | ("GET", _) => Response::text(404, "unknown endpoint"),
         _ => Response::text(405, "method not allowed"),
     }
+}
+
+/// The full router: [`route_with`] plus the observability surface. With a
+/// [`ServerTelemetry`], `GET /metrics` renders the registry and
+/// `GET /v1/stats` is served from the same registry handles; `ready` is
+/// what `GET /readyz` reports (the caller derives it from the decode
+/// worker, so a probe never touches the model or the scheduler lock).
+pub fn route_full(
+    wisdom: &Wisdom,
+    scheduler: Option<&BatchScheduler>,
+    retry_after_secs: u64,
+    telemetry: Option<&ServerTelemetry>,
+    ready: bool,
+    request: &Request,
+) -> Response {
+    route_constrained(
+        wisdom,
+        scheduler,
+        retry_after_secs,
+        Constraint::None,
+        telemetry,
+        ready,
+        request,
+    )
 }
 
 /// Serving/load counters for dashboards and tests: scheduler queue depth
@@ -505,7 +552,11 @@ pub fn route_full(
 /// idle/disabled. With a [`ServerTelemetry`], the numbers come from the
 /// same registry handles `GET /metrics` renders (the JSON shape is
 /// unchanged); without one, from the scheduler's internal snapshot.
-fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>) -> Response {
+fn stats(
+    scheduler: Option<&BatchScheduler>,
+    telemetry: Option<&ServerTelemetry>,
+    default_constraint: Constraint,
+) -> Response {
     let snapshot = match telemetry {
         // The registry handles are the instrumented sites' own updates;
         // reading them back keeps /v1/stats and /metrics telling one story.
@@ -537,6 +588,24 @@ fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>
     let spec = scheduler.map_or_else(SpeculativeConfig::disabled, |s| s.config().speculative);
     // The direct path always serves the assistant's own f32 weights.
     let precision = scheduler.map_or(Precision::F32, |s| s.config().precision);
+    // The scheduler's configured default constraint wins when one exists
+    // (it is what `bind_with` set from the `ServerConfig`).
+    let constraint = scheduler.map_or(default_constraint, |s| s.config().constraint);
+    let grammar = Json::obj(vec![
+        ("constraint", Json::Str(constraint.as_str().to_string())),
+        (
+            "masked_tokens",
+            count(telemetry.map_or(0, |t| t.grammar.masked_tokens.get())),
+        ),
+        (
+            "forced_tokens",
+            count(telemetry.map_or(0, |t| t.grammar.forced_fast_path.get())),
+        ),
+        (
+            "states_cached",
+            num(telemetry.map_or(0.0, |t| t.grammar.states_cached.get()) as usize),
+        ),
+    ]);
     let quant = Json::obj(match telemetry {
         Some(t) => vec![
             ("weight_bytes", num(t.quant.weight_bytes.get() as usize)),
@@ -583,6 +652,7 @@ fn stats(scheduler: Option<&BatchScheduler>, telemetry: Option<&ServerTelemetry>
             ),
             ("precision", Json::Str(precision.as_str().to_string())),
             ("quant", quant),
+            ("grammar", grammar),
         ])
         .to_text(),
     )
@@ -630,43 +700,60 @@ fn completion_payload(suggestion: &Suggestion) -> Json {
     ])
 }
 
-/// Parses the completion payload shared by all decode paths, or the 400
-/// explaining what was wrong with it.
-fn parse_completion(request: &Request) -> Result<CompletionRequest, Response> {
+/// Parses the completion payload shared by all decode paths — including
+/// the optional `"constraint"` field, resolved against the server's
+/// configured default — or the 400 explaining what was wrong with it.
+fn parse_completion(
+    request: &Request,
+    default_constraint: Constraint,
+) -> Result<(CompletionRequest, Constraint), Response> {
     let payload =
         parse_json(&request.body_text()).map_err(|e| Response::text(400, e.to_string()))?;
     let Some(prompt) = payload.get("prompt").and_then(Json::as_str) else {
         return Err(Response::text(400, "missing required field 'prompt'"));
     };
     let context = payload.get("context").and_then(Json::as_str).unwrap_or("");
-    Ok(CompletionRequest::new(context, prompt))
+    let constraint = match payload.get("constraint") {
+        None => default_constraint,
+        Some(json) => {
+            let Some(name) = json.as_str() else {
+                return Err(Response::text(400, "field 'constraint' must be a string"));
+            };
+            name.parse::<Constraint>()
+                .map_err(|e| Response::text(400, e))?
+        }
+    };
+    Ok((CompletionRequest::new(context, prompt), constraint))
 }
 
 fn completions(
     wisdom: &Wisdom,
     scheduler: Option<&BatchScheduler>,
     retry_after_secs: u64,
+    default_constraint: Constraint,
     request: &Request,
 ) -> Response {
-    let completion_request = match parse_completion(request) {
+    let (completion_request, constraint) = match parse_completion(request, default_constraint) {
         Ok(r) => r,
         Err(response) => return response,
     };
     let suggestion = match scheduler {
-        Some(s) => match wisdom.try_complete_batched(&completion_request, s) {
-            Ok(suggestion) => suggestion,
-            Err(e @ (SubmitError::QueueFull | SubmitError::ShutDown)) => {
-                let secs = estimate_retry_after(
-                    s.stats().queue_depth,
-                    s.decode_token_p50(),
-                    retry_after_secs,
-                    RouterConfig::default().retry_after_max_secs,
-                );
-                return Response::text(503, e.to_string())
-                    .with_header("retry-after", secs.to_string());
+        Some(s) => {
+            match wisdom.try_complete_batched_constrained(&completion_request, s, constraint) {
+                Ok(suggestion) => suggestion,
+                Err(e @ (SubmitError::QueueFull | SubmitError::ShutDown)) => {
+                    let secs = estimate_retry_after(
+                        s.stats().queue_depth,
+                        s.decode_token_p50(),
+                        retry_after_secs,
+                        RouterConfig::default().retry_after_max_secs,
+                    );
+                    return Response::text(503, e.to_string())
+                        .with_header("retry-after", secs.to_string());
+                }
             }
-        },
-        None => wisdom.complete(&completion_request),
+        }
+        None => wisdom.complete_constrained(&completion_request, constraint),
     };
     Response::json(completion_payload(&suggestion).to_text())
 }
@@ -678,13 +765,14 @@ fn completions_pooled(
     wisdom: &Wisdom,
     router: &Router,
     retry_after_fallback: u64,
+    default_constraint: Constraint,
     request: &Request,
 ) -> Response {
-    let completion_request = match parse_completion(request) {
+    let (completion_request, constraint) = match parse_completion(request, default_constraint) {
         Ok(r) => r,
         Err(response) => return response,
     };
-    match router.submit(wisdom.decode_request(&completion_request)) {
+    match router.submit(wisdom.decode_request_constrained(&completion_request, constraint)) {
         Ok(pending) => {
             let suggestion = wisdom.suggestion_from_tokens(&completion_request, &pending.wait());
             Response::json(completion_payload(&suggestion).to_text())
@@ -705,6 +793,7 @@ fn stream_completion(
     wisdom: &Wisdom,
     router: Option<&Router>,
     retry_after_fallback: u64,
+    default_constraint: Constraint,
     telemetry: &ServerTelemetry,
     conn: &mut TcpStream,
     request: &Request,
@@ -714,7 +803,7 @@ fn stream_completion(
         let _ = response.write_to(conn);
         status
     };
-    let completion_request = match parse_completion(request) {
+    let (completion_request, constraint) = match parse_completion(request, default_constraint) {
         Ok(r) => r,
         Err(response) => return reject(conn, response),
     };
@@ -727,7 +816,9 @@ fn stream_completion(
             ),
         );
     };
-    let stream = match router.submit_streaming(wisdom.decode_request(&completion_request)) {
+    let stream = match router
+        .submit_streaming(wisdom.decode_request_constrained(&completion_request, constraint))
+    {
         Ok(stream) => stream,
         Err(e) => {
             return reject(
@@ -778,6 +869,7 @@ fn pool_stats(router: &Router, bundles: &[ReplicaTelemetry], config: &ServerConf
     let count = |n: u64| Json::Num(n as f64);
     let pc = agg.prefix_cache.unwrap_or_default();
     let quant_bundles = || bundles.iter().filter_map(|b| b.quant.as_ref());
+    let grammar_bundles = || bundles.iter().filter_map(|b| b.grammar.as_ref());
     let replicas = agg
         .replicas
         .iter()
@@ -846,6 +938,29 @@ fn pool_stats(router: &Router, bundles: &[ReplicaTelemetry], config: &ServerConf
                     (
                         "matmuls_f32",
                         count(quant_bundles().map(|q| q.matmuls_f32.get()).sum()),
+                    ),
+                ]),
+            ),
+            (
+                "grammar",
+                Json::obj(vec![
+                    (
+                        "constraint",
+                        Json::Str(config.constraint.as_str().to_string()),
+                    ),
+                    (
+                        "masked_tokens",
+                        count(grammar_bundles().map(|g| g.masked_tokens.get()).sum()),
+                    ),
+                    (
+                        "forced_tokens",
+                        count(grammar_bundles().map(|g| g.forced_fast_path.get()).sum()),
+                    ),
+                    (
+                        "states_cached",
+                        num(grammar_bundles()
+                            .map(|g| g.states_cached.get())
+                            .sum::<f64>() as usize),
                     ),
                 ]),
             ),

@@ -10,7 +10,8 @@
 use std::sync::Arc;
 
 use wisdom_core::{
-    BatchTelemetry, PrefixCacheTelemetry, QuantTelemetry, ReplicaTelemetry, SpeculativeTelemetry,
+    BatchTelemetry, GrammarTelemetry, PrefixCacheTelemetry, QuantTelemetry, ReplicaTelemetry,
+    SpeculativeTelemetry,
 };
 use wisdom_telemetry::{Counter, Histogram, Logger, Registry};
 
@@ -51,6 +52,9 @@ pub struct ServerTelemetry {
     /// Weight-quantization handles (resident/saved bytes, quantized-matmul
     /// share), passed into the batch scheduler.
     pub quant: QuantTelemetry,
+    /// Grammar-constrained-decoding handles (masked tokens, mask-build
+    /// latency, cached automaton states), passed into the batch scheduler.
+    pub grammar: GrammarTelemetry,
     /// Structured access/error log (`WISDOM_LOG=info|debug`).
     pub logger: Logger,
     /// `wisdom_request_duration_seconds{route=…}`, pre-resolved per known
@@ -80,6 +84,7 @@ impl ServerTelemetry {
         let prefix_cache = PrefixCacheTelemetry::register(&registry);
         let speculative = SpeculativeTelemetry::register(&registry);
         let quant = QuantTelemetry::register(&registry);
+        let grammar = GrammarTelemetry::register(&registry);
         let buckets = Histogram::latency_buckets();
         let request_duration = KNOWN_ROUTES
             .iter()
@@ -116,6 +121,7 @@ impl ServerTelemetry {
             prefix_cache,
             speculative,
             quant,
+            grammar,
             logger,
             request_duration,
             requests_total,
@@ -137,6 +143,7 @@ impl ServerTelemetry {
                 prefix_cache: Some(self.prefix_cache.clone()),
                 speculative: Some(self.speculative.clone()),
                 quant: Some(self.quant.clone()),
+                grammar: Some(self.grammar.clone()),
             }];
         }
         (0..n)
@@ -154,6 +161,7 @@ impl ServerTelemetry {
                         labels,
                     )),
                     quant: Some(QuantTelemetry::register_labeled(&self.registry, labels)),
+                    grammar: Some(GrammarTelemetry::register_labeled(&self.registry, labels)),
                 }
             })
             .collect()

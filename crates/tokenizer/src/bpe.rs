@@ -54,6 +54,14 @@ impl BpeTokenizer {
         self.vocab_bytes.len()
     }
 
+    /// Byte content of token `id` (empty slice for the special tokens),
+    /// or `None` when `id` is out of range. Lets downstream consumers —
+    /// notably the grammar-constrained decoder — classify the vocabulary
+    /// without re-deriving the byte table.
+    pub fn token_bytes(&self, id: u32) -> Option<&[u8]> {
+        self.vocab_bytes.get(id as usize).map(Vec::as_slice)
+    }
+
     /// Number of learned merges.
     pub fn merge_count(&self) -> usize {
         self.merges.len()

@@ -8,19 +8,20 @@
 //!
 //! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
 //! `throughput`, `batching`, `prefix`, `telemetry`, `speculative`, `quant`,
-//! `serving`, `all`.
+//! `grammar`, `serving`, `all`.
 //! Profiles: `test` (seconds), `fast`, `quick` (default), `paper`.
 //!
-//! The `quant` and `serving` targets additionally write their measurements
-//! to `BENCH_quant.json` / `BENCH_serving.json` in the working directory.
+//! The `quant`, `grammar`, and `serving` targets additionally write their
+//! measurements to `BENCH_quant.json` / `BENCH_grammar.json` /
+//! `BENCH_serving.json` in the working directory.
 
 use std::time::Instant;
 
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
-    run_decode_batching, run_decoding_ablation, run_prefix_cache, run_quant, run_serving,
-    run_speculative, run_table3, run_table4, run_table5, run_telemetry_overhead, run_throughput,
-    tables, Profile, Progress, QuantResult, ServingResult, Zoo,
+    run_decode_batching, run_decoding_ablation, run_grammar, run_prefix_cache, run_quant,
+    run_serving, run_speculative, run_table3, run_table4, run_table5, run_telemetry_overhead,
+    run_throughput, tables, GrammarResult, Profile, Progress, QuantResult, ServingResult, Zoo,
 };
 
 fn main() {
@@ -68,6 +69,12 @@ fn main() {
             let r = run_quant(&mut zoo, 96, progress());
             print!("{}", tables::quant_text(&r));
             write_bench_quant(&r, profile_name, 96);
+        }
+        "grammar" => {
+            let mut zoo = build_zoo(profile);
+            let r = run_grammar(&mut zoo, progress());
+            print!("{}", tables::grammar_text(&r));
+            write_bench_grammar(&r, profile_name);
         }
         "serving" => {
             let r = run_serving(&profile, 8, 10);
@@ -209,6 +216,49 @@ fn write_bench_quant(r: &QuantResult, profile_name: &str, tokens: usize) {
     match std::fs::write("BENCH_quant.json", &json) {
         Ok(()) => eprintln!("[wrote BENCH_quant.json]"),
         Err(e) => eprintln!("[failed to write BENCH_quant.json: {e}]"),
+    }
+}
+
+/// Writes the grammar-constrained decoding measurements to
+/// `BENCH_grammar.json` so the repo records the per-type Schema Correct
+/// deltas and the parse/lint audit the README quotes.
+fn write_bench_grammar(r: &GrammarResult, profile_name: &str) {
+    let metrics = |m: &ansible_wisdom::metrics::MetricsSummary| {
+        format!(
+            "{{\"schema_correct\": {:.2}, \"exact_match\": {:.2}, \"bleu\": {:.2}, \
+             \"ansible_aware\": {:.2}, \"samples\": {}}}",
+            m.schema_correct, m.exact_match, m.bleu, m.ansible_aware, m.count
+        )
+    };
+    let mut rows = String::new();
+    for (i, row) in r.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"type\": \"{}\", \"count\": {}, \"unconstrained\": {}, \
+             \"constrained\": {}, \"deltas\": {{\"schema_correct\": {:.2}, \
+             \"ansible_aware\": {:.2}, \"bleu\": {:.2}}}}}",
+            row.label,
+            row.count,
+            metrics(&row.unconstrained),
+            metrics(&row.constrained),
+            row.schema_delta(),
+            row.aware_delta(),
+            row.bleu_delta()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"grammar-constrained decoding\",\n  \"profile\": \"{}\",\n  \
+         \"constraint\": \"{}\",\n  \
+         \"harness\": \"Table 5 (fine-tuned CodeGen-Multi, ctx 1024, greedy)\",\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"audit\": {{\"completions\": {}, \"parsed\": {}, \"lint_clean\": {}}}\n}}\n",
+        profile_name, r.constraint, rows, r.completions, r.parsed, r.lint_clean
+    );
+    match std::fs::write("BENCH_grammar.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH_grammar.json]"),
+        Err(e) => eprintln!("[failed to write BENCH_grammar.json: {e}]"),
     }
 }
 

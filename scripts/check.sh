@@ -7,9 +7,14 @@
 # (including the quantized GEBP's dequant-oracle identity), doc tests, the
 # telemetry substrate's unit + property tests, the router agreement suite
 # (rendezvous stability + multi-replica/single-replica bit-identity), and
+# the grammar crate's automaton unit + property tests, the grammar
+# agreement suite (constrained decodes parse + lint clean, bit-identity
+# with unconstrained whenever the unconstrained argmax is legal, across
+# the solo/batched/speculative paths), and
 # the observability/serving e2e tests (/metrics scrape, /healthz, /readyz,
-# SSE streaming vs plain bit-identity, keep-alive socket reuse — all over
-# real sockets). Run from the repository root before sending a change.
+# SSE streaming vs plain bit-identity, constrained completions over HTTP
+# incl. SSE, keep-alive socket reuse — all over real sockets). Run from
+# the repository root before sending a change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +27,9 @@ cargo test -q -p wisdom-model \
   --test batch_agreement \
   --test prefix_cache_agreement \
   --test speculative_agreement \
-  --test quant_agreement
+  --test quant_agreement \
+  --test grammar_agreement
+cargo test -q -p wisdom-grammar
 cargo test -q -p wisdom-tensor
 cargo test --doc -q
 cargo test -q -p wisdom-telemetry
@@ -31,4 +38,7 @@ cargo test -q --test server_e2e -- \
   metrics_scrape_mid_load_counts_requests \
   health_and_readiness_endpoints \
   streaming_completion_is_bit_identical_to_the_plain_response \
-  keep_alive_connection_reuses_one_socket_for_sequential_requests
+  keep_alive_connection_reuses_one_socket_for_sequential_requests \
+  constrained_completion_round_trip_and_stats_echo \
+  invalid_constraint_is_rejected_with_400 \
+  streaming_constrained_completion_matches_the_plain_constrained_response

@@ -664,3 +664,106 @@ fn oversized_request_body_is_rejected_with_413() {
     );
     handle.stop();
 }
+
+#[test]
+fn constrained_completion_round_trip_and_stats_echo() {
+    use ansible_wisdom::core::Constraint;
+
+    // The server-wide default constraint is echoed by /v1/stats and applied
+    // to requests that don't name one.
+    let (handle, addr) = spawn_server_with(ServerConfig {
+        constraint: Constraint::Ansible,
+        ..ServerConfig::default()
+    });
+    let (status, body) = post(addr, "/v1/completions", r#"{"prompt":"install nginx"}"#)
+        .expect("default-constrained completion");
+    assert_eq!(status, 200, "{body}");
+
+    // An explicit per-request constraint is accepted and deterministic.
+    let request = r#"{"prompt":"install nginx","constraint":"ansible"}"#;
+    let (status, first) = post(addr, "/v1/completions", request).expect("constrained");
+    assert_eq!(status, 200, "{first}");
+    let (_, second) = post(addr, "/v1/completions", request).expect("constrained again");
+    assert_eq!(first, second, "constrained decode must be deterministic");
+
+    // Opting out per request is accepted too.
+    let (status, body) = post(
+        addr,
+        "/v1/completions",
+        r#"{"prompt":"install nginx","constraint":"none"}"#,
+    )
+    .expect("unconstrained override");
+    assert_eq!(status, 200, "{body}");
+
+    let (status, stats) = get(addr, "/v1/stats").expect("stats");
+    assert_eq!(status, 200, "{stats}");
+    let j = parse_json(&stats).expect("stats json");
+    let grammar = j.get("grammar").expect("grammar object");
+    assert_eq!(
+        grammar.get("constraint").and_then(Json::as_str),
+        Some("ansible"),
+        "{stats}"
+    );
+    assert!(grammar
+        .get("masked_tokens")
+        .and_then(Json::as_f64)
+        .is_some());
+    assert!(grammar
+        .get("forced_tokens")
+        .and_then(Json::as_f64)
+        .is_some());
+    handle.stop();
+}
+
+#[test]
+fn invalid_constraint_is_rejected_with_400() {
+    let (handle, addr) = spawn_server();
+    let (status, body) = post(
+        addr,
+        "/v1/completions",
+        r#"{"prompt":"install nginx","constraint":"json"}"#,
+    )
+    .expect("post");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("constraint"), "{body}");
+    let (status, body) = post(
+        addr,
+        "/v1/completions",
+        r#"{"prompt":"install nginx","constraint":5}"#,
+    )
+    .expect("post");
+    assert_eq!(status, 400, "{body}");
+
+    // The default config leaves decodes unconstrained, and /v1/stats says so.
+    let (_, stats) = get(addr, "/v1/stats").expect("stats");
+    let j = parse_json(&stats).expect("stats json");
+    assert_eq!(
+        j.get("grammar")
+            .and_then(|g| g.get("constraint"))
+            .and_then(Json::as_str),
+        Some("none"),
+        "{stats}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn streaming_constrained_completion_matches_the_plain_constrained_response() {
+    use ansible_wisdom::server::post_sse;
+
+    let (handle, addr) = spawn_server();
+    let body = r#"{"prompt":"install nginx","constraint":"ansible"}"#;
+    let (status, _, plain) = post_raw(addr, "/v1/completions", body).expect("plain");
+    assert_eq!(status, 200, "{plain}");
+
+    let streamed = r#"{"prompt":"install nginx","constraint":"ansible","stream":true}"#;
+    let (status, events) = post_sse(addr, "/v1/completions", streamed).expect("stream");
+    assert_eq!(status, 200);
+    assert!(
+        events.len() >= 2,
+        "token events plus final object: {events:?}"
+    );
+    // The final event is byte-for-byte the non-streaming constrained body.
+    assert_eq!(events.last().map(String::as_str), Some(plain.as_str()));
+    handle.stop();
+}
