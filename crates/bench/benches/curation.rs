@@ -1,0 +1,49 @@
+//! Curation pipeline throughput: end-to-end docs/sec through
+//! parse → lint → dedup → score → shard, per worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wisdom_corpus::{Corpus, CorpusSpec};
+use wisdom_curation::{corpus_docs, curate, score_document, CurationConfig, DocKind};
+
+fn bench(c: &mut Criterion) {
+    let corpus = Corpus::build(&CorpusSpec {
+        seed: 31,
+        galaxy_files: 48,
+        gitlab_files: 16,
+        github_ansible_files: 24,
+        generic_files: 24,
+        pile_docs: 8,
+        pile_yaml_fraction: 0.1,
+        bigquery_docs: 8,
+        bigpython_docs: 8,
+    });
+    let docs = corpus_docs(&corpus);
+    let total_bytes: u64 = docs.iter().map(|d| d.text.len() as u64).sum();
+    println!("curation: {} docs, {} bytes", docs.len(), total_bytes);
+
+    let mut group = c.benchmark_group("curation/pipeline");
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    for workers in [1usize, 2, 4] {
+        let config = CurationConfig {
+            workers,
+            keep_texts: false,
+            ..CurationConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &config, |b, cfg| {
+            b.iter(|| black_box(curate(docs.clone(), cfg)))
+        });
+    }
+    drop(group);
+
+    // The score stage in isolation (the per-document hot loop).
+    let sample = &docs[0].text;
+    let mut group = c.benchmark_group("curation/score");
+    group.throughput(Throughput::Bytes(sample.len() as u64));
+    group.bench_function("ansible_doc", |b| {
+        b.iter(|| black_box(score_document(black_box(sample), DocKind::Ansible)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

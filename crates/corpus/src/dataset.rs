@@ -1,7 +1,7 @@
 //! Corpus assembly: per-source channels, exact-match deduplication, and the
 //! Table 1 statistics.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::fmt;
 
 use wisdom_prng::Prng;
@@ -120,7 +120,7 @@ impl Corpus {
     /// Builds the full corpus for a spec. Deterministic in `spec.seed`.
     pub fn build(spec: &CorpusSpec) -> Corpus {
         let mut root = Prng::seed_from_u64(spec.seed);
-        let mut dedup: HashSet<u64> = HashSet::new();
+        let mut dedup = ExactDedup::new();
 
         let mut galaxy_rng = root.fork("galaxy");
         let (galaxy, galaxy_stats) =
@@ -220,9 +220,46 @@ fn hash_text(text: &str) -> u64 {
     h
 }
 
+/// Content-confirmed exact-duplicate filter: the 64-bit hash only selects a
+/// bucket, membership is decided by comparing the actual text, so a hash
+/// collision between two distinct files can never silently drop one (the
+/// failure mode a bare `HashSet<u64>` had — at ~3.3 M files the birthday
+/// bound puts the chance of at least one 64-bit collision near 3·10⁻⁷ per
+/// build, i.e. rare but real at paper scale).
+struct ExactDedup {
+    hash: fn(&str) -> u64,
+    buckets: HashMap<u64, Vec<String>>,
+}
+
+impl ExactDedup {
+    fn new() -> Self {
+        Self::with_hasher(hash_text)
+    }
+
+    /// Injectable hash for tests: forcing collisions exercises the
+    /// content-confirmation path.
+    fn with_hasher(hash: fn(&str) -> u64) -> Self {
+        Self {
+            hash,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Records `text` and returns `true` if it is new; `false` only for a
+    /// byte-identical duplicate.
+    fn insert(&mut self, text: &str) -> bool {
+        let bucket = self.buckets.entry((self.hash)(text)).or_default();
+        if bucket.iter().any(|seen| seen == text) {
+            return false;
+        }
+        bucket.push(text.to_string());
+        true
+    }
+}
+
 fn build_channel(
     target: usize,
-    dedup: &mut HashSet<u64>,
+    dedup: &mut ExactDedup,
     mut gen: impl FnMut(&mut Prng) -> Option<String>,
     rng: &mut Prng,
 ) -> (Vec<String>, SourceStats) {
@@ -236,7 +273,7 @@ fn build_channel(
     while out.len() < target && attempts < max_attempts {
         attempts += 1;
         let Some(text) = gen(rng) else { continue };
-        if dedup.insert(hash_text(&text)) {
+        if dedup.insert(&text) {
             out.push(text);
         } else {
             stats.duplicates_removed += 1;
@@ -275,6 +312,7 @@ fn crawled_ansible_file(rng: &mut Prng) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn small_spec() -> CorpusSpec {
         CorpusSpec {
@@ -363,6 +401,27 @@ mod tests {
         assert_eq!(spec.gitlab_files, 64);
         assert_eq!(spec.github_ansible_files, 1100);
         assert_eq!(spec.generic_files, 2200);
+    }
+
+    #[test]
+    fn colliding_hashes_do_not_drop_distinct_files() {
+        // Every input collides by construction under the injected hasher;
+        // content confirmation must still keep all distinct files and
+        // reject only the true duplicate.
+        let mut dedup = ExactDedup::with_hasher(|_| 42);
+        assert!(dedup.insert("- name: First file\n"));
+        assert!(dedup.insert("- name: Second, distinct file\n"));
+        assert!(!dedup.insert("- name: First file\n"));
+        assert_eq!(dedup.buckets[&42].len(), 2);
+    }
+
+    #[test]
+    fn default_hasher_spreads_buckets() {
+        let mut dedup = ExactDedup::new();
+        assert!(dedup.insert("a"));
+        assert!(dedup.insert("b"));
+        assert!(!dedup.insert("b"));
+        assert_eq!(dedup.buckets.len(), 2);
     }
 
     #[test]

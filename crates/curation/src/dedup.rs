@@ -1,0 +1,245 @@
+//! Exact and near-duplicate detection.
+//!
+//! [`ExactDedup`] is content-confirmed: a 64-bit hash only selects a
+//! bucket, and membership is decided by comparing the actual bytes, so a
+//! hash collision between distinct documents can never silently drop one
+//! (the bug class the corpus assembler's original `HashSet<u64>` had).
+//!
+//! [`NearDedup`] is a MinHash-LSH index: a new document is bucketed by its
+//! signature's band keys, candidates from colliding buckets are confirmed
+//! by the signature-estimated Jaccard, and confirmed near-duplicates are
+//! rejected. Decisions depend only on the order documents are offered, so
+//! running the index behind the pipeline's order-restoring curator makes
+//! the kept set independent of worker count.
+
+use std::collections::HashMap;
+
+use crate::shingle::{MinHasher, Signature};
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Content-confirmed exact-duplicate filter.
+///
+/// # Examples
+///
+/// ```
+/// use wisdom_curation::ExactDedup;
+///
+/// let mut dedup = ExactDedup::new();
+/// assert!(dedup.insert("- name: Ping\n"));
+/// assert!(!dedup.insert("- name: Ping\n"));
+/// assert!(dedup.insert("- name: Pong\n"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ExactDedup {
+    /// hash -> texts seen with that hash (singleton except under collision).
+    buckets: HashMap<u64, Vec<String>>,
+    len: usize,
+}
+
+impl ExactDedup {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` and records `text` if it has not been seen before;
+    /// returns `false` for an exact duplicate. A hash hit alone is never
+    /// enough to reject: the candidate bucket's contents are compared
+    /// byte-for-byte first.
+    pub fn insert(&mut self, text: &str) -> bool {
+        let bucket = self.buckets.entry(fnv1a(text)).or_default();
+        if bucket.iter().any(|seen| seen == text) {
+            return false;
+        }
+        bucket.push(text.to_string());
+        self.len += 1;
+        true
+    }
+
+    /// Distinct documents recorded so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no document has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Outcome of offering a document to [`NearDedup`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NearVerdict {
+    /// Kept: no prior document's estimated Jaccard reached the floor.
+    /// Carries the index the document was assigned in the kept sequence.
+    Kept(usize),
+    /// Rejected as a near-duplicate of kept document `of` with estimated
+    /// Jaccard `estimate`.
+    Duplicate {
+        /// Index (in the kept sequence) of the retained representative.
+        of: usize,
+        /// Signature-estimated Jaccard similarity against it.
+        estimate: f64,
+    },
+}
+
+/// MinHash-LSH near-duplicate index over kept documents.
+pub struct NearDedup {
+    hasher: MinHasher,
+    /// Estimated-Jaccard floor at which a candidate is dropped.
+    floor: f64,
+    /// band key -> kept-doc indices in that bucket.
+    buckets: HashMap<(u32, u64), Vec<usize>>,
+    /// Signatures of kept documents.
+    kept: Vec<Signature>,
+}
+
+impl NearDedup {
+    /// Creates an index around `hasher`, dropping documents whose estimated
+    /// Jaccard against a kept document reaches `floor`.
+    ///
+    /// The floor should sit a couple of standard errors *below* the
+    /// similarity you want reliably removed: with `H` lanes the estimator's
+    /// standard error at similarity `t` is `sqrt(t(1-t)/H)`, so
+    /// [`floor_for_target`](Self::floor_for_target) computes `t - 2·se`.
+    pub fn new(hasher: MinHasher, floor: f64) -> Self {
+        Self {
+            hasher,
+            floor,
+            buckets: HashMap::new(),
+            kept: Vec::new(),
+        }
+    }
+
+    /// The rejection floor that reliably removes pairs of true similarity
+    /// `target`: two standard errors of estimator slack below `target`.
+    pub fn floor_for_target(target: f64, lanes: usize) -> f64 {
+        let se = (target * (1.0 - target) / lanes as f64).sqrt();
+        (target - 2.0 * se).max(0.0)
+    }
+
+    /// The estimator floor documents are rejected at.
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Number of kept documents indexed so far.
+    pub fn len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+
+    /// Offers a document's signature; either indexes it as kept or rejects
+    /// it as a near-duplicate of the most similar kept candidate.
+    pub fn offer(&mut self, sig: &Signature) -> NearVerdict {
+        let keys = self.hasher.band_keys(sig);
+        let mut best: Option<(usize, f64)> = None;
+        let mut checked: Vec<usize> = Vec::new();
+        for (band, &key) in keys.iter().enumerate() {
+            if let Some(bucket) = self.buckets.get(&(band as u32, key)) {
+                for &idx in bucket {
+                    if checked.contains(&idx) {
+                        continue;
+                    }
+                    checked.push(idx);
+                    let est = self.hasher.estimate(sig, &self.kept[idx]);
+                    if est >= self.floor && best.map(|(_, b)| est > b).unwrap_or(true) {
+                        best = Some((idx, est));
+                    }
+                }
+            }
+        }
+        if let Some((of, estimate)) = best {
+            return NearVerdict::Duplicate { of, estimate };
+        }
+        let idx = self.kept.len();
+        for (band, key) in keys.into_iter().enumerate() {
+            self.buckets
+                .entry((band as u32, key))
+                .or_default()
+                .push(idx);
+        }
+        self.kept.push(sig.clone());
+        NearVerdict::Kept(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shingle::shingle_set;
+
+    #[test]
+    fn exact_dedup_confirms_content_not_just_hash() {
+        // With a content-confirming filter, distinct texts are kept even if
+        // their hashes collide; simulate by checking the bucket path
+        // directly: two distinct strings must both be inserted regardless
+        // of bucket assignment.
+        let mut d = ExactDedup::new();
+        assert!(d.insert("a"));
+        assert!(d.insert("b"));
+        assert!(!d.insert("a"));
+        assert_eq!(d.len(), 2);
+    }
+
+    fn sig_of(text: &str, h: &MinHasher) -> Signature {
+        h.signature(&shingle_set(text, 3))
+    }
+
+    #[test]
+    fn near_dedup_drops_identical_and_keeps_distinct() {
+        let hasher = MinHasher::new(11, 32, 4);
+        let floor = NearDedup::floor_for_target(0.8, hasher.lanes());
+        let mut near = NearDedup::new(hasher.clone(), floor);
+        let a = "- name: Install nginx\n  apt:\n    name: nginx\n    state: present\n";
+        let b = "- name: Create devops user\n  user:\n    name: devops\n    shell: /bin/bash\n";
+        assert!(matches!(
+            near.offer(&sig_of(a, &hasher)),
+            NearVerdict::Kept(0)
+        ));
+        assert!(matches!(
+            near.offer(&sig_of(a, &hasher)),
+            NearVerdict::Duplicate { of: 0, .. }
+        ));
+        assert!(matches!(
+            near.offer(&sig_of(b, &hasher)),
+            NearVerdict::Kept(1)
+        ));
+    }
+
+    #[test]
+    fn near_dedup_catches_light_mutation() {
+        let hasher = MinHasher::new(5, 32, 4);
+        let floor = NearDedup::floor_for_target(0.8, hasher.lanes());
+        let mut near = NearDedup::new(hasher.clone(), floor);
+        let base = "- name: Install nginx on web hosts\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n    update_cache: true\n- name: Start nginx service\n  ansible.builtin.service:\n    name: nginx\n    state: started\n    enabled: true\n- name: Open http firewall port\n  ansible.builtin.ufw:\n    rule: allow\n    port: 80\n";
+        // One token changed out of dozens: true Jaccard stays >= 0.8.
+        let mutated = base.replace("update_cache: true", "update_cache: false");
+        assert!(matches!(
+            near.offer(&sig_of(base, &hasher)),
+            NearVerdict::Kept(0)
+        ));
+        assert!(matches!(
+            near.offer(&sig_of(&mutated, &hasher)),
+            NearVerdict::Duplicate { of: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn floor_sits_below_target() {
+        let f = NearDedup::floor_for_target(0.8, 128);
+        assert!(f < 0.8 && f > 0.7, "floor {f}");
+    }
+}

@@ -1,0 +1,697 @@
+//! The streaming curation pipeline: ingest → parse/lint/score (parallel
+//! workers) → exact dedup → MinHash near-dedup → deterministic sharding.
+//!
+//! Stages are connected by bounded MPMC channels (`crossbeam::channel`),
+//! so a slow stage backpressures the ones before it instead of buffering
+//! the whole corpus. The parallel stage computes only *pure* per-document
+//! facts (parse/lint/score results and the MinHash signature); every
+//! order-sensitive decision — exact dedup, near dedup, quality filtering,
+//! sharding — happens on the single curator thread behind a sequence-number
+//! reorder buffer. Workers therefore only change *when* a document's facts
+//! arrive, never *what* is decided from them, and the kept sequence, shard
+//! bytes and manifest are byte-identical for any worker count.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver};
+use wisdom_corpus::Corpus;
+use wisdom_telemetry::{Counter, Gauge, Histogram, Registry};
+
+use crate::dedup::{ExactDedup, NearDedup, NearVerdict};
+use crate::score::{score_document, DocKind, DocScore};
+use crate::shard::{Shard, ShardWriter};
+use crate::shingle::{shingle_set, MinHasher, Signature};
+
+/// One document entering the pipeline.
+#[derive(Debug, Clone)]
+pub struct InputDoc {
+    /// Source channel label (`"galaxy"`, `"gitlab"`, `"disk:…"`, …).
+    pub source: String,
+    /// Which scoring rubric applies.
+    pub kind: DocKind,
+    /// The raw YAML text.
+    pub text: String,
+}
+
+/// Pipeline configuration. `seed` drives every stochastic component (the
+/// MinHash lane seeds) through `wisdom-prng`, so one seed pins the whole
+/// curated output.
+#[derive(Debug, Clone)]
+pub struct CurationConfig {
+    /// Parallel parse/lint/score workers.
+    pub workers: usize,
+    /// Capacity of each inter-stage channel (the backpressure window).
+    pub queue_depth: usize,
+    /// Documents per output shard.
+    pub shard_docs: usize,
+    /// Tokens per shingle.
+    pub shingle_k: usize,
+    /// LSH bands.
+    pub bands: usize,
+    /// MinHash lanes per band.
+    pub rows: usize,
+    /// True-Jaccard similarity the near-dedup stage must reliably remove;
+    /// the rejection floor is set two estimator standard errors below it.
+    pub target_similarity: f64,
+    /// Minimum quality score a document must reach to be kept.
+    pub min_quality: f64,
+    /// Master seed for the MinHash family.
+    pub seed: u64,
+    /// Whether to keep the curated texts in the report (in addition to the
+    /// framed shard bytes).
+    pub keep_texts: bool,
+    /// Optional pre-resolved telemetry handles.
+    pub telemetry: Option<CurationTelemetry>,
+}
+
+impl Default for CurationConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_depth: 64,
+            shard_docs: 256,
+            shingle_k: 3,
+            bands: 32,
+            rows: 4,
+            target_similarity: 0.8,
+            min_quality: 0.35,
+            seed: 0,
+            keep_texts: true,
+            telemetry: None,
+        }
+    }
+}
+
+/// Pre-resolved telemetry handles for every stage, following the repo's
+/// handle-bundle pattern: resolving label sets once up front keeps the hot
+/// path at one or two relaxed atomic ops per event.
+#[derive(Clone)]
+pub struct CurationTelemetry {
+    ingested: Arc<Counter>,
+    ingested_bytes: Arc<Counter>,
+    processed: Arc<Counter>,
+    kept: Arc<Counter>,
+    kept_bytes: Arc<Counter>,
+    dropped_parse: Arc<Counter>,
+    dropped_quality: Arc<Counter>,
+    dropped_exact: Arc<Counter>,
+    dropped_near: Arc<Counter>,
+    parse_queue: Arc<Gauge>,
+    curate_queue: Arc<Gauge>,
+    process_seconds: Arc<Histogram>,
+    curate_seconds: Arc<Histogram>,
+}
+
+impl CurationTelemetry {
+    /// Registers the `wisdom_curation_*` metric families on `registry` and
+    /// resolves the handles the pipeline records through.
+    pub fn new(registry: &Registry) -> Self {
+        let docs = |stage: &str| {
+            registry.counter_with(
+                "wisdom_curation_docs_total",
+                "Documents passing each curation stage.",
+                &[("stage", stage)],
+            )
+        };
+        let dropped = |reason: &str| {
+            registry.counter_with(
+                "wisdom_curation_dropped_total",
+                "Documents dropped by the curation pipeline, by reason.",
+                &[("reason", reason)],
+            )
+        };
+        let bytes = |stage: &str| {
+            registry.counter_with(
+                "wisdom_curation_bytes_total",
+                "Document bytes passing each curation stage.",
+                &[("stage", stage)],
+            )
+        };
+        let queue = |name: &str| {
+            registry.gauge_with(
+                "wisdom_curation_queue_depth",
+                "Bounded-channel depth between curation stages.",
+                &[("queue", name)],
+            )
+        };
+        let seconds = |stage: &str| {
+            registry.histogram_with(
+                "wisdom_curation_stage_seconds",
+                "Per-document stage latency.",
+                &[("stage", stage)],
+                &Histogram::latency_buckets(),
+            )
+        };
+        Self {
+            ingested: docs("ingest"),
+            ingested_bytes: bytes("ingest"),
+            processed: docs("processed"),
+            kept: docs("kept"),
+            kept_bytes: bytes("kept"),
+            dropped_parse: dropped("parse"),
+            dropped_quality: dropped("quality"),
+            dropped_exact: dropped("exact_dup"),
+            dropped_near: dropped("near_dup"),
+            parse_queue: queue("parse"),
+            curate_queue: queue("curate"),
+            process_seconds: seconds("process"),
+            curate_seconds: seconds("curate"),
+        }
+    }
+}
+
+impl std::fmt::Debug for CurationTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CurationTelemetry").finish_non_exhaustive()
+    }
+}
+
+/// Why a document was dropped (manifest bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Did not parse as YAML.
+    Parse,
+    /// Parsed but scored below `min_quality`.
+    Quality,
+    /// Byte-identical to an earlier kept document.
+    ExactDup,
+    /// Estimated Jaccard against a kept document reached the floor.
+    NearDup,
+}
+
+/// Per-source counters for the manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceCounts {
+    /// Documents ingested from this source.
+    pub ingested: usize,
+    /// Documents kept from this source.
+    pub kept: usize,
+}
+
+/// Everything the pipeline produced: shards, counts, and the quality
+/// histogram. Excludes wall-clock, so two runs over the same input with the
+/// same config — at any worker count — compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurationReport {
+    /// Documents ingested.
+    pub ingested: usize,
+    /// Bytes ingested.
+    pub ingested_bytes: usize,
+    /// Dropped: unparseable YAML.
+    pub parse_failed: usize,
+    /// Dropped: below the quality floor.
+    pub quality_rejected: usize,
+    /// Dropped: exact duplicates (content-confirmed).
+    pub exact_dups: usize,
+    /// Dropped: MinHash near-duplicates.
+    pub near_dups: usize,
+    /// Documents kept.
+    pub kept: usize,
+    /// Bytes kept (raw text, without shard framing).
+    pub kept_bytes: usize,
+    /// Ten-bin histogram of kept-document quality scores over `[0, 1]`.
+    pub quality_hist: [usize; 10],
+    /// Per-source ingested/kept counts, in first-seen order.
+    pub per_source: Vec<(String, SourceCounts)>,
+    /// The sealed shards.
+    pub shards: Vec<Shard>,
+    /// Kept `(source, text)` pairs when `keep_texts` was set.
+    pub kept_docs: Vec<(String, String)>,
+    /// For each near-duplicate drop: `(dropped_ingest_index, kept_index,
+    /// estimated_jaccard)` — the evidence trail recall tests audit.
+    pub near_dup_pairs: Vec<(usize, usize, f64)>,
+}
+
+impl CurationReport {
+    /// Fraction of ingested documents dropped as exact duplicates.
+    pub fn exact_dup_rate(&self) -> f64 {
+        self.exact_dups as f64 / (self.ingested.max(1)) as f64
+    }
+
+    /// Fraction of ingested documents dropped as near duplicates.
+    pub fn near_dup_rate(&self) -> f64 {
+        self.near_dups as f64 / (self.ingested.max(1)) as f64
+    }
+
+    /// Renders the deterministic stats manifest (JSON). Everything in it is
+    /// a pure function of input + config, so it is committed alongside the
+    /// shards and compared across worker counts in tests.
+    pub fn manifest_json(&self) -> String {
+        let mut sources = String::new();
+        for (i, (name, c)) in self.per_source.iter().enumerate() {
+            if i > 0 {
+                sources.push_str(",\n");
+            }
+            sources.push_str(&format!(
+                "    {{\"source\": \"{}\", \"ingested\": {}, \"kept\": {}}}",
+                name, c.ingested, c.kept
+            ));
+        }
+        let mut shards = String::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                shards.push_str(",\n");
+            }
+            shards.push_str(&format!(
+                "    {{\"name\": \"{}\", \"docs\": {}, \"bytes\": {}, \"checksum\": \"{:016x}\"}}",
+                s.name,
+                s.docs,
+                s.bytes.len(),
+                s.checksum
+            ));
+        }
+        let hist: Vec<String> = self.quality_hist.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\n  \"ingested\": {},\n  \"ingested_bytes\": {},\n  \"kept\": {},\n  \
+             \"kept_bytes\": {},\n  \"dropped\": {{\"parse\": {}, \"quality\": {}, \
+             \"exact_dup\": {}, \"near_dup\": {}}},\n  \
+             \"quality_hist\": [{}],\n  \"sources\": [\n{}\n  ],\n  \"shards\": [\n{}\n  ]\n}}\n",
+            self.ingested,
+            self.ingested_bytes,
+            self.kept,
+            self.kept_bytes,
+            self.parse_failed,
+            self.quality_rejected,
+            self.exact_dups,
+            self.near_dups,
+            hist.join(", "),
+            sources,
+            shards
+        )
+    }
+}
+
+struct RawDoc {
+    seq: usize,
+    doc: InputDoc,
+}
+
+struct ProcDoc {
+    seq: usize,
+    doc: InputDoc,
+    score: DocScore,
+    signature: Signature,
+}
+
+/// Runs the full pipeline over `docs` and returns the report.
+///
+/// # Panics
+///
+/// Panics if `config.workers == 0`.
+pub fn curate(docs: Vec<InputDoc>, config: &CurationConfig) -> CurationReport {
+    assert!(config.workers > 0, "at least one worker required");
+    let hasher = MinHasher::new(config.seed, config.bands, config.rows);
+    let telemetry = config.telemetry.clone();
+
+    let (raw_tx, raw_rx) = bounded::<RawDoc>(config.queue_depth);
+    let (proc_tx, proc_rx) = bounded::<ProcDoc>(config.queue_depth);
+
+    crossbeam::scope(|scope| {
+        // Ingest: assign sequence numbers and feed the bounded queue.
+        {
+            let raw_tx = raw_tx.clone();
+            let telemetry = telemetry.clone();
+            scope.spawn(move |_| {
+                for (seq, doc) in docs.into_iter().enumerate() {
+                    if let Some(t) = &telemetry {
+                        t.ingested.inc();
+                        t.ingested_bytes.add(doc.text.len() as u64);
+                        t.parse_queue.set(raw_tx.len() as f64);
+                    }
+                    if raw_tx.send(RawDoc { seq, doc }).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(raw_tx);
+
+        // Parallel parse/lint/score/sketch workers: pure per-document work.
+        for _ in 0..config.workers {
+            let raw_rx = raw_rx.clone();
+            let proc_tx = proc_tx.clone();
+            let hasher = hasher.clone();
+            let telemetry = telemetry.clone();
+            let shingle_k = config.shingle_k;
+            scope.spawn(move |_| {
+                while let Ok(RawDoc { seq, doc }) = raw_rx.recv() {
+                    let started = Instant::now();
+                    let score = score_document(&doc.text, doc.kind);
+                    let signature = hasher.signature(&shingle_set(&doc.text, shingle_k));
+                    if let Some(t) = &telemetry {
+                        t.processed.inc();
+                        t.process_seconds.observe(started.elapsed().as_secs_f64());
+                        t.curate_queue.set(proc_tx.len() as f64);
+                    }
+                    if proc_tx
+                        .send(ProcDoc {
+                            seq,
+                            doc,
+                            score,
+                            signature,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(raw_rx);
+        drop(proc_tx);
+
+        // Curator: restore ingest order, then decide keeps/drops serially so
+        // the output is independent of worker scheduling.
+        curator(proc_rx, config, &hasher, telemetry.as_ref())
+    })
+    .expect("curation scope")
+}
+
+fn curator(
+    proc_rx: Receiver<ProcDoc>,
+    config: &CurationConfig,
+    hasher: &MinHasher,
+    telemetry: Option<&CurationTelemetry>,
+) -> CurationReport {
+    let floor = NearDedup::floor_for_target(config.target_similarity, hasher.lanes());
+    let mut exact = ExactDedup::new();
+    let mut near = NearDedup::new(hasher.clone(), floor);
+    let mut writer = ShardWriter::new(config.shard_docs);
+    // Maps `NearDedup` kept-indices back to ingest sequence numbers.
+    let mut kept_seq: Vec<usize> = Vec::new();
+
+    let mut report = CurationReport {
+        ingested: 0,
+        ingested_bytes: 0,
+        parse_failed: 0,
+        quality_rejected: 0,
+        exact_dups: 0,
+        near_dups: 0,
+        kept: 0,
+        kept_bytes: 0,
+        quality_hist: [0; 10],
+        per_source: Vec::new(),
+        shards: Vec::new(),
+        kept_docs: Vec::new(),
+        near_dup_pairs: Vec::new(),
+    };
+
+    let mut pending: HashMap<usize, ProcDoc> = HashMap::new();
+    let mut next_seq = 0usize;
+    while let Ok(proc_doc) = proc_rx.recv() {
+        pending.insert(proc_doc.seq, proc_doc);
+        while let Some(p) = pending.remove(&next_seq) {
+            next_seq += 1;
+            let started = Instant::now();
+            admit(
+                p,
+                config,
+                &mut exact,
+                &mut near,
+                &mut kept_seq,
+                &mut writer,
+                &mut report,
+                telemetry,
+            );
+            if let Some(t) = telemetry {
+                t.curate_seconds.observe(started.elapsed().as_secs_f64());
+            }
+        }
+    }
+    debug_assert!(pending.is_empty(), "curator drained out of order");
+
+    report.shards = writer.finish();
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    p: ProcDoc,
+    config: &CurationConfig,
+    exact: &mut ExactDedup,
+    near: &mut NearDedup,
+    kept_seq: &mut Vec<usize>,
+    writer: &mut ShardWriter,
+    report: &mut CurationReport,
+    telemetry: Option<&CurationTelemetry>,
+) {
+    report.ingested += 1;
+    report.ingested_bytes += p.doc.text.len();
+    let source_idx = match report
+        .per_source
+        .iter()
+        .position(|(name, _)| *name == p.doc.source)
+    {
+        Some(i) => i,
+        None => {
+            report
+                .per_source
+                .push((p.doc.source.clone(), SourceCounts::default()));
+            report.per_source.len() - 1
+        }
+    };
+    report.per_source[source_idx].1.ingested += 1;
+
+    let drop_reason = if !p.score.parsed {
+        Some(DropReason::Parse)
+    } else if p.score.quality < config.min_quality {
+        Some(DropReason::Quality)
+    } else if !exact.insert(&p.doc.text) {
+        Some(DropReason::ExactDup)
+    } else {
+        match near.offer(&p.signature) {
+            NearVerdict::Kept(idx) => {
+                debug_assert_eq!(idx, kept_seq.len());
+                kept_seq.push(p.seq);
+                None
+            }
+            NearVerdict::Duplicate { of, estimate } => {
+                report.near_dup_pairs.push((p.seq, kept_seq[of], estimate));
+                Some(DropReason::NearDup)
+            }
+        }
+    };
+
+    match drop_reason {
+        Some(DropReason::Parse) => {
+            report.parse_failed += 1;
+            if let Some(t) = telemetry {
+                t.dropped_parse.inc();
+            }
+        }
+        Some(DropReason::Quality) => {
+            report.quality_rejected += 1;
+            if let Some(t) = telemetry {
+                t.dropped_quality.inc();
+            }
+        }
+        Some(DropReason::ExactDup) => {
+            report.exact_dups += 1;
+            if let Some(t) = telemetry {
+                t.dropped_exact.inc();
+            }
+        }
+        Some(DropReason::NearDup) => {
+            report.near_dups += 1;
+            if let Some(t) = telemetry {
+                t.dropped_near.inc();
+            }
+        }
+        None => {
+            let text_len = p.doc.text.len() as u64;
+            report.kept += 1;
+            report.kept_bytes += p.doc.text.len();
+            report.per_source[source_idx].1.kept += 1;
+            let bin = ((p.score.quality * 10.0) as usize).min(9);
+            report.quality_hist[bin] += 1;
+            writer.add(&p.doc.source, &p.doc.text);
+            if config.keep_texts {
+                report.kept_docs.push((p.doc.source.clone(), p.doc.text));
+            }
+            if let Some(t) = telemetry {
+                t.kept.inc();
+                t.kept_bytes.add(text_len);
+            }
+        }
+    }
+}
+
+/// Flattens a built corpus' YAML channels into pipeline input, in the
+/// deterministic channel order the corpus assembler produced them.
+pub fn corpus_docs(corpus: &Corpus) -> Vec<InputDoc> {
+    let mut docs = Vec::new();
+    let channels: [(&str, DocKind, &[String]); 4] = [
+        ("galaxy", DocKind::Ansible, &corpus.galaxy),
+        ("gitlab", DocKind::Ansible, &corpus.gitlab),
+        ("github", DocKind::Ansible, &corpus.github_ansible),
+        ("generic", DocKind::Generic, &corpus.generic),
+    ];
+    for (source, kind, texts) in channels {
+        for text in texts {
+            docs.push(InputDoc {
+                source: source.to_string(),
+                kind,
+                text: text.clone(),
+            });
+        }
+    }
+    docs
+}
+
+/// Recursively collects `*.yml` / `*.yaml` files under `root` (sorted walk,
+/// so ingest order is stable across platforms) as [`DocKind::Auto`] input.
+pub fn disk_docs(root: &std::path::Path) -> std::io::Result<Vec<InputDoc>> {
+    let mut docs = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if matches!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("yml") | Some("yaml")
+            ) {
+                docs.push(InputDoc {
+                    source: format!("disk:{}", path.display()),
+                    kind: DocKind::Auto,
+                    text: std::fs::read_to_string(&path)?,
+                });
+            }
+        }
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(source: &str, kind: DocKind, text: &str) -> InputDoc {
+        InputDoc {
+            source: source.to_string(),
+            kind,
+            text: text.to_string(),
+        }
+    }
+
+    fn small_input() -> Vec<InputDoc> {
+        vec![
+            doc(
+                "galaxy",
+                DocKind::Ansible,
+                "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+            ),
+            doc("galaxy", DocKind::Ansible, "broken: [yaml\n"),
+            doc(
+                "galaxy",
+                DocKind::Ansible,
+                "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+            ),
+            doc("generic", DocKind::Generic, "stages:\n  - build\n  - test\n"),
+        ]
+    }
+
+    #[test]
+    fn filters_dedups_and_keeps() {
+        let report = curate(small_input(), &CurationConfig::default());
+        assert_eq!(report.ingested, 4);
+        assert_eq!(report.parse_failed, 1);
+        assert_eq!(report.exact_dups, 1);
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.kept_docs.len(), 2);
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shards[0].docs, 2);
+    }
+
+    #[test]
+    fn near_duplicates_are_dropped_with_provenance() {
+        let base = "- name: Install nginx on the web tier\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n    update_cache: true\n- name: Start the nginx service\n  ansible.builtin.service:\n    name: nginx\n    state: started\n    enabled: true\n";
+        let near = base.replace("state: started", "state: restarted");
+        let input = vec![
+            doc("galaxy", DocKind::Ansible, base),
+            doc("galaxy", DocKind::Ansible, &near),
+        ];
+        let report = curate(input, &CurationConfig::default());
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.near_dups, 1);
+        assert_eq!(report.near_dup_pairs.len(), 1);
+        let (dropped, kept_of, est) = report.near_dup_pairs[0];
+        assert_eq!((dropped, kept_of), (1, 0));
+        assert!(est > 0.7, "estimate {est}");
+    }
+
+    #[test]
+    fn quality_floor_rejects_bad_ansible() {
+        let input = vec![doc(
+            "galaxy",
+            DocKind::Ansible,
+            "- name: Ping\n  ansible.builtin.ping: {}\n  totally_bogus: 1\n  also_bogus: 2\n  more_bogus: 3\n",
+        )];
+        let config = CurationConfig {
+            min_quality: 0.6,
+            ..CurationConfig::default()
+        };
+        let report = curate(input, &config);
+        assert_eq!(report.quality_rejected, 1);
+        assert_eq!(report.kept, 0);
+    }
+
+    #[test]
+    fn manifest_is_deterministic_json() {
+        let a = curate(small_input(), &CurationConfig::default());
+        let b = curate(small_input(), &CurationConfig::default());
+        assert_eq!(a.manifest_json(), b.manifest_json());
+        assert!(a.manifest_json().contains("\"ingested\": 4"));
+    }
+
+    #[test]
+    fn telemetry_counters_track_report() {
+        let registry = Registry::new();
+        let config = CurationConfig {
+            workers: 2,
+            telemetry: Some(CurationTelemetry::new(&registry)),
+            ..CurationConfig::default()
+        };
+        let report = curate(small_input(), &config);
+        let text = registry.render();
+        let sample = |series: &str| wisdom_telemetry::sample_value(&text, series).unwrap_or(0.0);
+        assert_eq!(
+            sample("wisdom_curation_docs_total{stage=\"ingest\"}") as usize,
+            report.ingested
+        );
+        assert_eq!(
+            sample("wisdom_curation_docs_total{stage=\"kept\"}") as usize,
+            report.kept
+        );
+        assert_eq!(
+            sample("wisdom_curation_dropped_total{reason=\"parse\"}") as usize,
+            report.parse_failed
+        );
+        assert_eq!(
+            sample("wisdom_curation_dropped_total{reason=\"exact_dup\"}") as usize,
+            report.exact_dups
+        );
+    }
+
+    #[test]
+    fn disk_docs_walks_sorted() {
+        let dir = std::env::temp_dir().join(format!("wisdom-curation-disk-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("sub")).expect("mkdir");
+        std::fs::write(dir.join("b.yml"), "b: 1\n").expect("write");
+        std::fs::write(dir.join("a.yaml"), "a: 1\n").expect("write");
+        std::fs::write(dir.join("sub/c.yml"), "c: 1\n").expect("write");
+        std::fs::write(dir.join("ignored.txt"), "nope").expect("write");
+        let docs = disk_docs(&dir).expect("walk");
+        let names: Vec<&str> = docs
+            .iter()
+            .map(|d| d.source.rsplit('/').next().unwrap())
+            .collect();
+        assert_eq!(names, vec!["a.yaml", "b.yml", "c.yml"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1429,6 +1429,290 @@ pub fn run_serving(profile: &Profile, sessions: usize, resends: usize) -> Servin
     }
 }
 
+/// One worker-count arm of the curation throughput sweep.
+#[derive(Debug, Clone)]
+pub struct CurationScalePoint {
+    /// Worker threads in the parse/score stage.
+    pub workers: usize,
+    /// End-to-end curated documents per second.
+    pub docs_per_sec: f64,
+    /// End-to-end ingested bytes per second.
+    pub bytes_per_sec: f64,
+    /// Whether shard bytes and manifest match the 1-worker baseline.
+    pub identical: bool,
+}
+
+/// The curation experiment: pipeline throughput and selectivity, plus the
+/// drafter-warming arm.
+#[derive(Debug, Clone)]
+pub struct CurationResult {
+    /// Documents fed to the pipeline.
+    pub ingested: usize,
+    /// Bytes fed to the pipeline.
+    pub ingested_bytes: usize,
+    /// Documents surviving every stage.
+    pub kept: usize,
+    /// Parse failures dropped.
+    pub parse_failed: usize,
+    /// Quality-threshold rejections.
+    pub quality_rejected: usize,
+    /// Exact duplicates dropped (content-confirmed).
+    pub exact_dups: usize,
+    /// MinHash near-duplicates dropped.
+    pub near_dups: usize,
+    /// Exact-dup fraction of ingested docs.
+    pub exact_dup_rate: f64,
+    /// Near-dup fraction of ingested docs.
+    pub near_dup_rate: f64,
+    /// Quality histogram over kept docs, 10 bins across `[0, 1]`.
+    pub quality_hist: [usize; 10],
+    /// Sealed shard count.
+    pub shards: usize,
+    /// Total shard bytes.
+    pub shard_bytes: usize,
+    /// Per-worker-count throughput, 1-worker first.
+    pub scale: Vec<CurationScalePoint>,
+    /// Near-duplicate mutants injected for the recall probe.
+    pub injected: usize,
+    /// Injected mutants the near-dedup stage caught.
+    pub injected_caught: usize,
+    /// Greedy tokens/second with the shard-warmed order-4 n-gram drafter.
+    pub warm_tps: f64,
+    /// Accepted draft tokens per verify pass, warmed drafter.
+    pub warm_accepted: f64,
+    /// Tokens/second with a cold (online-only) drafter.
+    pub cold_tps: f64,
+    /// Accepted per verify, cold drafter.
+    pub cold_accepted: f64,
+    /// Plain sequential greedy tokens/second (no speculation).
+    pub baseline_tps: f64,
+}
+
+impl CurationResult {
+    /// Injected near-duplicate recall in `[0, 1]`.
+    pub fn recall(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.injected_caught as f64 / self.injected as f64
+    }
+
+    /// Warm-over-cold drafter speedup.
+    pub fn warm_speedup(&self) -> f64 {
+        self.warm_tps / self.cold_tps.max(1e-9)
+    }
+}
+
+/// The curation experiment. Three arms:
+///
+/// 1. **Throughput sweep** — the full corpus through the streaming pipeline
+///    once per worker count, recording docs/sec and bytes/sec and checking
+///    shard bytes + manifest stay byte-identical to the 1-worker baseline
+///    (the determinism contract under real load).
+/// 2. **Recall probe** — parse-safe mutants of kept documents (true shingle
+///    Jaccard ≥ 0.8) re-injected; the near-dedup stage must catch them.
+/// 3. **Drafter warming** — the paper's reference fine-tune (CodeGen-Multi
+///    350M, ctx 1024) decodes test prompts through the speculative engine
+///    with an order-4 n-gram drafter warmed on the curated shards vs a cold
+///    online-only drafter vs the plain greedy loop. The fine-tuned model's
+///    outputs live in the same formulaic YAML register as the curated
+///    corpus, so shard warming buys acceptance before the first token.
+pub fn run_curation(
+    zoo: &mut Zoo,
+    worker_counts: &[usize],
+    mut progress: Progress<'_>,
+) -> CurationResult {
+    use wisdom_curation::{
+        corpus_docs, curate, jaccard, shingle_set, CurationConfig, DocKind, InputDoc,
+    };
+    use wisdom_model::{NgramSpeculator, SpeculativeConfig, SpeculativeDecoder};
+
+    let docs = corpus_docs(&zoo.corpus);
+    let base_config = CurationConfig {
+        seed: zoo.profile.seed,
+        ..CurationConfig::default()
+    };
+
+    // Arm 1: throughput sweep with determinism cross-check.
+    phase(&mut progress, "curation throughput sweep");
+    let reference = curate(
+        docs.clone(),
+        &CurationConfig {
+            workers: 1,
+            ..base_config.clone()
+        },
+    );
+    let fingerprint = |r: &wisdom_curation::CurationReport| {
+        (
+            r.shards
+                .iter()
+                .map(|s| (s.checksum, s.bytes.len()))
+                .collect::<Vec<_>>(),
+            r.manifest_json(),
+        )
+    };
+    let reference_fp = fingerprint(&reference);
+    let mut scale = Vec::new();
+    for &workers in worker_counts {
+        let config = CurationConfig {
+            workers,
+            keep_texts: false,
+            ..base_config.clone()
+        };
+        // Warm-up pass, then best-of-2 timing.
+        let mut best = f64::INFINITY;
+        let mut last = curate(docs.clone(), &config);
+        for _ in 0..2 {
+            let start = Instant::now();
+            last = std::hint::black_box(curate(docs.clone(), &config));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        scale.push(CurationScalePoint {
+            workers,
+            docs_per_sec: last.ingested as f64 / best.max(1e-9),
+            bytes_per_sec: last.ingested_bytes as f64 / best.max(1e-9),
+            identical: fingerprint(&last) == reference_fp,
+        });
+    }
+
+    // Arm 2: injected near-duplicate recall on real kept documents.
+    phase(&mut progress, "near-dup recall probe");
+    let mut rng = Prng::seed_from_u64(zoo.profile.seed ^ 0xcafe);
+    let mut probe_docs = docs.clone();
+    let mut injected = 0usize;
+    for (i, (_, text)) in reference.kept_docs.iter().enumerate() {
+        let base_set = shingle_set(text, base_config.shingle_k);
+        if base_set.len() < 40 {
+            continue;
+        }
+        let mut mutant = text.replace("state: present", "state: latest");
+        mutant.push_str(&format!("# replica {i} tag {}\n", rng.range_usize(10, 99)));
+        if jaccard(&base_set, &shingle_set(&mutant, base_config.shingle_k)) < 0.8 {
+            continue;
+        }
+        probe_docs.push(InputDoc {
+            source: "injected".to_string(),
+            kind: DocKind::Ansible,
+            text: mutant,
+        });
+        injected += 1;
+        if injected == 32 {
+            break;
+        }
+    }
+    let probe = curate(probe_docs, &base_config);
+    let injected_caught = probe
+        .per_source
+        .iter()
+        .find(|(s, _)| s == "injected")
+        .map(|(_, c)| c.ingested - c.kept)
+        .unwrap_or(0);
+
+    // Arm 3: drafter warming from curated shards.
+    let base = *spec("CodeGen-Multi", SizeClass::S350m).expect("base exists");
+    phase(&mut progress, "finetune CodeGen-Multi ctx1024");
+    let model = zoo.finetuned(&base, 1024, PromptStyle::NameCompletion, 1.0, None);
+
+    phase(&mut progress, "warm drafter from curated shards");
+    let mut warmed = NgramSpeculator::new(4, model.config().vocab_size, true);
+    for (_, text) in reference
+        .kept_docs
+        .iter()
+        .take(zoo.profile.eval_max_samples.max(16))
+    {
+        warmed.warm(&zoo.tokenizer.encode(text));
+    }
+
+    phase(&mut progress, "decode test prompts warm vs cold");
+    let opts = GenerationOptions {
+        max_new_tokens: zoo.profile.max_new_tokens,
+        strategy: Strategy::Greedy,
+        seed: zoo.profile.seed,
+    };
+    let prompts: Vec<Vec<u32>> = zoo
+        .split
+        .test
+        .iter()
+        .take(4)
+        .map(|s| {
+            zoo.tokenizer
+                .encode(&s.prompt_text(PromptStyle::NameCompletion))
+        })
+        .collect();
+    let dec = SpeculativeDecoder::new(&model, SpeculativeConfig::ngram(8));
+    let stops = [zoo.tokenizer.eot()];
+    let arm = |drafter_of: &dyn Fn() -> NgramSpeculator| {
+        // One warm-up prompt, then best-of-2 over the prompt set.
+        let mut d = drafter_of();
+        let _ = dec.generate_with(&prompts[0], &stops, &opts, &mut d);
+        let mut best = f64::INFINITY;
+        let mut toks = 0usize;
+        let mut accepted = 0.0;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let mut run_toks = 0usize;
+            let mut acc_sum = 0.0;
+            for p in &prompts {
+                let mut d = drafter_of();
+                let (out, report) =
+                    std::hint::black_box(dec.generate_with(p, &stops, &opts, &mut d));
+                run_toks += out.len();
+                acc_sum += report.accepted_per_verify();
+            }
+            let dt = start.elapsed().as_secs_f64();
+            if dt < best {
+                best = dt;
+                toks = run_toks;
+                accepted = acc_sum / prompts.len() as f64;
+            }
+        }
+        (toks as f64 / best.max(1e-9), accepted)
+    };
+    let (warm_tps, warm_accepted) = arm(&|| warmed.clone());
+    let (cold_tps, cold_accepted) =
+        arm(&|| NgramSpeculator::new(4, model.config().vocab_size, true));
+
+    // Plain sequential greedy reference.
+    let mut best = f64::INFINITY;
+    let mut toks = 0usize;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let mut run_toks = 0usize;
+        for p in &prompts {
+            run_toks += std::hint::black_box(model.generate(p, &stops, &opts)).len();
+        }
+        let dt = start.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+            toks = run_toks;
+        }
+    }
+    let baseline_tps = toks as f64 / best.max(1e-9);
+
+    CurationResult {
+        ingested: reference.ingested,
+        ingested_bytes: reference.ingested_bytes,
+        kept: reference.kept,
+        parse_failed: reference.parse_failed,
+        quality_rejected: reference.quality_rejected,
+        exact_dups: reference.exact_dups,
+        near_dups: reference.near_dups,
+        exact_dup_rate: reference.exact_dup_rate(),
+        near_dup_rate: reference.near_dup_rate(),
+        quality_hist: reference.quality_hist,
+        shards: reference.shards.len(),
+        shard_bytes: reference.shards.iter().map(|s| s.bytes.len()).sum(),
+        scale,
+        injected,
+        injected_caught,
+        warm_tps,
+        warm_accepted,
+        cold_tps,
+        cold_accepted,
+        baseline_tps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1583,6 +1867,24 @@ mod tests {
         // and BENCH_serving.json is the reference. Here we only check the
         // harness measures and that the workload replays identically.
         assert_eq!(r.arms[0].requests, r.arms[2].requests);
+    }
+
+    #[test]
+    fn curation_experiment_runs_at_test_scale() {
+        let mut zoo = Zoo::build(Profile::test());
+        let r = run_curation(&mut zoo, &[1, 2], None);
+        assert!(r.kept > 0 && r.kept <= r.ingested);
+        assert_eq!(r.scale.len(), 2);
+        for p in &r.scale {
+            assert!(p.identical, "{} workers diverged from baseline", p.workers);
+            assert!(p.docs_per_sec > 0.0 && p.bytes_per_sec > 0.0);
+        }
+        assert!(r.injected_caught <= r.injected);
+        assert!(r.warm_tps > 0.0 && r.cold_tps > 0.0 && r.baseline_tps > 0.0);
+        assert!(r.warm_accepted >= 0.0);
+        let text = crate::tables::curation_text(&r);
+        assert!(text.contains("Corpus curation"));
+        assert!(text.contains("drafter warming"));
     }
 
     #[test]

@@ -31,11 +31,11 @@ pub mod tables;
 mod zoo;
 
 pub use experiments::{
-    run_decode_batching, run_decoding_ablation, run_grammar, run_prefix_cache, run_quant,
-    run_quant_speed, run_serving, run_speculative, run_table3, run_table4, run_table5,
-    run_telemetry_overhead, run_throughput, BatchingPoint, GrammarResult, GrammarTypeRow,
-    PrefixCachePoint, Progress, QuantResult, QuantSpeed, Row, ServingArm, ServingResult,
-    SpeculativePoint, TelemetryOverhead, ThroughputResult, TypeRow,
+    run_curation, run_decode_batching, run_decoding_ablation, run_grammar, run_prefix_cache,
+    run_quant, run_quant_speed, run_serving, run_speculative, run_table3, run_table4, run_table5,
+    run_telemetry_overhead, run_throughput, BatchingPoint, CurationResult, CurationScalePoint,
+    GrammarResult, GrammarTypeRow, PrefixCachePoint, Progress, QuantResult, QuantSpeed, Row,
+    ServingArm, ServingResult, SpeculativePoint, TelemetryOverhead, ThroughputResult, TypeRow,
 };
 pub use profile::Profile;
 pub use runner::{evaluate, postprocess, EvalResult, EvalSettings, Oracle, SampleCap};

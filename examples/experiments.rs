@@ -8,20 +8,21 @@
 //!
 //! Targets: `table1`, `table2`, `table3`, `table4`, `table5`, `tables45`,
 //! `throughput`, `batching`, `prefix`, `telemetry`, `speculative`, `quant`,
-//! `grammar`, `serving`, `all`.
+//! `grammar`, `serving`, `curation`, `all`.
 //! Profiles: `test` (seconds), `fast`, `quick` (default), `paper`.
 //!
-//! The `quant`, `grammar`, and `serving` targets additionally write their
-//! measurements to `BENCH_quant.json` / `BENCH_grammar.json` /
-//! `BENCH_serving.json` in the working directory.
+//! The `quant`, `grammar`, `serving`, and `curation` targets additionally
+//! write their measurements to `BENCH_quant.json` / `BENCH_grammar.json` /
+//! `BENCH_serving.json` / `BENCH_curation.json` in the working directory.
 
 use std::time::Instant;
 
 use ansible_wisdom::corpus::{Corpus, CorpusStats};
 use ansible_wisdom::eval::{
-    run_decode_batching, run_decoding_ablation, run_grammar, run_prefix_cache, run_quant,
-    run_serving, run_speculative, run_table3, run_table4, run_table5, run_telemetry_overhead,
-    run_throughput, tables, GrammarResult, Profile, Progress, QuantResult, ServingResult, Zoo,
+    run_curation, run_decode_batching, run_decoding_ablation, run_grammar, run_prefix_cache,
+    run_quant, run_serving, run_speculative, run_table3, run_table4, run_table5,
+    run_telemetry_overhead, run_throughput, tables, CurationResult, GrammarResult, Profile,
+    Progress, QuantResult, ServingResult, Zoo,
 };
 
 fn main() {
@@ -80,6 +81,12 @@ fn main() {
             let r = run_serving(&profile, 8, 10);
             print!("{}", tables::serving_text(&r));
             write_bench_serving(&r, profile_name);
+        }
+        "curation" => {
+            let mut zoo = build_zoo(profile);
+            let r = run_curation(&mut zoo, &[1, 2, 4], progress());
+            print!("{}", tables::curation_text(&r));
+            write_bench_curation(&r, profile_name);
         }
         "throughput" => throughput(&profile),
         "batching" => batching(&profile),
@@ -314,5 +321,67 @@ fn write_bench_serving(r: &ServingResult, profile_name: &str) {
     match std::fs::write("BENCH_serving.json", &json) {
         Ok(()) => eprintln!("[wrote BENCH_serving.json]"),
         Err(e) => eprintln!("[failed to write BENCH_serving.json: {e}]"),
+    }
+}
+
+/// Writes the curation measurements to `BENCH_curation.json`: per-worker
+/// throughput with the determinism cross-check, dedup/selectivity rates,
+/// the kept-quality histogram, the near-dup recall probe, and the
+/// drafter-warming arm.
+fn write_bench_curation(r: &CurationResult, profile_name: &str) {
+    let mut scale = String::new();
+    for (i, p) in r.scale.iter().enumerate() {
+        if i > 0 {
+            scale.push_str(",\n");
+        }
+        scale.push_str(&format!(
+            "    {{\"workers\": {}, \"docs_per_sec\": {:.1}, \"bytes_per_sec\": {:.0}, \
+             \"output_identical\": {}}}",
+            p.workers, p.docs_per_sec, p.bytes_per_sec, p.identical
+        ));
+    }
+    let hist: Vec<String> = r.quality_hist.iter().map(|c| c.to_string()).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"streaming corpus curation\",\n  \"profile\": \"{}\",\n  \
+         \"pipeline\": {{\"ingested\": {}, \"ingested_bytes\": {}, \"kept\": {}, \
+         \"parse_failed\": {}, \"quality_rejected\": {}, \"exact_dups\": {}, \
+         \"near_dups\": {}, \"exact_dup_rate\": {:.4}, \"near_dup_rate\": {:.4}, \
+         \"shards\": {}, \"shard_bytes\": {}}},\n  \
+         \"quality_hist\": [{}],\n  \
+         \"note\": \"single-core host: worker scaling measures pipeline overhead, not \
+         parallel speedup; the determinism contract is the point of the sweep\",\n  \
+         \"scale\": [\n{}\n  ],\n  \
+         \"recall_probe\": {{\"injected\": {}, \"caught\": {}, \"recall\": {:.4}}},\n  \
+         \"drafter_warming\": {{\"model\": \"CodeGen-Multi 350M ft ctx1024\", \"k\": 8, \
+         \"warm_tps\": {:.1}, \"warm_accepted_per_verify\": {:.3}, \
+         \"cold_tps\": {:.1}, \"cold_accepted_per_verify\": {:.3}, \
+         \"plain_greedy_tps\": {:.1}, \"warm_over_cold\": {:.3}}}\n}}\n",
+        profile_name,
+        r.ingested,
+        r.ingested_bytes,
+        r.kept,
+        r.parse_failed,
+        r.quality_rejected,
+        r.exact_dups,
+        r.near_dups,
+        r.exact_dup_rate,
+        r.near_dup_rate,
+        r.shards,
+        r.shard_bytes,
+        hist.join(", "),
+        scale,
+        r.injected,
+        r.injected_caught,
+        r.recall(),
+        r.warm_tps,
+        r.warm_accepted,
+        r.cold_tps,
+        r.cold_accepted,
+        r.baseline_tps,
+        r.warm_speedup()
+    );
+    match std::fs::write("BENCH_curation.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH_curation.json]"),
+        Err(e) => eprintln!("[failed to write BENCH_curation.json: {e}]"),
     }
 }

@@ -13,7 +13,10 @@
 # the solo/batched/speculative paths), and
 # the observability/serving e2e tests (/metrics scrape, /healthz, /readyz,
 # SSE streaming vs plain bit-identity, constrained completions over HTTP
-# incl. SSE, keep-alive socket reuse — all over real sockets). Run from
+# incl. SSE, keep-alive socket reuse — all over real sockets), and the
+# curation crate's unit + property + determinism suites (MinHash estimator
+# tolerance and LSH recall/no-false-drop properties, plus the end-to-end
+# byte-identical-shards-across-worker-counts contract). Run from
 # the repository root before sending a change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,6 +37,7 @@ cargo test -q -p wisdom-tensor
 cargo test --doc -q
 cargo test -q -p wisdom-telemetry
 cargo test -q -p wisdom-server --test router_props
+cargo test -q -p wisdom-curation
 cargo test -q --test server_e2e -- \
   metrics_scrape_mid_load_counts_requests \
   health_and_readiness_endpoints \

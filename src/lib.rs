@@ -29,6 +29,7 @@
 pub use wisdom_ansible as ansible;
 pub use wisdom_core as core;
 pub use wisdom_corpus as corpus;
+pub use wisdom_curation as curation;
 pub use wisdom_eval as eval;
 pub use wisdom_metrics as metrics;
 pub use wisdom_model as model;

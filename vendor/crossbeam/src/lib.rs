@@ -4,7 +4,11 @@
 //! real `crossbeam` cannot be fetched. Scoped threads have been part of the
 //! standard library since Rust 1.63 (`std::thread::scope`); this shim exposes
 //! them under the `crossbeam::scope` API so callers keep the familiar
-//! `scope.spawn(|_| ...)` / `handle.join()` shape.
+//! `scope.spawn(|_| ...)` / `handle.join()` shape. The [`channel`] module
+//! adds bounded MPMC channels (mutex + condvar, not lock-free) under the
+//! `crossbeam::channel::bounded` API for the streaming pipeline stages.
+
+pub mod channel;
 
 use std::any::Any;
 use std::thread;
